@@ -1,0 +1,97 @@
+"""Section 2.1/2.2 ablation: atomic-section optimization.
+
+Safe builds add atomic sections around checks that touch racy variables
+(Section 2.2); the improved concurrency analysis then eliminates the nested
+ones and avoids saving the interrupt-enable bit where it can (Section 2.1).
+This harness measures how many atomic sections the safe build contains, how
+many the optimizer removes or cheapens, and what that is worth in code size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.gcc_opt import gcc_optimize
+from repro.backend.image import build_image
+from repro.ccured.config import CCuredConfig, MessageStrategy
+from repro.ccured.instrument import cure
+from repro.ccured.optimizer import optimize_checks
+from repro.cminor import ast_nodes as ast
+from repro.cminor.visitor import walk_statements
+from repro.cxprop.driver import CxpropConfig, optimize_program
+from repro.cxprop.inline import inline_program
+from repro.nesc.hwrefactor import refactor_hardware_accesses
+from repro.tinyos import suite
+from repro.toolchain.report import percent_change
+
+
+def _count_atomics(program) -> tuple[int, int]:
+    total = 0
+    saving = 0
+    for func in program.iter_functions():
+        for stmt in walk_statements(func.body):
+            if isinstance(stmt, ast.Atomic):
+                total += 1
+                if stmt.save_irq:
+                    saving += 1
+    return total, saving
+
+
+def _build(app_name: str, enable_atomic_opt: bool):
+    program = suite.build_program(app_name, suppress_norace=True)
+    refactor_hardware_accesses(program)
+    cure(program, CCuredConfig(message_strategy=MessageStrategy.FLID,
+                               run_optimizer=False))
+    optimize_checks(program)
+    inline_program(program)
+    report = optimize_program(program,
+                              CxpropConfig(enable_atomic_opt=enable_atomic_opt))
+    gcc_optimize(program)
+    return program, build_image(program), report
+
+
+def _ablation(apps):
+    rows = []
+    for app in apps:
+        prog_off, image_off, _ = _build(app, enable_atomic_opt=False)
+        prog_on, image_on, report_on = _build(app, enable_atomic_opt=True)
+        total_off, saving_off = _count_atomics(prog_off)
+        total_on, saving_on = _count_atomics(prog_on)
+        rows.append({
+            "application": app,
+            "atomics_without": total_off,
+            "atomics_with": total_on,
+            "irq_saving_without": saving_off,
+            "irq_saving_with": saving_on,
+            "nested_removed": report_on.atomic.nested_removed,
+            "code_without": image_off.code_bytes,
+            "code_with": image_on.code_bytes,
+        })
+    return rows
+
+
+def test_atomic_ablation(benchmark, selected_apps):
+    apps = selected_apps[:6] if len(selected_apps) > 6 else selected_apps
+    rows = benchmark.pedantic(_ablation, args=(apps,), rounds=1, iterations=1)
+
+    print()
+    print("Atomic-section optimization (safe, inlined, cXprop builds)")
+    print(f"{'application':<32s} {'atomics w/o':>12s} {'atomics w/':>11s} "
+          f"{'irq-save w/o':>13s} {'irq-save w/':>12s} {'code delta':>11s}")
+    for row in rows:
+        delta = percent_change(row["code_with"], row["code_without"])
+        print(f"{row['application']:<32s} {row['atomics_without']:>12d} "
+              f"{row['atomics_with']:>11d} {row['irq_saving_without']:>13d} "
+              f"{row['irq_saving_with']:>12d} {delta:>+10.1f}%")
+
+    total_removed = sum(r["atomics_without"] - r["atomics_with"] for r in rows)
+    total_cheapened = sum(
+        (r["atomics_with"] - r["irq_saving_with"]) for r in rows)
+    print(f"\nnested atomic sections removed across the suite: {total_removed}")
+    print(f"atomic sections that skip the IRQ-state save: {total_cheapened}")
+
+    assert total_removed > 0, "the optimizer should remove nested atomic sections"
+    assert total_cheapened > 0, \
+        "the optimizer should avoid the IRQ-state save somewhere"
+    assert sum(r["code_with"] for r in rows) <= sum(r["code_without"] for r in rows), \
+        "atomic optimization should never grow the code"

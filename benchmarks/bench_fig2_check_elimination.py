@@ -1,0 +1,79 @@
+"""Figure 2: percentage of CCured's checks eliminated by four optimizer mixes.
+
+For every benchmark application and each of the four strategies —
+
+1. gcc alone,
+2. the CCured optimizer, then gcc,
+3. the CCured optimizer, then cXprop, then gcc,
+4. the CCured optimizer, then the inliner, then cXprop, then gcc —
+
+the harness counts the checks whose unique identifiers survive into the
+final image (the paper's methodology) and prints the per-application removal
+percentages together with the number of checks CCured originally inserted
+(the numbers across the top of the figure).
+
+Expected shape (checked by assertions): strategy 4 removes the most checks
+on every application and is the only strategy that removes most of them
+overall; gcc alone is never the best strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.toolchain.report import FigureTable
+from repro.toolchain.variants import FIGURE2_STRATEGIES
+
+
+def _strategy_label(index: int) -> str:
+    return ["gcc", "ccured+gcc", "ccured+cxprop+gcc",
+            "ccured+inline+cxprop+gcc"][index]
+
+
+def _figure2_table(build_cache, apps: list[str]) -> FigureTable:
+    table = FigureTable(
+        title="Figure 2: checks removed (percent of checks inserted by CCured)",
+        metric="checks removed (%)",
+        applications=list(apps),
+    )
+    series = [table.add_series(_strategy_label(i))
+              for i in range(len(FIGURE2_STRATEGIES))]
+    for app in apps:
+        for index, variant in enumerate(FIGURE2_STRATEGIES):
+            result = build_cache.build(app, variant)
+            table.baselines[app] = float(result.checks_inserted)
+            series[index].values[app] = 100.0 * result.checks_removed_fraction
+    return table
+
+
+def test_figure2_check_elimination(benchmark, build_cache, selected_apps):
+    table = benchmark.pedantic(
+        _figure2_table, args=(build_cache, selected_apps), rounds=1, iterations=1)
+
+    print()
+    print(table.format(value_format="{:5.1f}%"))
+
+    best_label = _strategy_label(3)
+    gcc_label = _strategy_label(0)
+    best = table.series[-1].values
+    gcc_only = table.series[0].values
+
+    # The full pipeline is at least as good as every other strategy on every
+    # application, and strictly better than gcc alone somewhere.
+    for series in table.series[:-1]:
+        for app in table.applications:
+            assert best[app] >= series.values[app] - 1e-9, (
+                f"{best_label} should dominate {series.label} on {app}")
+    assert any(best[app] > gcc_only[app] for app in table.applications), \
+        "inlining + cXprop should beat gcc alone on at least one application"
+
+    # The full pipeline removes most checks overall (the paper's headline).
+    average_best = sum(best.values()) / len(best)
+    assert average_best >= 50.0, (
+        f"expected the full pipeline to remove most checks on average, "
+        f"got {average_best:.1f}%")
+
+    # Every application has a meaningful number of checks to start with.
+    for app in table.applications:
+        assert table.baselines[app] >= 5, \
+            f"{app}: CCured inserted suspiciously few checks"

@@ -1,0 +1,76 @@
+"""Figure 3(a): change in code size relative to the unsafe, unoptimized baseline.
+
+Reproduces the seven bars of the figure for every application:
+
+1. safe, verbose error messages,
+2. safe, verbose error messages in ROM,
+3. safe, terse error messages,
+4. safe, error messages compressed as FLIDs,
+5. safe, FLIDs, optimized by cXprop,
+6. safe, FLIDs, inlined and then optimized by cXprop,
+7. unsafe, inlined and then optimized by cXprop,
+
+printing the percentage change in code (flash) bytes and the baseline's
+absolute size (the numbers across the top of the figure).
+
+Expected shape: plain CCured costs tens of percent of code size; moving the
+verbose strings to ROM makes code bigger still; cXprop plus inlining brings
+the safe program close to (or below) the unsafe baseline; and the same
+optimizations shrink the unsafe program itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.toolchain.report import FigureTable, percent_change
+from repro.toolchain.variants import BASELINE, FIGURE3_VARIANTS
+
+
+def _figure3a_table(build_cache, apps: list[str]) -> FigureTable:
+    table = FigureTable(
+        title="Figure 3(a): change in code size vs unsafe/unoptimized baseline",
+        metric="code size change (%)",
+        applications=list(apps),
+    )
+    series = {variant.name: table.add_series(variant.name)
+              for variant in FIGURE3_VARIANTS}
+    for app in apps:
+        baseline = build_cache.build(app, BASELINE)
+        table.baselines[app] = float(baseline.image.code_bytes)
+        for variant in FIGURE3_VARIANTS:
+            result = build_cache.build(app, variant)
+            series[variant.name].values[app] = percent_change(
+                result.image.code_bytes, baseline.image.code_bytes)
+    return table
+
+
+def test_figure3a_code_size(benchmark, build_cache, selected_apps):
+    table = benchmark.pedantic(
+        _figure3a_table, args=(build_cache, selected_apps), rounds=1, iterations=1)
+
+    print()
+    print(table.format())
+
+    by_name = {series.label: series.values for series in table.series}
+    for app in table.applications:
+        verbose = by_name["safe-verbose"][app]
+        verbose_rom = by_name["safe-verbose-rom"][app]
+        optimized = by_name["safe-optimized"][app]
+        flid = by_name["safe-flid"][app]
+        unsafe_opt = by_name["unsafe-optimized"][app]
+
+        # CCured alone costs a significant amount of code.
+        assert verbose > 5.0, f"{app}: CCured should increase code size"
+        # Moving the verbose strings to flash makes the code/flash bar taller.
+        assert verbose_rom >= verbose, \
+            f"{app}: strings in ROM should not shrink the flash footprint"
+        # The fully optimized safe build costs far less than unoptimized safe.
+        assert optimized < flid, \
+            f"{app}: inlining + cXprop should reduce safe code size"
+        # cXprop also shrinks the unsafe program (the 'new baseline').
+        assert unsafe_opt < 0.0, \
+            f"{app}: cXprop should shrink the unsafe program"
+        # The optimized safe build lands near the original baseline.
+        assert optimized < 40.0, \
+            f"{app}: optimized safe build strays too far from the baseline"

@@ -1,0 +1,101 @@
+"""Figure 3(c): change in processor duty cycle across build variants.
+
+Each Mica2 application is simulated in its "reasonable sensor network
+context" (Section 3.4) for a few virtual seconds per build variant, and the
+duty cycle — busy cycles over total cycles — is compared against the unsafe,
+unoptimized baseline.  Four variants are measured:
+
+* safe, FLIDs (CCured alone),
+* safe, FLIDs, optimized by cXprop,
+* safe, FLIDs, inlined and then optimized by cXprop,
+* unsafe, inlined and then optimized by cXprop.
+
+Expected shape: CCured alone slows the application down; the fully optimized
+safe build is about as fast as — often faster than — the unsafe original;
+and cXprop speeds up the unsafe program itself.  The absolute duty cycles
+are lower than the paper's because the simulator does not model the CC1000's
+byte-level receive processing; the relative ordering is what is reproduced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avrora.network import Network
+from repro.avrora.node import Node
+from repro.tinyos.suite import MICA2_APPS
+from repro.toolchain.contexts import duty_cycle_context
+from repro.toolchain.report import FigureTable, percent_change
+from repro.toolchain.variants import (
+    BASELINE,
+    SAFE_FLID,
+    SAFE_FLID_CXPROP,
+    SAFE_OPTIMIZED,
+    UNSAFE_OPTIMIZED,
+)
+
+#: Simulated seconds per measurement (the paper uses 180 s; these workloads
+#: are periodic, so a shorter window converges to the same duty cycle).
+SIM_SECONDS = 3.0
+
+_VARIANTS = [SAFE_FLID, SAFE_FLID_CXPROP, SAFE_OPTIMIZED, UNSAFE_OPTIMIZED]
+
+
+def _duty_cycle(build, app_name: str) -> float:
+    network = Network(traffic=duty_cycle_context(app_name))
+    node = Node(build.program, node_id=1)
+    node.boot()
+    network.add_node(node)
+    network.run(SIM_SECONDS)
+    return node.duty_cycle() * 100.0
+
+
+def _figure3c_table(build_cache, apps: list[str]) -> FigureTable:
+    table = FigureTable(
+        title="Figure 3(c): change in duty cycle vs unsafe/unoptimized baseline",
+        metric="duty cycle change (%)",
+        applications=list(apps),
+    )
+    series = {variant.name: table.add_series(variant.name)
+              for variant in _VARIANTS}
+    for app in apps:
+        baseline_build = build_cache.build(app, BASELINE)
+        baseline_duty = _duty_cycle(baseline_build, app)
+        table.baselines[app] = baseline_duty
+        for variant in _VARIANTS:
+            result = build_cache.build(app, variant)
+            duty = _duty_cycle(result, app)
+            series[variant.name].values[app] = percent_change(duty, baseline_duty)
+    return table
+
+
+def test_figure3c_duty_cycle(benchmark, build_cache, selected_apps):
+    apps = [app for app in selected_apps if app in MICA2_APPS]
+    table = benchmark.pedantic(
+        _figure3c_table, args=(build_cache, apps), rounds=1, iterations=1)
+
+    print()
+    print(table.format())
+
+    by_name = {series.label: series.values for series in table.series}
+    slower_unoptimized = 0
+    for app in table.applications:
+        safe_unopt = by_name[SAFE_FLID.name][app]
+        safe_opt = by_name[SAFE_OPTIMIZED.name][app]
+        unsafe_opt = by_name[UNSAFE_OPTIMIZED.name][app]
+
+        if safe_unopt > 0.0:
+            slower_unoptimized += 1
+        # The optimized safe build recovers most of the CPU cost of safety.
+        assert safe_opt <= safe_unopt + 1e-9, \
+            f"{app}: optimization should not slow the safe build down"
+        # cXprop never slows the unsafe program down.
+        assert unsafe_opt <= 5.0, \
+            f"{app}: cXprop should not slow the unsafe program"
+        # The optimized safe build stays within a modest factor of baseline.
+        assert safe_opt <= 60.0, \
+            f"{app}: optimized safe duty cycle strays too far from baseline"
+
+    # CCured alone slows most applications down.
+    assert slower_unoptimized >= len(table.applications) // 2, \
+        "plain CCured should cost CPU time on most applications"

@@ -1,0 +1,55 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Building an application is deterministic, so builds are cached per
+(application, variant) for the whole benchmark session; the per-figure
+benchmarks then assemble their tables from the cache.  This mirrors how the
+paper's evaluation reuses one build per configuration across measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.toolchain.config import BuildVariant
+from repro.toolchain.pipeline import BuildPipeline, BuildResult
+
+
+class BuildCache:
+    """Memoized application builds keyed by (application, variant name)."""
+
+    def __init__(self) -> None:
+        self._results: dict[tuple[str, str], BuildResult] = {}
+
+    def build(self, app_name: str, variant: BuildVariant) -> BuildResult:
+        key = (app_name, variant.name)
+        if key not in self._results:
+            self._results[key] = BuildPipeline(variant).build_named(app_name)
+        return self._results[key]
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+@pytest.fixture(scope="session")
+def build_cache() -> BuildCache:
+    return BuildCache()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--apps", action="store", default="",
+        help="Comma-separated subset of figure applications to benchmark")
+
+
+@pytest.fixture(scope="session")
+def selected_apps(request) -> list[str]:
+    from repro.tinyos.suite import FIGURE_APPS
+
+    raw = request.config.getoption("--apps")
+    if not raw:
+        return list(FIGURE_APPS)
+    wanted = [name.strip() for name in raw.split(",") if name.strip()]
+    unknown = [name for name in wanted if name not in FIGURE_APPS]
+    if unknown:
+        raise pytest.UsageError(f"unknown applications: {unknown}")
+    return wanted

@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: make a TinyOS application safe and run it.
+
+Builds the classic BlinkTask application three ways — the unsafe baseline,
+plain CCured, and the full Safe TinyOS pipeline (CCured + inliner + cXprop)
+— then simulates each image for a couple of virtual seconds and prints the
+numbers the paper cares about: code size, static RAM, surviving checks and
+processor duty cycle.
+"""
+
+from repro import SafeTinyOS
+from repro.toolchain import BASELINE, variant_by_name
+
+
+def main() -> None:
+    system = SafeTinyOS()
+    app = "BlinkTask_Mica2"
+    variants = [BASELINE, variant_by_name("safe-flid"),
+                variant_by_name("safe-optimized")]
+
+    print(f"Building {app} with {len(variants)} build variants\n")
+    header = (f"{'variant':18s} {'code (B)':>9s} {'RAM (B)':>8s} "
+              f"{'checks':>7s} {'duty cycle':>11s} {'red toggles':>12s}")
+    print(header)
+    print("-" * len(header))
+
+    for variant in variants:
+        outcome = system.build(app, variant)
+        run = system.simulate(outcome, seconds=2.0)
+        checks = (f"{outcome.checks_surviving}/{outcome.checks_inserted}"
+                  if outcome.checks_inserted else "-")
+        print(f"{variant.name:18s} {outcome.code_bytes:9d} {outcome.ram_bytes:8d} "
+              f"{checks:>7s} {run.duty_cycle * 100:10.3f}% "
+              f"{run.node.leds.state.red_toggles:12d}")
+
+    print("\nThe safe, optimized build keeps the program's behaviour (same LED")
+    print("activity), removes most of CCured's run-time checks, and costs about")
+    print("as much CPU and memory as the original unsafe program.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Safe TinyOS reproduction.
+
+A from-scratch Python implementation of the toolchain, substrates and
+evaluation of *"Efficient Type and Memory Safety for Tiny Embedded Systems"*
+(Regehr, Cooprider, Archer, Eide — 2006): a C-subset front end, the nesC
+component model and a TinyOS 1.x component library, a CCured-style safety
+transformer, the cXprop whole-program optimizer with pluggable abstract
+domains, a GCC-strength backend with AVR/MSP430 cost models, and an
+Avrora-style sensor-network simulator.
+
+Start with :class:`repro.core.SafeTinyOS`.
+"""
+
+from repro.core import BuildOutcome, SafeTinyOS, SimulationOutcome
+
+__version__ = "1.0.0"
+
+__all__ = ["SafeTinyOS", "BuildOutcome", "SimulationOutcome", "__version__"]

@@ -1,0 +1,34 @@
+"""The sensor-network simulator (the role Avrora plays in the paper).
+
+The paper measures processor duty cycle by running each application for
+three simulated minutes in Avrora, a cycle-accurate simulator for networks
+of Mica2 motes.  This package provides the equivalent for CMinor images:
+
+* :mod:`repro.avrora.memory` — the byte-addressed memory-object model used
+  for globals, locals, and string literals (and for evaluating CCured's
+  bounds checks concretely),
+* :mod:`repro.avrora.devices` — memory-mapped peripherals: LEDs, the 1024 Hz
+  clock, the micro timer, the ADC, the packet radio and the UART,
+* :mod:`repro.avrora.interp` — a direct interpreter for CMinor programs that
+  charges cycles from the backend cost model as it executes,
+* :mod:`repro.avrora.node` — one mote: program + devices + interrupt
+  delivery + sleep/wake accounting,
+* :mod:`repro.avrora.network` — multi-mote simulations with radio delivery
+  and traffic generation.
+
+Absolute cycle counts differ from real AVR silicon, but the quantity the
+paper reports — the *duty cycle*, busy cycles over total cycles, compared
+across build variants of the same application — is preserved.
+"""
+
+from repro.avrora.node import Node, NodeHalted, SafetyFault
+from repro.avrora.network import Network, TrafficGenerator, simulate
+
+__all__ = [
+    "Node",
+    "NodeHalted",
+    "SafetyFault",
+    "Network",
+    "TrafficGenerator",
+    "simulate",
+]

@@ -1,0 +1,553 @@
+"""The CMinor interpreter used by the simulator.
+
+The interpreter executes the final (optimized, linked) program directly on
+the AST, charging cycles from the backend cost model for every statement it
+executes.  Hardware access builtins are routed to the node's device bus;
+``__sleep`` hands control back to the node so it can advance time to the
+next event; interrupts are polled between statements and delivered by
+calling the registered handler function.
+
+CCured's runtime support builtins (``__bounds_ok``, ``__error_report`` …)
+are evaluated concretely against the memory-object model, so a program whose
+checks were *not* all optimized away really does pay for them at run time —
+and really does halt with a diagnostic if one fails.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor import typesys as ty
+from repro.cminor.program import Program
+from repro.cminor.typecheck import local_types
+from repro.cminor.visitor import statement_expressions, walk_expression, walk_statements
+from repro.avrora.memory import (
+    MemoryError_,
+    MemoryObject,
+    MemorySystem,
+    Pointer,
+    RuntimeValue,
+    is_null,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.avrora.node import Node
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value: Optional[RuntimeValue]):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class Interpreter:
+    """Executes one program on behalf of one node."""
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self.program: Program = node.program
+        self.memory: MemorySystem = node.memory
+        self.costs = node.costs
+        self.pointer_size = node.costs.platform.pointer_bytes
+        self._stmt_cycles_cache: dict[int, int] = {}
+        self._address_taken: dict[str, set[str]] = {}
+        self._local_types: dict[str, dict[str, ty.CType]] = {}
+
+    # -- function calls --------------------------------------------------------
+
+    def call(self, name: str, args: Optional[list[RuntimeValue]] = None
+             ) -> Optional[RuntimeValue]:
+        """Call a program function by name with already-evaluated arguments."""
+        func = self.program.lookup_function(name)
+        if func is None:
+            raise KeyError(f"call to unknown function {name!r}")
+        args = args or []
+        frame = self._build_frame(func, args)
+        frame["__function__"] = func.name
+        self.node.consume(self.costs.function_overhead_cycles())
+        try:
+            self._exec_block(func.body, frame)
+        except _ReturnSignal as signal:
+            return signal.value
+        return 0 if not func.return_type.is_void() else None
+
+    def _build_frame(self, func: ast.FunctionDef,
+                     args: list[RuntimeValue]) -> dict[str, object]:
+        frame: dict[str, object] = {}
+        taken = self._address_taken_locals(func)
+        for param, value in zip(func.params, args):
+            if param.name in taken:
+                obj = self.memory.allocate(f"{func.name}.{param.name}",
+                                           param.ctype.sizeof(self.pointer_size),
+                                           kind="local")
+                self.memory.write(Pointer(obj, 0), param.ctype, value)
+                frame[param.name] = obj
+            else:
+                frame[param.name] = value
+        return frame
+
+    def _address_taken_locals(self, func: ast.FunctionDef) -> set[str]:
+        cached = self._address_taken.get(func.name)
+        if cached is not None:
+            return cached
+        locals_ = self._locals_of(func)
+        taken: set[str] = set()
+        for stmt in walk_statements(func.body):
+            for expr in statement_expressions(stmt):
+                for node in walk_expression(expr):
+                    if isinstance(node, ast.AddressOf):
+                        root = node.lvalue
+                        while isinstance(root, (ast.Index, ast.Member)):
+                            if isinstance(root, ast.Member) and root.arrow:
+                                root = None
+                                break
+                            root = root.base
+                        if isinstance(root, ast.Identifier) and root.name in locals_:
+                            taken.add(root.name)
+        # Aggregate locals always live in memory.
+        for name, ctype in locals_.items():
+            if isinstance(ctype, (ty.ArrayType, ty.StructType)):
+                taken.add(name)
+        self._address_taken[func.name] = taken
+        return taken
+
+    def _locals_of(self, func: ast.FunctionDef) -> dict[str, ty.CType]:
+        cached = self._local_types.get(func.name)
+        if cached is None:
+            cached = local_types(func)
+            self._local_types[func.name] = cached
+        return cached
+
+    # -- statements -------------------------------------------------------------
+
+    def _stmt_cost(self, stmt: ast.Stmt) -> int:
+        cached = self._stmt_cycles_cache.get(stmt.node_id)
+        if cached is not None:
+            return cached
+        cycles = self.costs.stmt_cycles(stmt)
+        for expr in statement_expressions(stmt):
+            for node in walk_expression(expr):
+                cycles += self.costs.expr_cycles(node)
+        cycles = max(cycles, 1)
+        self._stmt_cycles_cache[stmt.node_id] = cycles
+        return cycles
+
+    def _exec_block(self, block: ast.Block, frame: dict[str, object]) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt, frame)
+            self.node.poll()
+
+    def _exec_stmt(self, stmt: ast.Stmt, frame: dict[str, object]) -> None:
+        self.node.consume(self._stmt_cost(stmt))
+        if isinstance(stmt, ast.Block):
+            self._exec_block(stmt, frame)
+        elif isinstance(stmt, ast.VarDecl):
+            self._exec_vardecl(stmt, frame)
+        elif isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.rvalue, frame)
+            self._store(stmt.lvalue, value, frame)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(stmt.expr, frame)
+        elif isinstance(stmt, ast.If):
+            if self._truthy(self._eval(stmt.cond, frame)):
+                self._exec_block(stmt.then_body, frame)
+            elif stmt.else_body is not None:
+                self._exec_block(stmt.else_body, frame)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt, frame)
+        elif isinstance(stmt, ast.DoWhile):
+            while True:
+                try:
+                    self._exec_block(stmt.body, frame)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not self._truthy(self._eval(stmt.cond, frame)):
+                    break
+        elif isinstance(stmt, ast.For):
+            self._exec_for(stmt, frame)
+        elif isinstance(stmt, ast.Return):
+            value = self._eval(stmt.value, frame) if stmt.value is not None else None
+            raise _ReturnSignal(value)
+        elif isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        elif isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        elif isinstance(stmt, ast.Atomic):
+            self.node.atomic_depth += 1
+            try:
+                self._exec_block(stmt.body, frame)
+            finally:
+                self.node.atomic_depth -= 1
+        elif isinstance(stmt, ast.Post):
+            raise RuntimeError("post statements must be lowered before simulation")
+        elif isinstance(stmt, ast.Nop):
+            pass
+        else:
+            raise RuntimeError(f"cannot execute {type(stmt).__name__}")
+
+    def _exec_vardecl(self, stmt: ast.VarDecl, frame: dict[str, object]) -> None:
+        func_taken = frame.get("__taken__")
+        del func_taken
+        taken_names = self._current_taken(frame)
+        if stmt.name in taken_names or isinstance(stmt.ctype,
+                                                  (ty.ArrayType, ty.StructType)):
+            obj = self.memory.allocate(f"local.{stmt.name}",
+                                       stmt.ctype.sizeof(self.pointer_size),
+                                       kind="local")
+            frame[stmt.name] = obj
+            if stmt.init is not None and stmt.ctype.is_scalar():
+                self.memory.write(Pointer(obj, 0), stmt.ctype,
+                                  self._eval(stmt.init, frame))
+            elif isinstance(stmt.init, ast.StringLiteral) and \
+                    isinstance(stmt.ctype, ty.ArrayType):
+                encoded = stmt.init.value.encode("latin-1", errors="replace")
+                for index, byte in enumerate(encoded[:stmt.ctype.length]):
+                    obj.data[index] = byte
+            return
+        value: RuntimeValue = 0
+        if stmt.init is not None:
+            value = self._eval(stmt.init, frame)
+            if stmt.ctype.is_integer() and isinstance(value, int):
+                value = ty.wrap_to(stmt.ctype, value)
+        frame[stmt.name] = value
+
+    def _current_taken(self, frame: dict[str, object]) -> set[str]:
+        func_name = frame.get("__function__")
+        if isinstance(func_name, str):
+            return self._address_taken.get(func_name, set())
+        return set()
+
+    def _exec_while(self, stmt: ast.While, frame: dict[str, object]) -> None:
+        while self._truthy(self._eval(stmt.cond, frame)):
+            self.node.consume(self.costs.branch_cycles)
+            try:
+                self._exec_block(stmt.body, frame)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def _exec_for(self, stmt: ast.For, frame: dict[str, object]) -> None:
+        if stmt.init is not None:
+            self._exec_stmt(stmt.init, frame)
+        while stmt.cond is None or self._truthy(self._eval(stmt.cond, frame)):
+            try:
+                self._exec_block(stmt.body, frame)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                pass
+            if stmt.update is not None:
+                self._exec_stmt(stmt.update, frame)
+
+    # -- raw memory access ----------------------------------------------------------
+
+    def _memory_read(self, pointer: Pointer, ctype: ty.CType) -> RuntimeValue:
+        """Read memory; out-of-bounds reads on lenient nodes return zero.
+
+        On real hardware an unchecked out-of-bounds access silently reads or
+        corrupts whatever lives next in SRAM.  The simulator's per-object
+        memory cannot reproduce the exact corruption pattern, so by default
+        it models the *silent* part — the access is absorbed and counted in
+        ``node.memory_violations`` — while ``strict_memory`` nodes raise.
+        """
+        try:
+            return self.memory.read(pointer, ctype)
+        except MemoryError_:
+            if self.node.strict_memory:
+                raise
+            self.node.memory_violations += 1
+            return 0
+
+    def _memory_write(self, pointer: Pointer, ctype: ty.CType,
+                      value: RuntimeValue) -> None:
+        try:
+            self.memory.write(pointer, ctype, value)
+        except MemoryError_:
+            if self.node.strict_memory:
+                raise
+            self.node.memory_violations += 1
+
+    # -- lvalues ------------------------------------------------------------------
+
+    def _locate(self, lvalue: ast.Expr, frame: dict[str, object]) -> Pointer:
+        """Compute the memory location of an lvalue."""
+        if isinstance(lvalue, ast.Identifier):
+            slot = frame.get(lvalue.name)
+            if isinstance(slot, MemoryObject):
+                return Pointer(slot, 0)
+            obj = self.memory.global_object(lvalue.name)
+            if obj is not None:
+                return Pointer(obj, 0)
+            raise MemoryError_(f"no storage for {lvalue.name!r}")
+        if isinstance(lvalue, ast.Deref):
+            pointer = self._eval(lvalue.pointer, frame)
+            return self._as_pointer(pointer)
+        if isinstance(lvalue, ast.Index):
+            base_type = lvalue.base.ctype
+            index = self._eval(lvalue.index, frame)
+            if not isinstance(index, int):
+                raise MemoryError_("non-integer array index")
+            if isinstance(base_type, ty.ArrayType):
+                base = self._locate(lvalue.base, frame)
+                elem_size = base_type.element.sizeof(self.pointer_size)
+            else:
+                base = self._as_pointer(self._eval(lvalue.base, frame))
+                target = base_type.decay()
+                elem_size = target.target.sizeof(self.pointer_size) \
+                    if isinstance(target, ty.PointerType) else 1
+            return base.advanced(index * elem_size)
+        if isinstance(lvalue, ast.Member):
+            if lvalue.arrow:
+                base = self._as_pointer(self._eval(lvalue.base, frame))
+                struct_type = lvalue.base.ctype
+                if isinstance(struct_type, ty.PointerType):
+                    struct_type = struct_type.target
+            else:
+                base = self._locate(lvalue.base, frame)
+                struct_type = lvalue.base.ctype
+            if not isinstance(struct_type, ty.StructType):
+                raise MemoryError_("member access on a non-struct value")
+            resolved = self.program.structs.get(struct_type.name) or struct_type
+            offset = resolved.field_offset(lvalue.fieldname, self.pointer_size)
+            return base.advanced(offset)
+        raise MemoryError_(f"not an lvalue: {type(lvalue).__name__}")
+
+    def _store(self, lvalue: ast.Expr, value: RuntimeValue,
+               frame: dict[str, object]) -> None:
+        if isinstance(lvalue, ast.Identifier):
+            slot = frame.get(lvalue.name)
+            if slot is not None and not isinstance(slot, MemoryObject):
+                ctype = lvalue.ctype
+                if ctype is not None and ctype.is_integer() and isinstance(value, int):
+                    value = ty.wrap_to(ctype, value)
+                frame[lvalue.name] = value
+                return
+            if slot is None and lvalue.name not in self.program.globals and \
+                    lvalue.name not in frame:
+                # A scalar local assigned before its declaration is executed
+                # (possible after aggressive code motion): store in the frame.
+                frame[lvalue.name] = value
+                return
+        location = self._locate(lvalue, frame)
+        ctype = lvalue.ctype or ty.UINT8
+        self._memory_write(location, ctype, value)
+
+    def _as_pointer(self, value: RuntimeValue) -> Pointer:
+        if isinstance(value, Pointer):
+            return value
+        if is_null(value):
+            raise MemoryError_("null pointer dereference")
+        raise MemoryError_(f"dereference of non-pointer value {value!r}")
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _truthy(self, value: RuntimeValue) -> bool:
+        if isinstance(value, Pointer):
+            return True
+        return value != 0
+
+    def _eval(self, expr: ast.Expr, frame: dict[str, object]) -> RuntimeValue:
+        if isinstance(expr, ast.IntLiteral):
+            return expr.value
+        if isinstance(expr, ast.StringLiteral):
+            return Pointer(self.memory.string_literal(expr.value), 0)
+        if isinstance(expr, ast.Identifier):
+            return self._load_identifier(expr, frame)
+        if isinstance(expr, ast.BinaryOp):
+            return self._eval_binary(expr, frame)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unary(expr, frame)
+        if isinstance(expr, ast.Deref):
+            pointer = self._as_pointer(self._eval(expr.pointer, frame))
+            return self._memory_read(pointer, expr.ctype or ty.UINT8)
+        if isinstance(expr, ast.AddressOf):
+            return self._locate(expr.lvalue, frame)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            if isinstance(expr.ctype, ty.ArrayType):
+                return self._locate(expr, frame)
+            location = self._locate(expr, frame)
+            return self._memory_read(location, expr.ctype or ty.UINT8)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, frame)
+        if isinstance(expr, ast.Cast):
+            return self._eval_cast(expr, frame)
+        if isinstance(expr, ast.SizeOf):
+            return expr.of_type.sizeof(self.pointer_size)
+        if isinstance(expr, ast.Ternary):
+            if self._truthy(self._eval(expr.cond, frame)):
+                return self._eval(expr.then, frame)
+            return self._eval(expr.otherwise, frame)
+        raise RuntimeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _load_identifier(self, expr: ast.Identifier,
+                         frame: dict[str, object]) -> RuntimeValue:
+        name = expr.name
+        if name in frame:
+            slot = frame[name]
+            if isinstance(slot, MemoryObject):
+                if isinstance(expr.ctype, ty.ArrayType):
+                    return Pointer(slot, 0)
+                return self.memory.read(Pointer(slot, 0), expr.ctype or ty.UINT8)
+            return slot  # type: ignore[return-value]
+        obj = self.memory.global_object(name)
+        if obj is not None:
+            var = self.program.lookup_global(name)
+            ctype = var.ctype if var is not None else (expr.ctype or ty.UINT8)
+            if isinstance(ctype, (ty.ArrayType, ty.StructType)):
+                return Pointer(obj, 0)
+            return self.memory.read(Pointer(obj, 0), ctype)
+        raise MemoryError_(f"read of unknown variable {name!r}")
+
+    def _eval_binary(self, expr: ast.BinaryOp, frame: dict[str, object]) -> RuntimeValue:
+        op = expr.op
+        if op == "&&":
+            if not self._truthy(self._eval(expr.left, frame)):
+                return 0
+            return 1 if self._truthy(self._eval(expr.right, frame)) else 0
+        if op == "||":
+            if self._truthy(self._eval(expr.left, frame)):
+                return 1
+            return 1 if self._truthy(self._eval(expr.right, frame)) else 0
+        left = self._eval(expr.left, frame)
+        right = self._eval(expr.right, frame)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._compare(op, left, right)
+        if isinstance(left, Pointer) or isinstance(right, Pointer):
+            return self._pointer_arithmetic(expr, left, right)
+        result = self._int_arithmetic(op, int(left), int(right))
+        if expr.ctype is not None and expr.ctype.is_integer():
+            return ty.wrap_to(expr.ctype, result)
+        return result
+
+    def _int_arithmetic(self, op: str, left: int, right: int) -> int:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return 0
+            return int(left / right)
+        if op == "%":
+            if right == 0:
+                return 0
+            return int(left - int(left / right) * right)
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            return left << (right & 31)
+        if op == ">>":
+            return left >> (right & 31)
+        raise RuntimeError(f"unknown operator {op!r}")
+
+    def _compare(self, op: str, left: RuntimeValue, right: RuntimeValue) -> int:
+        if isinstance(left, Pointer) or isinstance(right, Pointer):
+            if isinstance(left, Pointer) and isinstance(right, Pointer):
+                equal = left.obj is right.obj and left.offset == right.offset
+            elif isinstance(left, Pointer):
+                equal = False if right != 0 else False
+                equal = False
+            else:
+                equal = False
+            if op == "==":
+                return 1 if equal else 0
+            if op == "!=":
+                return 0 if equal else 1
+            # Relational pointer comparison: only meaningful within an object.
+            if isinstance(left, Pointer) and isinstance(right, Pointer) and \
+                    left.obj is right.obj:
+                left, right = left.offset, right.offset
+            else:
+                return 0
+        left_int, right_int = int(left), int(right)
+        results = {
+            "==": left_int == right_int,
+            "!=": left_int != right_int,
+            "<": left_int < right_int,
+            "<=": left_int <= right_int,
+            ">": left_int > right_int,
+            ">=": left_int >= right_int,
+        }
+        return 1 if results[op] else 0
+
+    def _pointer_arithmetic(self, expr: ast.BinaryOp, left: RuntimeValue,
+                            right: RuntimeValue) -> RuntimeValue:
+        op = expr.op
+        if isinstance(left, Pointer) and isinstance(right, Pointer):
+            if op == "-" and left.obj is right.obj:
+                elem = 1
+                left_type = expr.left.ctype.decay() if expr.left.ctype else None
+                if isinstance(left_type, ty.PointerType):
+                    elem = left_type.target.sizeof(self.pointer_size) or 1
+                return (left.offset - right.offset) // elem
+            return 0
+        pointer, integer = (left, right) if isinstance(left, Pointer) else (right, left)
+        pointer_type = expr.left.ctype if isinstance(left, Pointer) else expr.right.ctype
+        elem = 1
+        if pointer_type is not None:
+            decayed = pointer_type.decay()
+            if isinstance(decayed, ty.PointerType):
+                elem = decayed.target.sizeof(self.pointer_size) or 1
+        delta = int(integer) * elem
+        if op == "-":
+            delta = -delta
+        return pointer.advanced(delta)
+
+    def _eval_unary(self, expr: ast.UnaryOp, frame: dict[str, object]) -> RuntimeValue:
+        operand = self._eval(expr.operand, frame)
+        if expr.op == "!":
+            return 0 if self._truthy(operand) else 1
+        if isinstance(operand, Pointer):
+            return operand
+        if expr.op == "-":
+            result = -int(operand)
+        elif expr.op == "~":
+            result = ~int(operand)
+        else:
+            raise RuntimeError(f"unknown unary operator {expr.op!r}")
+        if expr.ctype is not None and expr.ctype.is_integer():
+            return ty.wrap_to(expr.ctype, result)
+        return result
+
+    def _eval_cast(self, expr: ast.Cast, frame: dict[str, object]) -> RuntimeValue:
+        value = self._eval(expr.operand, frame)
+        target = expr.target_type
+        if target.is_integer() and isinstance(value, int):
+            return ty.wrap_to(target, value)
+        if target.is_pointer() and isinstance(value, int) and value == 0:
+            return 0
+        return value
+
+    # -- calls --------------------------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call, frame: dict[str, object]) -> RuntimeValue:
+        name = expr.callee
+        args = [self._eval(arg, frame) for arg in expr.args]
+        if name in self.program.builtins:
+            return self.node.call_builtin(name, args)
+        result = self.call(name, args)
+        return result if result is not None else 0
+
+    # -- frames ------------------------------------------------------------------------
+
+
+def build_frame_marker(func_name: str) -> dict[str, object]:
+    """A frame pre-populated with bookkeeping keys."""
+    return {"__function__": func_name}

@@ -1,0 +1,206 @@
+"""Byte-addressed memory objects and pointers for the simulator.
+
+Every global variable, address-taken or aggregate local, and string literal
+becomes a :class:`MemoryObject` — a named bytearray.  A pointer value is a
+(:class:`MemoryObject`, byte offset) pair, so pointer arithmetic, byte-wise
+reinterpretation of structs, bounds checks and out-of-bounds detection all
+behave the way they do on the real hardware, without needing a flat address
+space.
+
+Pointers stored *into* memory (for example a global ``struct TOS_Msg*``) are
+kept in a per-object shadow table keyed by offset, with a sentinel value in
+the raw bytes; code that reinterprets pointer bytes as integers sees the
+sentinel, which is enough for the programs in this suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor import typesys as ty
+
+_object_ids = itertools.count(1)
+
+
+class MemoryError_(Exception):
+    """Raised on accesses outside any object (a caught safety violation)."""
+
+
+@dataclass
+class MemoryObject:
+    """One allocated object: a global, a local, or a string literal."""
+
+    name: str
+    data: bytearray
+    kind: str = "global"
+    object_id: int = field(default_factory=lambda: next(_object_ids))
+    pointer_slots: dict[int, "Pointer"] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return f"MemoryObject({self.name}, {self.size}B)"
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer value: an object plus a byte offset (possibly out of bounds)."""
+
+    obj: MemoryObject
+    offset: int
+
+    def advanced(self, delta: int) -> "Pointer":
+        return Pointer(self.obj, self.offset + delta)
+
+    def in_bounds(self, access_size: int) -> bool:
+        return 0 <= self.offset and self.offset + access_size <= self.obj.size
+
+    def __repr__(self) -> str:
+        return f"&{self.obj.name}+{self.offset}"
+
+
+#: Run-time values: integers (including 0 as the null pointer) or pointers.
+RuntimeValue = Union[int, Pointer]
+
+#: Sentinel stored in raw bytes where a pointer lives.
+_POINTER_SENTINEL = 0xA5A5
+
+
+def is_null(value: RuntimeValue) -> bool:
+    return isinstance(value, int) and value == 0
+
+
+class MemorySystem:
+    """Allocates and accesses the memory objects of one node."""
+
+    def __init__(self, pointer_size: int = 2):
+        self.pointer_size = pointer_size
+        self.objects: dict[str, MemoryObject] = {}
+        self.string_objects: dict[str, MemoryObject] = {}
+
+    # -- allocation ------------------------------------------------------------
+
+    def allocate(self, name: str, size: int, kind: str = "global") -> MemoryObject:
+        obj = MemoryObject(name=name, data=bytearray(max(size, 1)), kind=kind)
+        if kind == "global":
+            self.objects[name] = obj
+        return obj
+
+    def global_object(self, name: str) -> Optional[MemoryObject]:
+        return self.objects.get(name)
+
+    def string_literal(self, value: str) -> MemoryObject:
+        """Allocate (or reuse) the object backing a string literal."""
+        existing = self.string_objects.get(value)
+        if existing is not None:
+            return existing
+        data = bytearray(value.encode("latin-1", errors="replace") + b"\0")
+        obj = MemoryObject(name=f'"{value[:20]}"', data=data, kind="string")
+        self.string_objects[value] = obj
+        return obj
+
+    # -- typed access ------------------------------------------------------------
+
+    def read(self, pointer: Pointer, ctype: ty.CType) -> RuntimeValue:
+        """Read a value of type ``ctype`` at ``pointer``."""
+        size = ctype.sizeof(self.pointer_size)
+        if not pointer.in_bounds(size):
+            raise MemoryError_(
+                f"out-of-bounds read of {size} bytes at {pointer!r} "
+                f"(object is {pointer.obj.size} bytes)")
+        if ctype.is_pointer():
+            stored = pointer.obj.pointer_slots.get(pointer.offset)
+            if stored is not None:
+                return stored
+            raw = int.from_bytes(
+                pointer.obj.data[pointer.offset:pointer.offset + size], "little")
+            return raw
+        raw = int.from_bytes(
+            pointer.obj.data[pointer.offset:pointer.offset + size], "little")
+        if isinstance(ctype, ty.IntType) and ctype.signed:
+            return ctype.wrap(raw)
+        if isinstance(ctype, ty.CharType):
+            return ty.IntType(8, True).wrap(raw)
+        return raw
+
+    def write(self, pointer: Pointer, ctype: ty.CType, value: RuntimeValue) -> None:
+        """Write ``value`` of type ``ctype`` at ``pointer``."""
+        size = ctype.sizeof(self.pointer_size)
+        if not pointer.in_bounds(size):
+            raise MemoryError_(
+                f"out-of-bounds write of {size} bytes at {pointer!r} "
+                f"(object is {pointer.obj.size} bytes)")
+        if isinstance(value, Pointer):
+            pointer.obj.pointer_slots[pointer.offset] = value
+            raw = _POINTER_SENTINEL
+        else:
+            pointer.obj.pointer_slots.pop(pointer.offset, None)
+            raw = int(value)
+        raw &= (1 << (8 * size)) - 1
+        pointer.obj.data[pointer.offset:pointer.offset + size] = \
+            raw.to_bytes(size, "little")
+
+    def read_c_string(self, pointer: Pointer, limit: int = 256) -> str:
+        """Read a NUL-terminated string starting at ``pointer``."""
+        chars: list[str] = []
+        offset = pointer.offset
+        while offset < pointer.obj.size and len(chars) < limit:
+            byte = pointer.obj.data[offset]
+            if byte == 0:
+                break
+            chars.append(chr(byte))
+            offset += 1
+        return "".join(chars)
+
+    # -- global initialization ------------------------------------------------------
+
+    def initialize_global(self, var: ast.GlobalVar, pointer_size: int) -> MemoryObject:
+        """Allocate and statically initialize one global variable."""
+        size = var.ctype.sizeof(pointer_size)
+        obj = self.allocate(var.name, size, "global")
+        if var.init is not None:
+            self._apply_initializer(obj, 0, var.ctype, var.init)
+        return obj
+
+    def _apply_initializer(self, obj: MemoryObject, offset: int, ctype: ty.CType,
+                           init: ast.Expr) -> None:
+        pointer = Pointer(obj, offset)
+        if isinstance(init, ast.IntLiteral):
+            if ctype.is_scalar() or ctype.is_integer():
+                self.write(pointer, ctype if ctype.is_scalar() else ty.UINT8,
+                           init.value)
+            return
+        if isinstance(init, ast.StringLiteral):
+            if isinstance(ctype, ty.ArrayType):
+                encoded = init.value.encode("latin-1", errors="replace")
+                for index, byte in enumerate(encoded[:ctype.length]):
+                    obj.data[offset + index] = byte
+            elif ctype.is_pointer():
+                literal_obj = self.string_literal(init.value)
+                self.write(pointer, ctype, Pointer(literal_obj, 0))
+            return
+        if isinstance(init, ast.InitList):
+            if isinstance(ctype, ty.ArrayType):
+                elem_size = ctype.element.sizeof(self.pointer_size)
+                for index, item in enumerate(init.items):
+                    self._apply_initializer(obj, offset + index * elem_size,
+                                            ctype.element, item)
+            elif isinstance(ctype, ty.StructType):
+                for item, struct_field in zip(init.items, ctype.fields):
+                    field_offset = ctype.field_offset(struct_field.name,
+                                                      self.pointer_size)
+                    self._apply_initializer(obj, offset + field_offset,
+                                            struct_field.ctype, item)
+            return
+        if isinstance(init, ast.AddressOf) and isinstance(init.lvalue, ast.Identifier):
+            target = self.global_object(init.lvalue.name)
+            if target is not None and ctype.is_pointer():
+                self.write(pointer, ctype, Pointer(target, 0))
+            return
+        # Other initializer forms (cast constants, unary minus) are evaluated
+        # by the interpreter before main() runs.

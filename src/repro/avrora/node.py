@@ -1,0 +1,299 @@
+"""One simulated sensor node.
+
+A node owns a program image (the final, optimized CMinor program), the
+memory objects for its globals, its peripherals, an event queue, and the
+cycle accounting that the duty-cycle experiment reads out at the end:
+
+* ``busy_cycles`` — cycles spent executing code (including interrupt
+  handlers and safety checks),
+* ``sleep_cycles`` — cycles spent in the sleep state waiting for the next
+  event.
+
+The duty cycle is ``busy / (busy + sleep)`` — exactly the quantity Figure
+3(c) reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cminor import typesys as ty
+from repro.cminor.program import Program
+from repro.backend.target import CostModel, cost_model_for
+from repro.avrora.devices import Adc, Clock, DeviceBus, Leds, Radio, Uart, \
+    standard_devices
+from repro.avrora.interp import Interpreter
+from repro.avrora.memory import MemoryError_, MemorySystem, Pointer, RuntimeValue, \
+    is_null
+from repro.tinyos.hardware import JIFFIES_PER_SECOND
+
+
+class NodeHalted(Exception):
+    """The program executed ``__halt`` (normally via ``__ccured_fail``)."""
+
+    def __init__(self, code: int, message: str = ""):
+        self.code = code
+        self.message = message
+        super().__init__(f"node halted with code {code}: {message}")
+
+
+class SafetyFault(Exception):
+    """An unchecked memory error occurred (only possible in unsafe builds)."""
+
+
+class _SimulationFinished(Exception):
+    """Internal: the simulation time limit was reached."""
+
+
+@dataclass
+class FailureRecord:
+    """A run-time safety-check failure reported by the program."""
+
+    message: str
+    flid: Optional[int]
+    time_cycles: int
+
+
+class Node:
+    """One mote running one program image."""
+
+    def __init__(self, program: Program, node_id: int = 1,
+                 costs: Optional[CostModel] = None):
+        self.program = program
+        self.node_id = node_id
+        self.costs = costs or cost_model_for(program.platform)
+        self.clock_hz = self.costs.platform.clock_hz
+        self.cycles_per_jiffy = max(1, self.clock_hz // JIFFIES_PER_SECOND)
+
+        self.memory = MemorySystem(self.costs.platform.pointer_bytes)
+        self.bus = DeviceBus()
+        for device in standard_devices():
+            self.bus.attach(self, device)
+
+        self.interpreter = Interpreter(self)
+
+        self.time_cycles = 0
+        self.busy_cycles = 0
+        self.sleep_cycles = 0
+        self.end_cycles = 0
+        self.atomic_depth = 0
+        self.interrupts_enabled = False
+        self.in_interrupt = False
+        self.pending_interrupts: list[str] = []
+        self.interrupts_delivered = 0
+        self.failures: list[FailureRecord] = []
+        self.halted = False
+        self.halt_code: Optional[int] = None
+        #: Out-of-bounds accesses absorbed by the lenient memory model (an
+        #: unsafe build silently corrupting memory shows up here).
+        self.memory_violations = 0
+        #: When True, unchecked out-of-bounds accesses raise SafetyFault
+        #: instead of being absorbed.
+        self.strict_memory = False
+
+        self._event_queue: list[tuple[int, int, Callable[[], None]]] = []
+        self._event_seq = itertools.count()
+
+    # -- devices ------------------------------------------------------------------
+
+    @property
+    def leds(self) -> Leds:
+        return self.bus.find(Leds)  # type: ignore[return-value]
+
+    @property
+    def radio(self) -> Radio:
+        return self.bus.find(Radio)  # type: ignore[return-value]
+
+    @property
+    def uart(self) -> Uart:
+        return self.bus.find(Uart)  # type: ignore[return-value]
+
+    @property
+    def adc(self) -> Adc:
+        return self.bus.find(Adc)  # type: ignore[return-value]
+
+    @property
+    def clock(self) -> Clock:
+        return self.bus.find(Clock)  # type: ignore[return-value]
+
+    # -- time ---------------------------------------------------------------------
+
+    def cycles_for_us(self, microseconds: int) -> int:
+        return max(1, (self.clock_hz * microseconds) // 1_000_000)
+
+    def current_jiffies(self) -> int:
+        return self.time_cycles // self.cycles_per_jiffy
+
+    def duty_cycle(self) -> float:
+        total = self.busy_cycles + self.sleep_cycles
+        if total == 0:
+            return 0.0
+        return self.busy_cycles / total
+
+    # -- event queue ------------------------------------------------------------------
+
+    def schedule(self, delay_cycles: int, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay_cycles`` from now."""
+        when = self.time_cycles + max(1, delay_cycles)
+        heapq.heappush(self._event_queue, (when, next(self._event_seq), callback))
+
+    def _run_due_events(self) -> None:
+        while self._event_queue and self._event_queue[0][0] <= self.time_cycles:
+            _when, _seq, callback = heapq.heappop(self._event_queue)
+            callback()
+
+    # -- cycle accounting ----------------------------------------------------------------
+
+    def consume(self, cycles: int) -> None:
+        """Charge busy cycles for executing code."""
+        self.time_cycles += cycles
+        self.busy_cycles += cycles
+        if self.end_cycles and self.time_cycles >= self.end_cycles:
+            raise _SimulationFinished()
+
+    def sleep_until_next_event(self) -> None:
+        """Advance time to the next event, accounting the gap as sleep."""
+        self._run_due_events()
+        if self.pending_interrupts and self._can_deliver():
+            self._deliver_interrupts()
+            return
+        if not self._event_queue:
+            # Nothing will ever wake the node again: sleep to the end.
+            target = self.end_cycles or self.time_cycles + self.clock_hz
+            self.sleep_cycles += max(0, target - self.time_cycles)
+            self.time_cycles = target
+            raise _SimulationFinished()
+        next_time = self._event_queue[0][0]
+        if next_time > self.time_cycles:
+            self.sleep_cycles += next_time - self.time_cycles
+            self.time_cycles = next_time
+        if self.end_cycles and self.time_cycles >= self.end_cycles:
+            raise _SimulationFinished()
+        self._run_due_events()
+        self.poll()
+
+    # -- interrupts ----------------------------------------------------------------------
+
+    def raise_interrupt(self, vector: str) -> None:
+        if vector not in self.program.interrupt_vectors:
+            return
+        if vector not in self.pending_interrupts:
+            self.pending_interrupts.append(vector)
+
+    def _can_deliver(self) -> bool:
+        return (self.interrupts_enabled and not self.in_interrupt
+                and self.atomic_depth == 0)
+
+    def _deliver_interrupts(self) -> None:
+        while self.pending_interrupts and self._can_deliver():
+            vector = self.pending_interrupts.pop(0)
+            handler = self.program.interrupt_vectors.get(vector)
+            if handler is None:
+                continue
+            self.in_interrupt = True
+            self.interrupts_delivered += 1
+            self.consume(self.costs.interrupt_overhead_cycles())
+            try:
+                self.interpreter.call(handler, [])
+            finally:
+                self.in_interrupt = False
+
+    def poll(self) -> None:
+        """Between-statement housekeeping: fire due events, deliver interrupts."""
+        if self._event_queue and self._event_queue[0][0] <= self.time_cycles:
+            self._run_due_events()
+        if self.pending_interrupts and self._can_deliver():
+            self._deliver_interrupts()
+
+    # -- builtins -------------------------------------------------------------------------
+
+    def call_builtin(self, name: str, args: list[RuntimeValue]) -> RuntimeValue:
+        builtin = self.program.lookup_builtin(name)
+        if builtin is not None:
+            self.consume(builtin.cycles)
+        if name == "__hw_read8":
+            return self.bus.read(int(args[0]), 1) & 0xFF
+        if name == "__hw_read16":
+            return self.bus.read(int(args[0]), 2) & 0xFFFF
+        if name == "__hw_write8":
+            self.bus.write(int(args[0]), 1, int(args[1]) & 0xFF)
+            return 0
+        if name == "__hw_write16":
+            self.bus.write(int(args[0]), 2, int(args[1]) & 0xFFFF)
+            return 0
+        if name == "__sleep":
+            self.sleep_until_next_event()
+            return 0
+        if name == "__enable_interrupts":
+            self.interrupts_enabled = True
+            return 0
+        if name == "__disable_interrupts":
+            self.interrupts_enabled = False
+            return 0
+        if name == "__irq_save":
+            state = 1 if self.interrupts_enabled else 0
+            self.interrupts_enabled = False
+            return state
+        if name == "__irq_restore":
+            self.interrupts_enabled = bool(int(args[0]))
+            return 0
+        if name == "__halt":
+            code = int(args[0]) if args else 0
+            raise NodeHalted(code, self.failures[-1].message if self.failures else "")
+        if name == "__bounds_ok":
+            pointer = args[0]
+            size = int(args[1])
+            if is_null(pointer) or not isinstance(pointer, Pointer):
+                return 0
+            return 1 if pointer.in_bounds(size) else 0
+        if name == "__align_ok":
+            return 1
+        if name == "__error_report":
+            message = ""
+            if isinstance(args[0], Pointer):
+                message = self.memory.read_c_string(args[0])
+            self.failures.append(FailureRecord(message, None, self.time_cycles))
+            return 0
+        if name == "__error_report_id":
+            flid = int(args[0])
+            self.failures.append(FailureRecord(f"flid {flid}", flid, self.time_cycles))
+            return 0
+        raise KeyError(f"unknown builtin {name!r}")
+
+    # -- running --------------------------------------------------------------------------
+
+    def boot(self) -> None:
+        """Allocate and initialize global memory (done once before running)."""
+        pointer_size = self.costs.platform.pointer_bytes
+        for var in self.program.iter_globals():
+            self.memory.initialize_global(var, pointer_size)
+        # Second pass: pointer initializers that reference other globals.
+        for var in self.program.iter_globals():
+            if var.init is not None and var.ctype.is_pointer():
+                self.memory.initialize_global(var, pointer_size)
+        local_address = self.memory.global_object("TOS_LOCAL_ADDRESS")
+        if local_address is not None:
+            self.memory.write(Pointer(local_address, 0), ty.UINT16, self.node_id)
+
+    def run(self, seconds: float = 1.0) -> None:
+        """Run the node for ``seconds`` of simulated time."""
+        self.end_cycles = self.time_cycles + int(seconds * self.clock_hz)
+        if not self.memory.objects:
+            self.boot()
+        try:
+            self.interpreter.call(self.program.entry, [])
+        except _SimulationFinished:
+            return
+        except NodeHalted as halt:
+            self.halted = True
+            self.halt_code = halt.code
+            # A halted node idles (asleep) for the rest of the simulation.
+            if self.end_cycles > self.time_cycles:
+                self.sleep_cycles += self.end_cycles - self.time_cycles
+                self.time_cycles = self.end_cycles
+            return
+        except MemoryError_ as fault:
+            raise SafetyFault(str(fault)) from fault

@@ -1,0 +1,29 @@
+"""The back end: the role GCC plays in the paper's toolchain.
+
+The real toolchain hands the optimized C program to avr-gcc / msp430-gcc,
+which performs its (comparatively weak) optimizations and emits the final
+image whose ``.text``/``.data``/``.bss`` sections the paper measures.  This
+package reproduces that step with a deterministic cost model:
+
+* :mod:`repro.backend.target` — per-platform instruction cost models
+  (code bytes and cycles per operation),
+* :mod:`repro.backend.gcc_opt` — the "GCC-strength" optimizations: local
+  constant folding, removal of the easy safety checks, and dropping of
+  uncalled static functions,
+* :mod:`repro.backend.image` — lowering of a whole program into a
+  :class:`~repro.backend.image.MemoryImage` with per-symbol code and data
+  accounting.
+"""
+
+from repro.backend.target import CostModel, cost_model_for
+from repro.backend.gcc_opt import GccOptReport, gcc_optimize
+from repro.backend.image import MemoryImage, build_image
+
+__all__ = [
+    "CostModel",
+    "cost_model_for",
+    "GccOptReport",
+    "gcc_optimize",
+    "MemoryImage",
+    "build_image",
+]

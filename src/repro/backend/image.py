@@ -1,0 +1,169 @@
+"""Lowering a program into a memory image.
+
+``build_image`` walks the final, optimized program with the target's cost
+model and produces a :class:`MemoryImage` with the numbers the paper's
+figures are built from:
+
+* ``text_bytes`` — code (flash),
+* ``data_bytes`` — initialized static data (occupies RAM *and* flash, since
+  the initializers are copied out of flash at boot),
+* ``bss_bytes`` — zero-initialized static data (RAM only),
+* ``string_ram_bytes`` / ``string_rom_bytes`` — string literals; on the AVR
+  they live in RAM unless explicitly placed in program memory, which is the
+  entire story of the paper's "verbose error messages" bars.
+
+The image also records per-symbol sizes and the set of surviving check
+identifiers so the evaluation harness can reproduce Figure 2's counting
+methodology directly from the artifact it measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor import typesys as ty
+from repro.cminor.program import Program
+from repro.cminor.visitor import statement_expressions, walk_expression, walk_statements
+from repro.backend.target import CostModel, cost_model_for
+from repro.ccured.instrument import surviving_check_ids
+
+
+@dataclass
+class MemoryImage:
+    """Size accounting for one built application image.
+
+    All sizes are in bytes.
+    """
+
+    name: str
+    platform: str
+    text_bytes: int = 0
+    data_bytes: int = 0
+    bss_bytes: int = 0
+    string_ram_bytes: int = 0
+    string_rom_bytes: int = 0
+    function_sizes: dict[str, int] = field(default_factory=dict)
+    global_sizes: dict[str, int] = field(default_factory=dict)
+    surviving_checks: set[int] = field(default_factory=set)
+
+    @property
+    def code_bytes(self) -> int:
+        """Flash occupied by code and read-only strings (the Figure 3(a) metric)."""
+        return self.text_bytes + self.string_rom_bytes
+
+    @property
+    def ram_bytes(self) -> int:
+        """Static RAM usage (the Figure 3(b) metric)."""
+        return self.data_bytes + self.bss_bytes + self.string_ram_bytes
+
+    @property
+    def rom_bytes(self) -> int:
+        """Total flash usage: code, read-only strings, and data initializers."""
+        return self.text_bytes + self.string_rom_bytes + self.data_bytes + \
+            self.string_ram_bytes
+
+    def symbols_matching(self, prefix: str) -> dict[str, int]:
+        """Function and global sizes whose name starts with ``prefix``."""
+        sizes: dict[str, int] = {}
+        for name, size in self.function_sizes.items():
+            if name.startswith(prefix):
+                sizes[name] = size
+        for name, size in self.global_sizes.items():
+            if name.startswith(prefix):
+                sizes[name] = size
+        return sizes
+
+    def footprint_of(self, origin_functions: set[str],
+                     origin_globals: set[str]) -> tuple[int, int]:
+        """(ROM, RAM) bytes attributable to the named symbols."""
+        rom = sum(size for name, size in self.function_sizes.items()
+                  if name in origin_functions)
+        ram = sum(size for name, size in self.global_sizes.items()
+                  if name in origin_globals)
+        return rom, ram
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "code_bytes": self.code_bytes,
+            "text_bytes": self.text_bytes,
+            "ram_bytes": self.ram_bytes,
+            "data_bytes": self.data_bytes,
+            "bss_bytes": self.bss_bytes,
+            "string_ram_bytes": self.string_ram_bytes,
+            "string_rom_bytes": self.string_rom_bytes,
+            "functions": len(self.function_sizes),
+            "globals": len(self.global_sizes),
+            "surviving_checks": len(self.surviving_checks),
+        }
+
+
+def _function_code_bytes(func: ast.FunctionDef, costs: CostModel) -> int:
+    total = costs.function_overhead_bytes(func)
+    for stmt in walk_statements(func.body):
+        total += costs.stmt_bytes(stmt)
+        for expr in statement_expressions(stmt):
+            for node in walk_expression(expr):
+                total += costs.expr_bytes(node)
+    return total
+
+
+def _collect_strings(func: ast.FunctionDef) -> list[ast.StringLiteral]:
+    strings: list[ast.StringLiteral] = []
+    for stmt in walk_statements(func.body):
+        for expr in statement_expressions(stmt):
+            for node in walk_expression(expr):
+                if isinstance(node, ast.StringLiteral):
+                    strings.append(node)
+    return strings
+
+
+def _global_data_size(var: ast.GlobalVar, pointer_size: int) -> int:
+    return var.ctype.sizeof(pointer_size)
+
+
+def build_image(program: Program, costs: Optional[CostModel] = None) -> MemoryImage:
+    """Lower ``program`` to a memory image using the platform cost model."""
+    costs = costs or cost_model_for(program.platform)
+    pointer_size = costs.platform.pointer_bytes
+    image = MemoryImage(name=program.name, platform=program.platform)
+
+    seen_strings: dict[tuple[str, bool], int] = {}
+    for func in program.iter_functions():
+        size = _function_code_bytes(func, costs)
+        image.function_sizes[func.name] = size
+        image.text_bytes += size
+        for literal in _collect_strings(func):
+            key = (literal.value, literal.in_rom)
+            if key in seen_strings:
+                continue
+            seen_strings[key] = len(literal.value) + 1
+            size_bytes = len(literal.value) + 1
+            if literal.in_rom or not costs.platform.strings_in_ram:
+                image.string_rom_bytes += size_bytes
+            else:
+                image.string_ram_bytes += size_bytes
+
+    for var in program.iter_globals():
+        size = _global_data_size(var, pointer_size)
+        image.global_sizes[var.name] = size
+        if var.in_rom:
+            image.string_rom_bytes += size
+            continue
+        if var.init is None:
+            image.bss_bytes += size
+        else:
+            image.data_bytes += size
+        if isinstance(var.init, ast.StringLiteral) and var.ctype.is_pointer():
+            # A global char* initialized with a literal also owns the literal.
+            key = (var.init.value, var.init.in_rom)
+            if key not in seen_strings:
+                seen_strings[key] = len(var.init.value) + 1
+                if var.init.in_rom or not costs.platform.strings_in_ram:
+                    image.string_rom_bytes += len(var.init.value) + 1
+                else:
+                    image.string_ram_bytes += len(var.init.value) + 1
+
+    image.surviving_checks = surviving_check_ids(program)
+    return image

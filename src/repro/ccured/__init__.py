@@ -1,0 +1,38 @@
+"""CCured: the type- and memory-safety transformer.
+
+This package reproduces the role CCured plays in the paper's toolchain: it
+analyzes a whole CMinor program, classifies every pointer (SAFE / SEQ /
+WILD), inserts the dynamic checks needed to make the program memory safe,
+links in a runtime library, encodes the failure messages according to the
+configured strategy (verbose, verbose-in-ROM, terse, or FLIDs), wraps checks
+that touch racy variables in atomic sections (the concurrency modification
+of Section 2.2), and finally runs CCured's own redundant-check optimizer.
+
+The main entry point is :func:`cure`.
+"""
+
+from repro.ccured.config import CCuredConfig, MessageStrategy
+from repro.ccured.checks import CheckKind, CheckSite
+from repro.ccured.kinds import PointerKind
+from repro.ccured.infer import KindInference, infer_pointer_kinds
+from repro.ccured.instrument import CCuredResult, cure
+from repro.ccured.optimizer import optimize_checks
+from repro.ccured.runtime import RuntimeLibrary, build_runtime
+from repro.ccured.flid import FlidTable, decompress_failure
+
+__all__ = [
+    "CCuredConfig",
+    "MessageStrategy",
+    "CheckKind",
+    "CheckSite",
+    "PointerKind",
+    "KindInference",
+    "infer_pointer_kinds",
+    "CCuredResult",
+    "cure",
+    "optimize_checks",
+    "RuntimeLibrary",
+    "build_runtime",
+    "FlidTable",
+    "decompress_failure",
+]

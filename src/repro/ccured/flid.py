@@ -1,0 +1,106 @@
+"""FLIDs: failure-location identifiers and their offline decompression.
+
+With the FLID message strategy, the program carries only a 16-bit integer
+per failure site; the mapping from identifier back to the full diagnostic
+(file, line, function, check kind) lives in a table kept on the host.  This
+module is both halves: the table builder used during instrumentation and the
+decompression tool from the right-hand side of the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ccured.checks import CheckSite
+
+
+@dataclass
+class FlidEntry:
+    """One decompression-table entry."""
+
+    flid: int
+    kind: str
+    function: str
+    location: str
+    description: str
+
+    def format_message(self, application: str = "app") -> str:
+        """Reconstruct the verbose failure message for this identifier."""
+        return (f"{application}: {self.location}: {self.function}: "
+                f"{self.kind} check failed ({self.description}) [flid {self.flid}]")
+
+
+@dataclass
+class FlidTable:
+    """The host-side decompression table for one application build."""
+
+    application: str = "app"
+    entries: dict[int, FlidEntry] = field(default_factory=dict)
+
+    def add_site(self, site: CheckSite) -> FlidEntry:
+        """Register a check site and return its table entry."""
+        entry = FlidEntry(
+            flid=site.check_id,
+            kind=site.kind.value,
+            function=site.function,
+            location=str(site.loc) if site.loc is not None else "<unknown>",
+            description=site.description,
+        )
+        self.entries[entry.flid] = entry
+        return entry
+
+    def lookup(self, flid: int) -> Optional[FlidEntry]:
+        return self.entries.get(flid)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the table (one line per entry) for storage on the host."""
+        payload = {
+            "application": self.application,
+            "entries": [
+                {
+                    "flid": e.flid,
+                    "kind": e.kind,
+                    "function": e.function,
+                    "location": e.location,
+                    "description": e.description,
+                }
+                for e in sorted(self.entries.values(), key=lambda e: e.flid)
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FlidTable":
+        payload = json.loads(text)
+        table = cls(application=payload.get("application", "app"))
+        for raw in payload.get("entries", []):
+            entry = FlidEntry(
+                flid=int(raw["flid"]),
+                kind=raw["kind"],
+                function=raw["function"],
+                location=raw["location"],
+                description=raw["description"],
+            )
+            table.entries[entry.flid] = entry
+        return table
+
+
+def decompress_failure(table: FlidTable, flid: int,
+                       application: Optional[str] = None) -> str:
+    """Turn a reported FLID back into a human-readable failure message.
+
+    This is the "error message decompression" step of the paper's Figure 1:
+    the mote reports only the 16-bit identifier, and the host reconstructs
+    the full diagnostic.
+    """
+    entry = table.lookup(flid)
+    if entry is None:
+        return f"unknown failure location {flid}"
+    return entry.format_message(application or table.application)

@@ -1,0 +1,260 @@
+"""Pointer-kind inference.
+
+A light-weight reproduction of CCured's whole-program pointer-kind
+inference.  The algorithm has the same structure as the original:
+
+1. every pointer-typed storage location (global, local, parameter, struct
+   field, function return) becomes a *slot*;
+2. a single pass over the program generates **base constraints** — uses that
+   force a slot upward in the SAFE < SEQ < WILD lattice (pointer arithmetic
+   and indexing force SEQ, surviving integer-to-pointer casts force WILD,
+   byte-view casts force SEQ) — and **flow edges** between slots that
+   exchange values (assignments, argument passing, returns);
+3. kinds are propagated along the flow edges to a fixpoint.
+
+The result drives check insertion (which checks each access needs) and the
+fat-pointer representation (how much static data each pointer costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor import typesys as ty
+from repro.cminor.program import Program
+from repro.cminor.typecheck import local_types
+from repro.cminor.visitor import statement_expressions, walk_statements
+from repro.ccured.kinds import (
+    KindMap,
+    PointerKind,
+    Slot,
+    field_slot,
+    global_slot,
+    local_slot,
+    param_slot,
+    return_slot,
+)
+
+
+@dataclass
+class KindInference:
+    """Constraint generation and fixpoint solving for pointer kinds."""
+
+    program: Program
+    kinds: KindMap = field(default_factory=KindMap)
+    edges: dict[Slot, set[Slot]] = field(default_factory=dict)
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self) -> KindMap:
+        """Infer kinds for every pointer slot in the program."""
+        self._register_slots()
+        for func in self.program.iter_functions():
+            self._scan_function(func)
+        self._propagate()
+        return self.kinds
+
+    # -- slot registration ------------------------------------------------------
+
+    def _register_slots(self) -> None:
+        for var in self.program.iter_globals():
+            if self._is_pointerish(var.ctype):
+                self.kinds.raise_to(global_slot(var.name), PointerKind.SAFE)
+        for name, struct in self.program.structs.all().items():
+            for struct_field in struct.fields:
+                if self._is_pointerish(struct_field.ctype):
+                    self.kinds.raise_to(field_slot(name, struct_field.name),
+                                        PointerKind.SAFE)
+        for func in self.program.iter_functions():
+            if self._is_pointerish(func.return_type):
+                self.kinds.raise_to(return_slot(func.name), PointerKind.SAFE)
+            for param in func.params:
+                if self._is_pointerish(param.ctype):
+                    self.kinds.raise_to(param_slot(func.name, param.name),
+                                        PointerKind.SAFE)
+            for name, ctype in local_types(func).items():
+                if self._is_pointerish(ctype):
+                    self.kinds.raise_to(local_slot(func.name, name),
+                                        PointerKind.SAFE)
+
+    @staticmethod
+    def _is_pointerish(ctype: Optional[ty.CType]) -> bool:
+        return ctype is not None and ctype.is_pointer()
+
+    # -- constraint generation ----------------------------------------------------
+
+    def _scan_function(self, func: ast.FunctionDef) -> None:
+        locals_ = local_types(func)
+        param_names = {p.name for p in func.params}
+
+        def name_slot(name: str) -> Optional[Slot]:
+            if name in param_names:
+                return param_slot(func.name, name)
+            if name in locals_:
+                return local_slot(func.name, name)
+            if name in self.program.globals:
+                return global_slot(name)
+            return None
+
+        def expr_slots(expr: ast.Expr) -> list[Slot]:
+            """Slots whose value may flow out of a pointer-valued expression."""
+            if isinstance(expr, ast.Identifier):
+                slot = name_slot(expr.name)
+                return [slot] if slot is not None else []
+            if isinstance(expr, ast.Member):
+                base_type = expr.base.ctype
+                if expr.arrow and isinstance(base_type, ty.PointerType):
+                    base_type = base_type.target
+                if isinstance(base_type, ty.StructType):
+                    return [field_slot(base_type.name, expr.fieldname)]
+                return []
+            if isinstance(expr, ast.Call):
+                if expr.callee in self.program.functions:
+                    return [return_slot(expr.callee)]
+                return []
+            if isinstance(expr, ast.Cast):
+                return expr_slots(expr.operand)
+            if isinstance(expr, ast.BinaryOp):
+                return expr_slots(expr.left) + expr_slots(expr.right)
+            if isinstance(expr, ast.Ternary):
+                return expr_slots(expr.then) + expr_slots(expr.otherwise)
+            return []
+
+        def visit_expr(expr: ast.Expr) -> None:
+            """Generate base constraints for one expression tree."""
+            if isinstance(expr, ast.Index):
+                base_type = expr.base.ctype
+                if base_type is not None and base_type.is_pointer():
+                    for slot in expr_slots(expr.base):
+                        self.kinds.raise_to(slot, PointerKind.SEQ)
+                visit_expr(expr.base)
+                visit_expr(expr.index)
+                return
+            if isinstance(expr, ast.BinaryOp):
+                if expr.op in ("+", "-"):
+                    left_t = expr.left.ctype
+                    right_t = expr.right.ctype
+                    if left_t is not None and left_t.decay().is_pointer():
+                        for slot in expr_slots(expr.left):
+                            self.kinds.raise_to(slot, PointerKind.SEQ)
+                    if right_t is not None and right_t.decay().is_pointer():
+                        for slot in expr_slots(expr.right):
+                            self.kinds.raise_to(slot, PointerKind.SEQ)
+                visit_expr(expr.left)
+                visit_expr(expr.right)
+                return
+            if isinstance(expr, ast.Cast):
+                self._cast_constraints(expr, expr_slots)
+                visit_expr(expr.operand)
+                return
+            if isinstance(expr, ast.Call):
+                self._call_flow(expr, expr_slots)
+                for arg in expr.args:
+                    visit_expr(arg)
+                return
+            for child in _children(expr):
+                visit_expr(child)
+
+        for stmt in walk_statements(func.body):
+            for expr in statement_expressions(stmt):
+                visit_expr(expr)
+            if isinstance(stmt, ast.Assign):
+                self._flow(expr_slots(stmt.lvalue), expr_slots(stmt.rvalue),
+                           stmt.rvalue)
+            elif isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+                slot = name_slot(stmt.name)
+                if slot is not None and self._is_pointerish(stmt.ctype):
+                    self._flow([slot], expr_slots(stmt.init), stmt.init)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                if self._is_pointerish(func.return_type):
+                    self._flow([return_slot(func.name)],
+                               expr_slots(stmt.value), stmt.value)
+
+    def _cast_constraints(self, expr: ast.Cast, expr_slots) -> None:
+        """Casts: integer-to-pointer is WILD; pointer reinterpretation is SEQ."""
+        target = expr.target_type
+        source = expr.operand.ctype
+        if not isinstance(target, ty.PointerType) or source is None:
+            return
+        slots = expr_slots(expr.operand)
+        if source.is_integer():
+            # An integer-to-pointer cast that survived the hardware register
+            # refactoring: CCured has no choice but WILD.  The kind lands on
+            # whatever slot the value is stored into, via the flow edges; it
+            # also lands on the operand's slots if the integer came from a
+            # pointer round-trip.
+            for slot in slots:
+                self.kinds.raise_to(slot, PointerKind.WILD)
+            self._pending_cast_kind = PointerKind.WILD
+            return
+        source = source.decay()
+        if isinstance(source, ty.PointerType) and source.target != target.target:
+            # Reinterpreting casts (struct <-> byte views) need bounds
+            # metadata on whichever pointer they flow into.
+            for slot in slots:
+                self.kinds.raise_to(slot, PointerKind.SEQ)
+            self._pending_cast_kind = PointerKind.SEQ
+
+    _pending_cast_kind: Optional[PointerKind] = None
+
+    def _call_flow(self, expr: ast.Call, expr_slots) -> None:
+        func = self.program.lookup_function(expr.callee)
+        if func is None:
+            return
+        for param, arg in zip(func.params, expr.args):
+            if self._is_pointerish(param.ctype):
+                self._flow([param_slot(func.name, param.name)],
+                           expr_slots(arg), arg)
+
+    def _flow(self, dest_slots: list[Slot], src_slots: list[Slot],
+              rvalue: ast.Expr) -> None:
+        """Record bidirectional flow edges between destination and source slots."""
+        cast_kind = self._rvalue_cast_kind(rvalue)
+        for dest in dest_slots:
+            if cast_kind is not None:
+                self.kinds.raise_to(dest, cast_kind)
+            for src in src_slots:
+                self.edges.setdefault(dest, set()).add(src)
+                self.edges.setdefault(src, set()).add(dest)
+
+    def _rvalue_cast_kind(self, rvalue: ast.Expr) -> Optional[PointerKind]:
+        """Kind forced on the destination by a cast at the top of the rvalue."""
+        if isinstance(rvalue, ast.Cast):
+            target = rvalue.target_type
+            source = rvalue.operand.ctype
+            if isinstance(target, ty.PointerType) and source is not None:
+                if source.is_integer():
+                    return PointerKind.WILD
+                source = source.decay()
+                if isinstance(source, ty.PointerType) and \
+                        source.target != target.target:
+                    return PointerKind.SEQ
+        return None
+
+    # -- fixpoint -----------------------------------------------------------------
+
+    def _propagate(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for slot, neighbours in self.edges.items():
+                kind = self.kinds.get(slot)
+                for other in neighbours:
+                    if self.kinds.raise_to(other, kind):
+                        changed = True
+                    other_kind = self.kinds.get(other)
+                    if self.kinds.raise_to(slot, other_kind):
+                        changed = True
+
+
+def _children(expr: ast.Expr) -> list[ast.Expr]:
+    from repro.cminor.visitor import child_expressions
+
+    return child_expressions(expr)
+
+
+def infer_pointer_kinds(program: Program) -> KindMap:
+    """Convenience wrapper: run kind inference over ``program``."""
+    return KindInference(program).run()

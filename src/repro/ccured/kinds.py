@@ -1,0 +1,140 @@
+"""Pointer kinds: the CCured type system's classification of pointers.
+
+CCured statically partitions the pointers of a program into kinds that
+determine how much run-time machinery each needs:
+
+* ``SAFE`` — the pointer is only dereferenced, never used in arithmetic or
+  suspicious casts.  It needs only a null check at dereference time and is
+  represented by a single machine word.
+* ``SEQ`` (sequence) — the pointer participates in arithmetic or indexing.
+  It becomes a *fat pointer* carrying the base and bound of its home area,
+  and dereferences need a bounds check as well as a null check.
+* ``WILD`` — the pointer is involved in casts the type system cannot
+  verify (in practice, integer-to-pointer casts that survive the hardware
+  register refactoring).  It carries full metadata and every access is
+  checked.
+
+The kinds form a lattice SAFE < SEQ < WILD; inference joins upward.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+class PointerKind(enum.IntEnum):
+    """The CCured pointer-kind lattice (ordered by increasing run-time cost)."""
+
+    SAFE = 0
+    SEQ = 1
+    WILD = 2
+
+    @staticmethod
+    def join(left: "PointerKind", right: "PointerKind") -> "PointerKind":
+        """Least upper bound of two kinds."""
+        return PointerKind(max(int(left), int(right)))
+
+    @property
+    def needs_bounds(self) -> bool:
+        """Whether dereferences through this kind require a bounds check."""
+        return self is not PointerKind.SAFE
+
+    @property
+    def words(self) -> int:
+        """Number of pointer-sized words in the run-time representation.
+
+        SAFE pointers stay one word; SEQ fat pointers carry value, base and
+        bound; WILD pointers additionally carry a tag-area pointer.
+        """
+        if self is PointerKind.SAFE:
+            return 1
+        if self is PointerKind.SEQ:
+            return 3
+        return 4
+
+    def extra_bytes(self, pointer_size: int = 2) -> int:
+        """Extra static bytes this kind adds to a single pointer object."""
+        return (self.words - 1) * pointer_size
+
+
+@dataclass(frozen=True)
+class Slot:
+    """A pointer-typed storage location tracked by kind inference.
+
+    Slots identify globals, locals, parameters, struct fields, and function
+    return values.  ``scope`` is one of ``"global"``, ``"local"``,
+    ``"param"``, ``"field"``, ``"return"``; ``owner`` is the function or
+    struct the slot belongs to (empty for globals).
+    """
+
+    scope: str
+    owner: str
+    name: str
+
+    def __str__(self) -> str:
+        if self.scope == "global":
+            return self.name
+        if self.scope == "field":
+            return f"struct {self.owner}.{self.name}"
+        if self.scope == "return":
+            return f"{self.owner}()"
+        return f"{self.owner}:{self.name}"
+
+
+def global_slot(name: str) -> Slot:
+    return Slot("global", "", name)
+
+
+def local_slot(func: str, name: str) -> Slot:
+    return Slot("local", func, name)
+
+
+def param_slot(func: str, name: str) -> Slot:
+    return Slot("param", func, name)
+
+
+def field_slot(struct: str, field: str) -> Slot:
+    return Slot("field", struct, field)
+
+
+def return_slot(func: str) -> Slot:
+    return Slot("return", func, "")
+
+
+class KindMap:
+    """Mapping from slots to pointer kinds with monotone updates."""
+
+    def __init__(self) -> None:
+        self._kinds: dict[Slot, PointerKind] = {}
+
+    def get(self, slot: Slot) -> PointerKind:
+        return self._kinds.get(slot, PointerKind.SAFE)
+
+    def raise_to(self, slot: Slot, kind: PointerKind) -> bool:
+        """Join ``kind`` into the slot; returns True if the slot changed."""
+        current = self._kinds.get(slot, PointerKind.SAFE)
+        joined = PointerKind.join(current, kind)
+        if joined != current:
+            self._kinds[slot] = joined
+            return True
+        if slot not in self._kinds:
+            self._kinds[slot] = joined
+        return False
+
+    def items(self) -> list[tuple[Slot, PointerKind]]:
+        return sorted(self._kinds.items(), key=lambda item: str(item[0]))
+
+    def counts(self) -> dict[PointerKind, int]:
+        """Histogram of kinds over all tracked slots."""
+        histogram = {kind: 0 for kind in PointerKind}
+        for kind in self._kinds.values():
+            histogram[kind] += 1
+        return histogram
+
+    def __len__(self) -> int:
+        return len(self._kinds)
+
+    def __contains__(self, slot: Slot) -> bool:
+        return slot in self._kinds

@@ -1,0 +1,103 @@
+"""Lock insertion for safety checks on racy variables (Section 2.2).
+
+CCured's invariants assume sequential execution: a pointer that was just
+bounds-checked must not change before it is dereferenced.  Interrupt-driven
+TinyOS code can violate that assumption for variables the nesC concurrency
+analysis reports as racy.  The paper's modified CCured therefore wraps the
+"safety-critical section" — the injected checks plus the guarded access —
+in an atomic section whenever a racy variable is involved.
+
+This module provides the decision logic and the wrapping helper used by the
+instrumenter.
+"""
+
+from __future__ import annotations
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor.program import Program
+from repro.cminor.visitor import (
+    statement_expressions,
+    walk_expression,
+)
+
+
+def expression_variables(expr: ast.Expr) -> set[str]:
+    """Names of all identifiers appearing anywhere in ``expr``."""
+    return {node.name for node in walk_expression(expr)
+            if isinstance(node, ast.Identifier)}
+
+
+def statement_variables(stmt: ast.Stmt) -> set[str]:
+    """Names of all identifiers in the statement's top-level expressions."""
+    names: set[str] = set()
+    for expr in statement_expressions(stmt):
+        names |= expression_variables(expr)
+    return names
+
+
+def involves_racy_variable(exprs: list[ast.Expr], stmt: ast.Stmt,
+                           racy: set[str]) -> bool:
+    """Whether any checked pointer expression or the statement touches a racy variable."""
+    if not racy:
+        return False
+    touched: set[str] = set()
+    for expr in exprs:
+        touched |= expression_variables(expr)
+    touched |= statement_variables(stmt)
+    return bool(touched & racy)
+
+
+def statement_contains_call(stmt: ast.Stmt, exclude_prefixes: tuple[str, ...] = ("__ccured_",)
+                            ) -> bool:
+    """Whether a statement calls anything other than the check helpers."""
+    for expr in statement_expressions(stmt):
+        for node in walk_expression(expr):
+            if isinstance(node, ast.Call):
+                if not node.callee.startswith(exclude_prefixes):
+                    return True
+    return False
+
+
+def wrap_checks(checks: list[ast.Stmt], stmt: ast.Stmt,
+                include_statement: bool) -> list[ast.Stmt]:
+    """Wrap the injected checks (and optionally the guarded access) atomically.
+
+    Args:
+        checks: The injected check statements.
+        stmt: The guarded access statement.
+        include_statement: Whether the access itself goes inside the lock.
+            When the statement performs further calls (event signalling,
+            sends) only the checks are protected, mirroring the paper's
+            "locks around safety-critical sections" placement.
+
+    Returns:
+        The replacement statement list.
+    """
+    if include_statement:
+        body = ast.Block(list(checks) + [stmt])
+        atomic = ast.Atomic(body, synthetic=True)
+        atomic.loc = stmt.loc
+        return [atomic]
+    body = ast.Block(list(checks))
+    atomic = ast.Atomic(body, synthetic=True)
+    atomic.loc = stmt.loc
+    return [atomic, stmt]
+
+
+def protect_statement(checks: list[ast.Stmt], checked_exprs: list[ast.Expr],
+                      stmt: ast.Stmt, program: Program,
+                      insert_locks: bool) -> tuple[list[ast.Stmt], bool]:
+    """Combine checks and the guarded statement, adding a lock if required.
+
+    Returns:
+        (replacement statement list, whether a lock was added)
+    """
+    if not checks:
+        return [stmt], False
+    if not insert_locks:
+        return list(checks) + [stmt], False
+    if not involves_racy_variable(checked_exprs, stmt, program.racy_variables):
+        return list(checks) + [stmt], False
+    include_statement = (isinstance(stmt, (ast.Assign, ast.ExprStmt))
+                         and not statement_contains_call(stmt))
+    return wrap_checks(checks, stmt, include_statement), True

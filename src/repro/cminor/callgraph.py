@@ -1,0 +1,106 @@
+"""Whole-program call graph utilities.
+
+Because CMinor has no function pointers, the call graph is exact: every call
+site names its callee.  Several stages rely on it — the nesC concurrency
+analysis (to split the program into task and interrupt contexts), cXprop's
+interprocedural fixpoint, dead-code elimination, and the inliner's bottom-up
+ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor.program import Program
+from repro.cminor.visitor import collect_called_functions
+
+
+@dataclass
+class CallGraph:
+    """A call graph over the functions of a program.
+
+    Attributes:
+        callees: Mapping from function name to the set of functions it calls
+            (builtins included).
+        callers: Reverse mapping (builtins excluded).
+    """
+
+    callees: dict[str, set[str]] = field(default_factory=dict)
+    callers: dict[str, set[str]] = field(default_factory=dict)
+
+    def calls(self, name: str) -> set[str]:
+        return self.callees.get(name, set())
+
+    def called_by(self, name: str) -> set[str]:
+        return self.callers.get(name, set())
+
+    def reachable_from(self, roots: list[str]) -> set[str]:
+        """All functions reachable from ``roots`` (roots included)."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, set()))
+        return seen
+
+    def bottom_up_order(self) -> list[str]:
+        """Functions ordered so callees come before callers where possible.
+
+        Cycles (direct or mutual recursion) are broken arbitrarily; the
+        inliner refuses to inline recursive functions anyway.
+        """
+        order: list[str] = []
+        visited: set[str] = set()
+        on_stack: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in visited or name not in self.callees:
+                return
+            visited.add(name)
+            on_stack.add(name)
+            for callee in sorted(self.callees.get(name, set())):
+                if callee not in on_stack:
+                    visit(callee)
+            on_stack.discard(name)
+            order.append(name)
+
+        for name in sorted(self.callees):
+            visit(name)
+        return order
+
+    def recursive_functions(self) -> set[str]:
+        """Functions that participate in a call cycle (including self-calls)."""
+        recursive: set[str] = set()
+        for name in self.callees:
+            if self._reaches(name, name):
+                recursive.add(name)
+        return recursive
+
+    def _reaches(self, start: str, target: str) -> bool:
+        seen: set[str] = set()
+        stack = list(self.callees.get(start, set()))
+        while stack:
+            name = stack.pop()
+            if name == target:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.callees.get(name, set()))
+        return False
+
+
+def build_call_graph(program: Program) -> CallGraph:
+    """Build the exact call graph of ``program``."""
+    graph = CallGraph()
+    for func in program.iter_functions():
+        graph.callees[func.name] = collect_called_functions(func.body)
+    for caller, callees in graph.callees.items():
+        for callee in callees:
+            if callee in graph.callees:
+                graph.callers.setdefault(callee, set()).add(caller)
+    return graph

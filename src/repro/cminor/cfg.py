@@ -1,0 +1,182 @@
+"""Control-flow graphs for CMinor functions.
+
+The optimizer passes themselves work on the structured AST (as cXprop works
+on CIL's structured representation), but a few analyses — unreachable-code
+detection after branch folding, and the statistics reported by the
+toolchain — are easier to express over an explicit control-flow graph.
+This module builds a statement-level CFG for a (simplified) function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.cminor import ast_nodes as ast
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of simple statements."""
+
+    index: int
+    stmts: list[ast.Stmt] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+    label: str = ""
+
+    def __repr__(self) -> str:
+        return f"BasicBlock({self.index}, {len(self.stmts)} stmts, -> {self.successors})"
+
+
+class ControlFlowGraph:
+    """A statement-level CFG with a unique entry and exit block."""
+
+    def __init__(self, function_name: str):
+        self.function_name = function_name
+        self.blocks: list[BasicBlock] = []
+        self.entry = self._new_block("entry")
+        self.exit = self._new_block("exit")
+
+    def _new_block(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(index=len(self.blocks), label=label)
+        self.blocks.append(block)
+        return block
+
+    def add_edge(self, src: BasicBlock, dst: BasicBlock) -> None:
+        if dst.index not in src.successors:
+            src.successors.append(dst.index)
+        if src.index not in dst.predecessors:
+            dst.predecessors.append(src.index)
+
+    def block(self, index: int) -> BasicBlock:
+        return self.blocks[index]
+
+    def iter_blocks(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks)
+
+    def reachable_blocks(self) -> set[int]:
+        """Indices of blocks reachable from the entry block."""
+        seen: set[int] = set()
+        stack = [self.entry.index]
+        while stack:
+            index = stack.pop()
+            if index in seen:
+                continue
+            seen.add(index)
+            stack.extend(self.blocks[index].successors)
+        return seen
+
+    def statement_count(self) -> int:
+        return sum(len(b.stmts) for b in self.blocks)
+
+
+class _CFGBuilder:
+    """Builds a CFG from a structured (simplified) function body."""
+
+    def __init__(self, func: ast.FunctionDef):
+        self.func = func
+        self.cfg = ControlFlowGraph(func.name)
+        # Stack of (break target, continue target) for enclosing loops.
+        self.loop_targets: list[tuple[BasicBlock, BasicBlock]] = []
+
+    def build(self) -> ControlFlowGraph:
+        current = self.cfg._new_block("body")
+        self.cfg.add_edge(self.cfg.entry, current)
+        last = self._emit_block(self.func.body, current)
+        if last is not None:
+            self.cfg.add_edge(last, self.cfg.exit)
+        return self.cfg
+
+    def _emit_block(self, block: ast.Block,
+                    current: Optional[BasicBlock]) -> Optional[BasicBlock]:
+        for stmt in block.stmts:
+            if current is None:
+                # Unreachable code after return/break/continue; keep collecting
+                # it into a fresh, unconnected block so it is still visible.
+                current = self.cfg._new_block("unreachable")
+            current = self._emit_stmt(stmt, current)
+        return current
+
+    def _emit_stmt(self, stmt: ast.Stmt,
+                   current: BasicBlock) -> Optional[BasicBlock]:
+        if isinstance(stmt, ast.Block):
+            return self._emit_block(stmt, current)
+        if isinstance(stmt, ast.Atomic):
+            current.stmts.append(stmt)
+            return self._emit_block(stmt.body, current)
+        if isinstance(stmt, ast.If):
+            current.stmts.append(stmt)
+            then_block = self.cfg._new_block("then")
+            self.cfg.add_edge(current, then_block)
+            then_end = self._emit_block(stmt.then_body, then_block)
+            join = self.cfg._new_block("join")
+            if stmt.else_body is not None:
+                else_block = self.cfg._new_block("else")
+                self.cfg.add_edge(current, else_block)
+                else_end = self._emit_block(stmt.else_body, else_block)
+                if else_end is not None:
+                    self.cfg.add_edge(else_end, join)
+            else:
+                self.cfg.add_edge(current, join)
+            if then_end is not None:
+                self.cfg.add_edge(then_end, join)
+            return join
+        if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            return self._emit_loop(stmt, current)
+        if isinstance(stmt, ast.Return):
+            current.stmts.append(stmt)
+            self.cfg.add_edge(current, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            current.stmts.append(stmt)
+            if self.loop_targets:
+                self.cfg.add_edge(current, self.loop_targets[-1][0])
+            else:
+                self.cfg.add_edge(current, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Continue):
+            current.stmts.append(stmt)
+            if self.loop_targets:
+                self.cfg.add_edge(current, self.loop_targets[-1][1])
+            else:
+                self.cfg.add_edge(current, self.cfg.exit)
+            return None
+        current.stmts.append(stmt)
+        return current
+
+    def _emit_loop(self, stmt: ast.Stmt, current: BasicBlock) -> Optional[BasicBlock]:
+        header = self.cfg._new_block("loop")
+        after = self.cfg._new_block("after")
+        self.cfg.add_edge(current, header)
+        header.stmts.append(stmt)
+        body_block = self.cfg._new_block("loop_body")
+        self.cfg.add_edge(header, body_block)
+        cond = getattr(stmt, "cond", None)
+        if not (isinstance(cond, ast.IntLiteral) and cond.value != 0):
+            # The loop may be skipped entirely if the condition can be false.
+            self.cfg.add_edge(header, after)
+        self.loop_targets.append((after, header))
+        body = stmt.body  # type: ignore[attr-defined]
+        body_end = self._emit_block(body, body_block)
+        self.loop_targets.pop()
+        if body_end is not None:
+            self.cfg.add_edge(body_end, header)
+        return after
+
+
+def build_cfg(func: ast.FunctionDef) -> ControlFlowGraph:
+    """Build a control-flow graph for ``func``."""
+    return _CFGBuilder(func).build()
+
+
+def has_unreachable_code(func: ast.FunctionDef) -> bool:
+    """Whether ``func`` contains statements not reachable from its entry."""
+    cfg = build_cfg(func)
+    reachable = cfg.reachable_blocks()
+    for block in cfg.iter_blocks():
+        if block.index in reachable:
+            continue
+        if block.stmts:
+            return True
+    return False

@@ -1,0 +1,56 @@
+"""Error types raised by the CMinor front end.
+
+All front-end errors carry an optional :class:`SourceLocation` so that the
+toolchain can report file/line/column information, and so the CCured stage
+can embed (or strip) source locations in run-time error messages exactly as
+the paper's toolchain does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a CMinor source file.
+
+    Attributes:
+        filename: Name of the source unit (a component name for generated
+            code, a file name for hand-written code).
+        line: 1-based line number.
+        column: 1-based column number.
+    """
+
+    filename: str = "<unknown>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+class CMinorError(Exception):
+    """Base class for all CMinor front-end errors."""
+
+    def __init__(self, message: str, loc: SourceLocation | None = None):
+        self.loc = loc
+        if loc is not None:
+            message = f"{loc}: {message}"
+        super().__init__(message)
+
+
+class LexError(CMinorError):
+    """Raised when the lexer encounters an invalid character or token."""
+
+
+class ParseError(CMinorError):
+    """Raised when the parser encounters a syntax error."""
+
+
+class TypeCheckError(CMinorError):
+    """Raised when the type checker rejects a program."""
+
+
+class LinkError(CMinorError):
+    """Raised when translation units cannot be linked into a whole program."""

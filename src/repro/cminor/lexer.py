@@ -1,0 +1,285 @@
+"""Hand-written lexer for CMinor source text.
+
+The token stream feeds the recursive-descent parser in
+:mod:`repro.cminor.parser`.  The lexer tracks line and column numbers so
+that the CCured stage can build source-location strings for its run-time
+error messages (and so the "strip source locations" pipeline step has
+something real to strip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cminor.errors import LexError, SourceLocation
+
+KEYWORDS = {
+    "void",
+    "bool",
+    "char",
+    "int",
+    "unsigned",
+    "int8_t",
+    "uint8_t",
+    "int16_t",
+    "uint16_t",
+    "int32_t",
+    "uint32_t",
+    "struct",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "sizeof",
+    "atomic",
+    "post",
+    "const",
+    "volatile",
+    "norace",
+    "__progmem",
+    "__interrupt",
+    "__spontaneous",
+    "__inline",
+    "true",
+    "false",
+    "NULL",
+}
+
+# Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "++",
+    "--",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "~",
+    "?",
+    ":",
+    ";",
+    ",",
+    ".",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        kind: One of ``"ident"``, ``"keyword"``, ``"int"``, ``"string"``,
+            ``"char"``, ``"op"``, or ``"eof"``.
+        text: The literal source text (decoded value for strings).
+        value: Numeric value for ``int`` and ``char`` tokens.
+        loc: Source location of the first character of the token.
+    """
+
+    kind: str
+    text: str
+    loc: SourceLocation
+    value: int = 0
+
+    def is_op(self, op: str) -> bool:
+        return self.kind == "op" and self.text == op
+
+    def is_keyword(self, kw: str) -> bool:
+        return self.kind == "keyword" and self.text == kw
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+}
+
+
+class Lexer:
+    """Converts CMinor source text into a list of :class:`Token` objects."""
+
+    def __init__(self, source: str, filename: str = "<string>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.column)
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self.source[self.pos : self.pos + count]
+        for ch in text:
+            if ch == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+        self.pos += count
+        return text
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment", start)
+            else:
+                return
+
+    def _lex_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+            text = self.source[start : self.pos]
+            value = int(text, 16)
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start : self.pos]
+            value = int(text, 10)
+        # Accept (and ignore) C-style integer suffixes.
+        while self._peek() in "uUlL" and self._peek():
+            text += self._advance()
+        return Token("int", text, loc, value)
+
+    def _lex_identifier(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        if text in KEYWORDS:
+            return Token("keyword", text, loc)
+        return Token("ident", text, loc)
+
+    def _lex_string(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise LexError("unterminated string literal", loc)
+            if ch == '"':
+                self._advance()
+                break
+            if ch == "\\":
+                self._advance()
+                esc = self._advance()
+                chars.append(_ESCAPES.get(esc, esc))
+            else:
+                chars.append(self._advance())
+        return Token("string", "".join(chars), loc)
+
+    def _lex_char(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        ch = self._peek()
+        if ch == "\\":
+            self._advance()
+            esc = self._advance()
+            value = ord(_ESCAPES.get(esc, esc))
+        else:
+            value = ord(self._advance())
+        if not self._peek() == "'":
+            raise LexError("unterminated character literal", loc)
+        self._advance()
+        return Token("char", chr(value), loc, value)
+
+    def _lex_operator(self) -> Token:
+        loc = self._loc()
+        for op in OPERATORS:
+            if self.source.startswith(op, self.pos):
+                self._advance(len(op))
+                return Token("op", op, loc)
+        raise LexError(f"unexpected character {self._peek()!r}", loc)
+
+    def tokens(self) -> Iterator[Token]:
+        """Yield tokens until end of input, finishing with an ``eof`` token."""
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                yield Token("eof", "", self._loc())
+                return
+            ch = self._peek()
+            if ch.isdigit():
+                yield self._lex_number()
+            elif ch.isalpha() or ch == "_":
+                yield self._lex_identifier()
+            elif ch == '"':
+                yield self._lex_string()
+            elif ch == "'":
+                yield self._lex_char()
+            else:
+                yield self._lex_operator()
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Tokenize ``source`` and return the full token list (including EOF)."""
+    return list(Lexer(source, filename).tokens())

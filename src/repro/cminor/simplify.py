@@ -1,0 +1,150 @@
+"""CIL-style program normalization.
+
+CCured and cXprop both operate on CIL, which normalizes C's control flow
+before any analysis runs.  The simplifier performs the equivalent
+normalization for CMinor so that every downstream pass sees a single loop
+form and fully materialized conditions:
+
+* ``for`` and ``do``/``while`` loops become ``while (1)`` loops with explicit
+  ``if (!cond) break;`` statements, so loop conditions are ordinary
+  statements that checks can be inserted in front of;
+* single-statement ``if``/loop bodies are already blocks (the parser
+  guarantees that);
+* empty blocks and ``Nop`` statements left behind by other passes are
+  dropped.
+
+The simplifier runs once, right after the nesC flattening step, on both the
+safe and the unsafe build variants so that size comparisons are fair.
+"""
+
+from __future__ import annotations
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor.program import Program
+from repro.cminor.visitor import StmtRewrite, transform_block
+
+
+def simplify_program(program: Program) -> Program:
+    """Normalize every function of ``program`` in place and return it."""
+    for func in program.iter_functions():
+        simplify_function(func)
+    return program
+
+
+def simplify_function(func: ast.FunctionDef) -> None:
+    """Normalize one function in place."""
+    transform_block(func.body, _rewrite_statement)
+
+
+def _rewrite_statement(stmt: ast.Stmt) -> StmtRewrite:
+    if isinstance(stmt, ast.Nop):
+        return None
+    if isinstance(stmt, ast.Block) and not stmt.stmts:
+        return None
+    if isinstance(stmt, ast.For):
+        return _rewrite_for(stmt)
+    if isinstance(stmt, ast.DoWhile):
+        return _rewrite_do_while(stmt)
+    if isinstance(stmt, ast.While):
+        return _rewrite_while(stmt)
+    return stmt
+
+
+def _negate(cond: ast.Expr) -> ast.Expr:
+    negated = ast.UnaryOp("!", cond)
+    negated.loc = cond.loc
+    negated.ctype = None
+    return negated
+
+
+def _is_constant_true(cond: ast.Expr) -> bool:
+    return isinstance(cond, ast.IntLiteral) and cond.value != 0
+
+
+def _make_guard(cond: ast.Expr) -> ast.Stmt:
+    """Build ``if (!cond) break;`` for a loop condition."""
+    break_stmt = ast.Break()
+    break_stmt.loc = cond.loc
+    guard = ast.If(_negate(cond), ast.Block([break_stmt]), None)
+    guard.loc = cond.loc
+    return guard
+
+
+def _infinite_loop(body: ast.Block, loc) -> ast.While:
+    one = ast.IntLiteral(1)
+    one.loc = loc
+    loop = ast.While(one, body)
+    loop.loc = loc
+    return loop
+
+
+def _rewrite_while(stmt: ast.While) -> StmtRewrite:
+    if _is_constant_true(stmt.cond):
+        return stmt
+    body_stmts: list[ast.Stmt] = [_make_guard(stmt.cond)]
+    body_stmts.extend(stmt.body.stmts)
+    return _infinite_loop(ast.Block(body_stmts), stmt.loc)
+
+
+def _rewrite_do_while(stmt: ast.DoWhile) -> StmtRewrite:
+    body_stmts: list[ast.Stmt] = list(stmt.body.stmts)
+    body_stmts.append(_make_guard(stmt.cond))
+    return _infinite_loop(ast.Block(body_stmts), stmt.loc)
+
+
+def _rewrite_for(stmt: ast.For) -> StmtRewrite:
+    """Rewrite ``for (init; cond; update) body``.
+
+    ``continue`` statements inside the body must still execute ``update``, so
+    the update statement is appended to the body *and* the body's ``continue``
+    statements are rewritten to jump to it.  CMinor has no ``goto``, so the
+    rewrite duplicates the update in front of each ``continue`` — the same
+    strategy CIL uses when it cannot introduce labels.
+    """
+    result: list[ast.Stmt] = []
+    if stmt.init is not None:
+        result.append(stmt.init)
+    body_stmts: list[ast.Stmt] = []
+    if stmt.cond is not None and not _is_constant_true(stmt.cond):
+        body_stmts.append(_make_guard(stmt.cond))
+    inner = ast.Block(list(stmt.body.stmts))
+    if stmt.update is not None:
+        _prepend_update_to_continues(inner, stmt.update)
+    body_stmts.extend(inner.stmts)
+    if stmt.update is not None:
+        body_stmts.append(stmt.update)
+    result.append(_infinite_loop(ast.Block(body_stmts), stmt.loc))
+    return result
+
+
+def _prepend_update_to_continues(block: ast.Block, update: ast.Stmt) -> None:
+    """Insert a copy of ``update`` before each ``continue`` in ``block``.
+
+    The traversal does not descend into nested loops, whose ``continue``
+    statements refer to the inner loop.
+    """
+    from repro.cminor.visitor import clone_statement
+
+    def rewrite(stmts: list[ast.Stmt]) -> list[ast.Stmt]:
+        out: list[ast.Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, ast.Continue):
+                out.append(clone_statement(update))
+                out.append(stmt)
+            elif isinstance(stmt, ast.If):
+                stmt.then_body.stmts = rewrite(stmt.then_body.stmts)
+                if stmt.else_body is not None:
+                    stmt.else_body.stmts = rewrite(stmt.else_body.stmts)
+                out.append(stmt)
+            elif isinstance(stmt, ast.Block):
+                stmt.stmts = rewrite(stmt.stmts)
+                out.append(stmt)
+            elif isinstance(stmt, ast.Atomic):
+                stmt.body.stmts = rewrite(stmt.body.stmts)
+                out.append(stmt)
+            else:
+                # while / do-while / for introduce a new loop scope; leave them.
+                out.append(stmt)
+        return out
+
+    block.stmts = rewrite(block.stmts)

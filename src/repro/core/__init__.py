@@ -1,0 +1,24 @@
+"""The public API of the Safe TinyOS reproduction.
+
+Most users need only two classes:
+
+* :class:`SafeTinyOS` — build an application (either one of the registered
+  benchmark applications or a custom :class:`~repro.nesc.application.Application`)
+  with any of the paper's build variants, and simulate the result.
+* :class:`BuildOutcome` — what a build returns: the final program, its
+  memory image, the check accounting, and helpers for running it.
+
+Example::
+
+    from repro.core import SafeTinyOS
+
+    system = SafeTinyOS()
+    outcome = system.build("BlinkTask_Mica2", variant="safe-optimized")
+    print(outcome.code_bytes, outcome.ram_bytes, outcome.checks_removed)
+    run = system.simulate(outcome, seconds=2.0)
+    print(run.duty_cycle)
+"""
+
+from repro.core.api import BuildOutcome, SafeTinyOS, SimulationOutcome
+
+__all__ = ["SafeTinyOS", "BuildOutcome", "SimulationOutcome"]

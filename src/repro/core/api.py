@@ -1,0 +1,174 @@
+"""High-level facade over the toolchain, simulator and benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.avrora.network import Network, TrafficGenerator
+from repro.avrora.node import Node
+from repro.ccured.flid import FlidTable, decompress_failure
+from repro.nesc.application import Application
+from repro.tinyos import suite
+from repro.toolchain.config import BuildVariant
+from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS, duty_cycle_context
+from repro.toolchain.pipeline import BuildPipeline, BuildResult
+from repro.toolchain.variants import BASELINE, SAFE_OPTIMIZED, variant_by_name
+
+
+@dataclass
+class BuildOutcome:
+    """A finished build, exposing the numbers the paper reports."""
+
+    result: BuildResult
+
+    @property
+    def program(self):
+        return self.result.program
+
+    @property
+    def image(self):
+        return self.result.image
+
+    @property
+    def application(self) -> str:
+        return self.result.application
+
+    @property
+    def variant(self) -> str:
+        return self.result.variant.name
+
+    @property
+    def code_bytes(self) -> int:
+        return self.result.image.code_bytes
+
+    @property
+    def ram_bytes(self) -> int:
+        return self.result.image.ram_bytes
+
+    @property
+    def checks_inserted(self) -> int:
+        return self.result.checks_inserted
+
+    @property
+    def checks_surviving(self) -> int:
+        return self.result.checks_surviving
+
+    @property
+    def checks_removed(self) -> int:
+        return self.checks_inserted - self.checks_surviving
+
+    @property
+    def flid_table(self) -> Optional[FlidTable]:
+        if self.result.ccured is None:
+            return None
+        return self.result.ccured.flid_table
+
+    def explain_failure(self, flid: int) -> str:
+        """Decompress a failure-location identifier reported by a mote."""
+        table = self.flid_table
+        if table is None:
+            return f"unsafe build: no failure table (flid {flid})"
+        return decompress_failure(table, flid)
+
+    def summary(self) -> dict[str, object]:
+        return self.result.summary()
+
+
+@dataclass
+class SimulationOutcome:
+    """Results of simulating one build."""
+
+    nodes: list[Node] = field(default_factory=list)
+    seconds: float = 0.0
+
+    @property
+    def node(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def duty_cycle(self) -> float:
+        return self.node.duty_cycle()
+
+    @property
+    def duty_cycles(self) -> list[float]:
+        return [node.duty_cycle() for node in self.nodes]
+
+    @property
+    def failures(self):
+        return [failure for node in self.nodes for failure in node.failures]
+
+    @property
+    def halted(self) -> bool:
+        return any(node.halted for node in self.nodes)
+
+    def led_changes(self) -> int:
+        return sum(node.leds.state.changes for node in self.nodes)
+
+
+class SafeTinyOS:
+    """Facade: build and simulate Safe TinyOS applications.
+
+    Args:
+        default_variant: Variant used when ``build`` is called without one;
+            defaults to the paper's headline configuration (safe, FLIDs,
+            inlined, optimized by cXprop).
+    """
+
+    def __init__(self, default_variant: Union[str, BuildVariant] = SAFE_OPTIMIZED):
+        self.default_variant = self._resolve_variant(default_variant)
+
+    @staticmethod
+    def _resolve_variant(variant: Union[str, BuildVariant, None]) -> BuildVariant:
+        if variant is None:
+            return SAFE_OPTIMIZED
+        if isinstance(variant, BuildVariant):
+            return variant
+        return variant_by_name(variant)
+
+    # -- building --------------------------------------------------------------
+
+    def applications(self) -> list[str]:
+        """Names of the registered benchmark applications."""
+        return suite.all_application_names()
+
+    def build(self, app: Union[str, Application],
+              variant: Union[str, BuildVariant, None] = None) -> BuildOutcome:
+        """Build an application.
+
+        Args:
+            app: Either a figure label (``"Surge_Mica2"``) or a custom
+                :class:`~repro.nesc.application.Application`.
+            variant: Build variant name or object; defaults to the facade's
+                default variant.
+        """
+        chosen = self._resolve_variant(variant) if variant is not None \
+            else self.default_variant
+        pipeline = BuildPipeline(chosen)
+        if isinstance(app, str):
+            result = pipeline.build_named(app)
+        else:
+            result = pipeline.build(app)
+        return BuildOutcome(result)
+
+    def build_baseline(self, app: Union[str, Application]) -> BuildOutcome:
+        """Build the unsafe, unoptimized baseline of an application."""
+        return self.build(app, BASELINE)
+
+    # -- simulation --------------------------------------------------------------
+
+    def simulate(self, outcome: BuildOutcome,
+                 seconds: float = DEFAULT_DUTY_CYCLE_SECONDS,
+                 node_count: int = 1,
+                 traffic: Optional[TrafficGenerator] = None,
+                 use_default_context: bool = True) -> SimulationOutcome:
+        """Simulate a built image and return duty-cycle and device statistics."""
+        if traffic is None and use_default_context:
+            traffic = duty_cycle_context(outcome.application)
+        network = Network(traffic=traffic)
+        for node_id in range(1, node_count + 1):
+            node = Node(outcome.program, node_id=node_id)
+            node.boot()
+            network.add_node(node)
+        network.run(seconds)
+        return SimulationOutcome(nodes=network.nodes, seconds=seconds)

@@ -1,0 +1,154 @@
+"""Atomic-section optimization.
+
+Section 2.1 credits the improved concurrency analysis with two effects on
+generated code: *nested* atomic sections can be eliminated outright, and
+atomic sections that can never execute with interrupts already disabled do
+not need to save and restore the interrupt-enable bit.
+
+This pass implements both:
+
+* an atomic statement syntactically nested inside another atomic statement
+  is replaced by its body;
+* atomic statements inside interrupt handlers — or inside functions that are
+  only ever called from atomic context (computed interprocedurally over the
+  call graph) — are likewise flattened, since interrupts are already off;
+* the remaining atomic statements in functions that can never be reached
+  from an atomic context are marked ``save_irq = False`` so the backend can
+  emit the cheaper ``cli``/``sei`` pair instead of saving the status
+  register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor.callgraph import build_call_graph
+from repro.cminor.program import Program
+from repro.cminor.visitor import (
+    statement_expressions,
+    walk_expression,
+    walk_statements,
+)
+
+
+@dataclass
+class AtomicOptReport:
+    """Statistics from one atomic-optimization run."""
+
+    nested_removed: int = 0
+    irq_saves_avoided: int = 0
+    always_atomic_functions: set[str] = field(default_factory=set)
+
+
+def _call_sites_by_context(program: Program) -> dict[str, list[tuple[str, bool]]]:
+    """Map each callee to the (caller, inside_atomic) pairs of its call sites."""
+    sites: dict[str, list[tuple[str, bool]]] = {}
+
+    def visit_block(block: ast.Block, caller: str, in_atomic: bool) -> None:
+        for stmt in block.stmts:
+            nested = in_atomic or isinstance(stmt, ast.Atomic)
+            for expr in statement_expressions(stmt):
+                for node in walk_expression(expr):
+                    if isinstance(node, ast.Call) and node.callee in program.functions:
+                        sites.setdefault(node.callee, []).append((caller, in_atomic))
+            if isinstance(stmt, ast.Atomic):
+                visit_block(stmt.body, caller, True)
+            elif isinstance(stmt, ast.If):
+                visit_block(stmt.then_body, caller, in_atomic)
+                if stmt.else_body is not None:
+                    visit_block(stmt.else_body, caller, in_atomic)
+            elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+                visit_block(stmt.body, caller, in_atomic)
+            elif isinstance(stmt, ast.Block):
+                visit_block(stmt, caller, in_atomic)
+            del nested
+
+    for func in program.iter_functions():
+        visit_block(func.body, func.name, func.is_interrupt_handler)
+    return sites
+
+
+def compute_always_atomic_functions(program: Program) -> set[str]:
+    """Functions that can only execute with interrupts disabled.
+
+    A function qualifies if it is an interrupt handler, or if every one of
+    its call sites is inside an atomic section or inside another function
+    that already qualifies.  Root functions (``main``, tasks) never qualify.
+    """
+    sites = _call_sites_by_context(program)
+    roots = set(program.root_functions())
+    handlers = {f.name for f in program.iter_functions() if f.is_interrupt_handler}
+
+    always_atomic = set(handlers)
+    changed = True
+    while changed:
+        changed = False
+        for func in program.iter_functions():
+            name = func.name
+            if name in always_atomic or name in roots:
+                continue
+            call_sites = sites.get(name)
+            if not call_sites:
+                continue
+            if all(in_atomic or caller in always_atomic
+                   for caller, in_atomic in call_sites):
+                always_atomic.add(name)
+                changed = True
+    return always_atomic
+
+
+def _never_called_from_atomic(program: Program, always_atomic: set[str]) -> set[str]:
+    """Functions none of whose call sites are in atomic context."""
+    sites = _call_sites_by_context(program)
+    result: set[str] = set()
+    for func in program.iter_functions():
+        if func.is_interrupt_handler or func.name in always_atomic:
+            continue
+        call_sites = sites.get(func.name, [])
+        if all(not in_atomic and caller not in always_atomic
+               for caller, in_atomic in call_sites):
+            result.add(func.name)
+    return result
+
+
+def optimize_atomic_sections(program: Program) -> AtomicOptReport:
+    """Flatten nested atomic sections and avoid needless IRQ-state saves."""
+    report = AtomicOptReport()
+    always_atomic = compute_always_atomic_functions(program)
+    report.always_atomic_functions = always_atomic
+    safe_to_skip_save = _never_called_from_atomic(program, always_atomic)
+
+    for func in program.iter_functions():
+        interrupts_off = func.is_interrupt_handler or func.name in always_atomic
+        _flatten_block(func.body, interrupts_off, report)
+        if func.name in safe_to_skip_save:
+            for stmt in walk_statements(func.body):
+                if isinstance(stmt, ast.Atomic) and stmt.save_irq:
+                    stmt.save_irq = False
+                    report.irq_saves_avoided += 1
+    return report
+
+
+def _flatten_block(block: ast.Block, interrupts_off: bool,
+                   report: AtomicOptReport) -> None:
+    new_stmts: list[ast.Stmt] = []
+    for stmt in block.stmts:
+        if isinstance(stmt, ast.Atomic):
+            _flatten_block(stmt.body, True, report)
+            if interrupts_off:
+                report.nested_removed += 1
+                new_stmts.extend(stmt.body.stmts)
+                continue
+            new_stmts.append(stmt)
+            continue
+        if isinstance(stmt, ast.If):
+            _flatten_block(stmt.then_body, interrupts_off, report)
+            if stmt.else_body is not None:
+                _flatten_block(stmt.else_body, interrupts_off, report)
+        elif isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+            _flatten_block(stmt.body, interrupts_off, report)
+        elif isinstance(stmt, ast.Block):
+            _flatten_block(stmt, interrupts_off, report)
+        new_stmts.append(stmt)
+    block.stmts = new_stmts

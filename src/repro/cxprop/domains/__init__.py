@@ -1,0 +1,39 @@
+"""Pluggable abstract domains for the integer component of the analysis.
+
+cXprop's distinguishing design point (and the subject of its companion
+paper) is that the dataflow engine is parameterized by an abstract domain.
+The reproduction keeps that structure: the engine asks the configured domain
+how to join and widen integer ranges, so swapping the constant-propagation
+domain for the interval domain (or a custom one) changes the precision of
+every downstream optimization without touching the engine.
+"""
+
+from repro.cxprop.domains.base import AbstractDomain
+from repro.cxprop.domains.constant import ConstantDomain
+from repro.cxprop.domains.interval import IntervalDomain
+from repro.cxprop.domains.valueset import ValueSetDomain
+
+DOMAINS = {
+    "constant": ConstantDomain,
+    "interval": IntervalDomain,
+    "valueset": ValueSetDomain,
+}
+
+
+def make_domain(name: str) -> AbstractDomain:
+    """Instantiate a domain by name (``constant``, ``interval``, ``valueset``)."""
+    try:
+        return DOMAINS[name]()
+    except KeyError:
+        raise KeyError(f"unknown abstract domain {name!r}; "
+                       f"expected one of {sorted(DOMAINS)}") from None
+
+
+__all__ = [
+    "AbstractDomain",
+    "ConstantDomain",
+    "IntervalDomain",
+    "ValueSetDomain",
+    "DOMAINS",
+    "make_domain",
+]

@@ -1,0 +1,40 @@
+"""The abstract-domain interface.
+
+A domain controls how much information the analysis keeps about integer
+values: how two values met at a join point are combined, and how a value
+that keeps changing around a loop is widened so the fixpoint terminates.
+Pointer information is handled uniformly by the engine and is not part of
+the pluggable interface (as in cXprop, where the pointer analysis is shared
+by all domains).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cxprop.values import Value
+
+
+class AbstractDomain(abc.ABC):
+    """Strategy object consulted by the dataflow engine."""
+
+    #: Human-readable name used in reports and configuration.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def join(self, left: Value, right: Value) -> Value:
+        """Combine two values flowing into the same program point."""
+
+    @abc.abstractmethod
+    def widen(self, previous: Value, current: Value, ctype) -> Value:
+        """Accelerate convergence for a value still changing around a loop.
+
+        Args:
+            previous: The value at the loop head on the previous iteration.
+            current: The newly computed value.
+            ctype: Declared type of the variable (may be None).
+        """
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return self.name

@@ -1,0 +1,38 @@
+"""The constant-propagation domain.
+
+Each integer variable is either a single known constant or unknown (its full
+type range).  Joining two different constants loses all information, which
+makes this the cheapest — and least precise — domain.  It is sufficient for
+classic constant propagation and for folding null checks, but it cannot
+eliminate bounds checks that need value ranges.
+"""
+
+from __future__ import annotations
+
+from repro.cxprop.domains.base import AbstractDomain
+from repro.cxprop.values import Value
+
+
+class ConstantDomain(AbstractDomain):
+    """Single-constant-or-unknown integer tracking."""
+
+    name = "constant"
+
+    def join(self, left: Value, right: Value) -> Value:
+        joined = left.join(right)
+        if joined.is_int and joined.lo != joined.hi:
+            # Not a single constant any more: drop to the full range so the
+            # engine treats it as unknown.
+            return Value.of_range(*_widest(left, right))
+        return joined
+
+    def widen(self, previous: Value, current: Value, ctype) -> Value:
+        if previous == current:
+            return current
+        return current.widen_to_type(ctype)
+
+
+def _widest(left: Value, right: Value) -> tuple[int, int]:
+    from repro.cxprop.values import FULL_RANGE
+
+    return FULL_RANGE

@@ -1,0 +1,38 @@
+"""The interval domain.
+
+Each integer variable is tracked as a closed range ``[lo, hi]``.  This is
+the default domain of the toolchain because bounds-check elimination —
+showing that an array index stays below the array length — fundamentally
+needs ranges.  Widening jumps a still-growing bound to the variable's type
+limit after a few iterations, which keeps loop analysis linear.
+"""
+
+from __future__ import annotations
+
+from repro.cxprop.domains.base import AbstractDomain
+from repro.cxprop.values import Value
+
+
+class IntervalDomain(AbstractDomain):
+    """Closed integer ranges with type-limit widening."""
+
+    name = "interval"
+
+    def join(self, left: Value, right: Value) -> Value:
+        return left.join(right)
+
+    def widen(self, previous: Value, current: Value, ctype) -> Value:
+        if previous == current:
+            return current
+        if not (previous.is_int and current.is_int):
+            return current.widen_to_type(ctype)
+        widened_type = Value.of_type(ctype) if ctype is not None else None
+        lo = current.lo
+        hi = current.hi
+        if current.lo < previous.lo:
+            lo = widened_type.lo if widened_type is not None and \
+                widened_type.is_int else current.lo
+        if current.hi > previous.hi:
+            hi = widened_type.hi if widened_type is not None and \
+                widened_type.is_int else current.hi
+        return Value.of_range(lo, hi)

@@ -1,0 +1,119 @@
+"""The cXprop driver: iterate the analyses and transformations to a fixpoint.
+
+This is the "run cXprop" box of the paper's Figure 1.  One invocation
+repeatedly (up to ``max_rounds``) recomputes the whole-program facts, folds
+constants and branches, propagates copies, optimizes atomic sections and
+eliminates dead code, stopping when a round changes nothing.  The inliner is
+*not* part of this driver — it is a separate pipeline stage, exactly as in
+the paper, so the toolchain can measure its contribution independently
+(Figure 2's third vs. fourth bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cminor.program import Program
+from repro.cminor.typecheck import check_program
+from repro.cxprop.atomic_opt import AtomicOptReport, optimize_atomic_sections
+from repro.cxprop.copyprop import CopyPropReport, propagate_copies
+from repro.cxprop.dce import DceReport, eliminate_dead_code
+from repro.cxprop.domains import make_domain
+from repro.cxprop.fold import FoldReport, fold_program
+from repro.cxprop.interproc import compute_whole_program_facts
+
+
+@dataclass
+class CxpropConfig:
+    """Configuration of one cXprop run.
+
+    Attributes:
+        domain: Name of the abstract domain (``constant``, ``interval``,
+            ``valueset``).
+        max_rounds: Upper bound on analyze/transform rounds.
+        enable_fold: Run constant propagation and branch folding.
+        enable_copyprop: Run copy propagation.
+        enable_dce: Run dead code/data elimination.
+        enable_atomic_opt: Run atomic-section optimization.
+        pointer_size: Target pointer width in bytes.
+    """
+
+    domain: str = "interval"
+    max_rounds: int = 3
+    enable_fold: bool = True
+    enable_copyprop: bool = True
+    enable_dce: bool = True
+    enable_atomic_opt: bool = True
+    pointer_size: int = 2
+
+
+@dataclass
+class CxpropReport:
+    """Aggregated statistics over all rounds of one cXprop run."""
+
+    rounds: int = 0
+    fold: FoldReport = field(default_factory=FoldReport)
+    copyprop: CopyPropReport = field(default_factory=CopyPropReport)
+    dce: DceReport = field(default_factory=DceReport)
+    atomic: AtomicOptReport = field(default_factory=AtomicOptReport)
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "rounds": self.rounds,
+            "branches_folded": self.fold.branches_folded,
+            "constants_substituted": self.fold.constants_substituted,
+            "copies_propagated": self.copyprop.copies_propagated,
+            "functions_removed": self.dce.functions_removed,
+            "globals_removed": self.dce.globals_removed,
+            "dead_stores_removed": self.dce.dead_stores_removed,
+            "nested_atomic_removed": self.atomic.nested_removed,
+            "irq_saves_avoided": self.atomic.irq_saves_avoided,
+        }
+
+
+def optimize_program(program: Program,
+                     config: Optional[CxpropConfig] = None) -> CxpropReport:
+    """Run cXprop over ``program`` in place and return the aggregate report."""
+    config = config or CxpropConfig()
+    domain = make_domain(config.domain)
+    report = CxpropReport()
+
+    for _round in range(config.max_rounds):
+        changed = 0
+        facts = compute_whole_program_facts(program, config.pointer_size)
+
+        if config.enable_fold:
+            fold_report = fold_program(program, facts, domain)
+            report.fold.merge(fold_report)
+            changed += fold_report.total
+
+        if config.enable_copyprop:
+            copy_report = propagate_copies(program, facts.address_taken_locals)
+            report.copyprop.copies_propagated += copy_report.copies_propagated
+            report.copyprop.functions_touched += copy_report.functions_touched
+            changed += copy_report.copies_propagated
+
+        if config.enable_atomic_opt:
+            atomic_report = optimize_atomic_sections(program)
+            report.atomic.nested_removed += atomic_report.nested_removed
+            report.atomic.irq_saves_avoided += atomic_report.irq_saves_avoided
+            report.atomic.always_atomic_functions |= \
+                atomic_report.always_atomic_functions
+            changed += atomic_report.nested_removed
+
+        if config.enable_dce:
+            dce_report = eliminate_dead_code(program)
+            report.dce.functions_removed += dce_report.functions_removed
+            report.dce.globals_removed += dce_report.globals_removed
+            report.dce.dead_stores_removed += dce_report.dead_stores_removed
+            report.dce.locals_removed += dce_report.locals_removed
+            report.dce.statements_removed += dce_report.statements_removed
+            changed += dce_report.total
+
+        report.rounds += 1
+        if changed == 0:
+            break
+
+    check_program(program)
+    return report

@@ -1,0 +1,38 @@
+"""The nesC component model and whole-program flattener.
+
+TinyOS applications are written as graphs of *components* that provide and
+use *interfaces*; the nesC compiler statically resolves the wiring and emits
+a single C program.  This package reproduces that front end for CMinor:
+
+* :mod:`repro.nesc.interface` — interface definitions (commands and events),
+* :mod:`repro.nesc.component` — components with provides/uses sets, tasks,
+  interrupt handlers and CMinor implementation code,
+* :mod:`repro.nesc.application` — a wired application (the ``configuration``),
+* :mod:`repro.nesc.flatten` — the "nesC compiler": resolves wiring, renames
+  symbols, generates the task scheduler and ``main``, and produces a single
+  :class:`~repro.cminor.program.Program`,
+* :mod:`repro.nesc.concurrency` — the nesC-style concurrency analysis that
+  reports variables accessed non-atomically (the race list the modified
+  CCured consumes),
+* :mod:`repro.nesc.hwrefactor` — the hardware-register access refactoring
+  step of the paper's pipeline.
+"""
+
+from repro.nesc.interface import Interface, InterfaceFunction
+from repro.nesc.component import Component
+from repro.nesc.application import Application, Wire
+from repro.nesc.flatten import NescCompiler, flatten_application
+from repro.nesc.concurrency import nesc_race_analysis
+from repro.nesc.hwrefactor import refactor_hardware_accesses
+
+__all__ = [
+    "Interface",
+    "InterfaceFunction",
+    "Component",
+    "Application",
+    "Wire",
+    "NescCompiler",
+    "flatten_application",
+    "nesc_race_analysis",
+    "refactor_hardware_accesses",
+]

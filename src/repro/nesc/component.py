@@ -1,0 +1,82 @@
+"""nesC components.
+
+A component bundles module-scope state, tasks, interrupt handlers and the
+implementations of the interfaces it provides, together with declarations of
+the interfaces it uses.  Implementation code is CMinor source text; the
+naming conventions below are how that code refers to interface functions:
+
+* a *command* ``cmd`` of a used interface instance ``X`` is called as
+  ``X_cmd(...)``;
+* an *event* ``ev`` of a used interface instance ``X`` is implemented by
+  defining a function named ``X_ev``;
+* a provider implements command ``cmd`` of a provided instance ``Y`` by
+  defining ``Y_cmd`` and signals event ``ev`` by calling ``Y_ev(...)``.
+
+The flattener resolves these names through the application's wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.nesc.interface import Interface
+
+
+@dataclass
+class Component:
+    """A nesC component (module).
+
+    Attributes:
+        name: Component name, used as the symbol prefix in the flattened
+            program (``TimerC`` becomes the ``TimerC__`` prefix).
+        provides: Mapping from interface instance name to interface.
+        uses: Mapping from interface instance name to interface.
+        source: CMinor source text with the component's module-scope
+            variables, local functions, task functions, interface command
+            implementations and event handlers.
+        tasks: Names (unprefixed) of functions that are tasks.
+        interrupts: Mapping from interrupt vector name to the (unprefixed)
+            handler function name.
+        init_priority: Components with lower values are initialized first by
+            the generated ``main`` when they appear in the boot sequence.
+    """
+
+    name: str
+    provides: dict[str, Interface] = field(default_factory=dict)
+    uses: dict[str, Interface] = field(default_factory=dict)
+    source: str = ""
+    tasks: list[str] = field(default_factory=list)
+    interrupts: dict[str, str] = field(default_factory=dict)
+    init_priority: int = 100
+
+    def interface_instances(self) -> dict[str, tuple[Interface, bool]]:
+        """All interface instances: name -> (interface, is_provided)."""
+        instances: dict[str, tuple[Interface, bool]] = {}
+        for inst, iface in self.provides.items():
+            instances[inst] = (iface, True)
+        for inst, iface in self.uses.items():
+            if inst in instances:
+                raise ValueError(
+                    f"{self.name}: interface instance {inst!r} both provided and used")
+            instances[inst] = (iface, False)
+        return instances
+
+    def provided_instance(self, inst: str) -> Optional[Interface]:
+        return self.provides.get(inst)
+
+    def used_instance(self, inst: str) -> Optional[Interface]:
+        return self.uses.get(inst)
+
+    def validate(self) -> None:
+        """Basic sanity checks, raised eagerly so errors point at the component."""
+        self.interface_instances()
+        for task in self.tasks:
+            if f"void {task}" not in self.source and f" {task}(" not in self.source:
+                raise ValueError(
+                    f"{self.name}: task {task!r} has no definition in the source")
+        for vector, handler in self.interrupts.items():
+            if f" {handler}(" not in self.source:
+                raise ValueError(
+                    f"{self.name}: interrupt handler {handler!r} for vector "
+                    f"{vector!r} has no definition in the source")

@@ -1,0 +1,179 @@
+"""The nesC-style concurrency (race) analysis.
+
+TinyOS has a two-level concurrency model: non-preemptive *tasks* (and the
+main scheduler loop) run in the synchronous context, while *interrupt
+handlers* run in the asynchronous context and may preempt tasks.  A global
+variable that is touched from the asynchronous context and is not protected
+by ``atomic`` sections at every access is a potential data race.
+
+The nesC compiler performs exactly this analysis and, in the paper's
+toolchain, emits the list of racy variables that the modified CCured uses to
+decide which safety checks must be wrapped in locks (Section 2.2).  Like the
+real nesC analysis, this implementation does **not** follow pointers — the
+improved, pointer-aware detector lives in :mod:`repro.cxprop.race`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor.callgraph import build_call_graph
+from repro.cminor.program import Program
+from repro.cminor.visitor import statement_expressions, walk_expression, walk_statements
+
+
+@dataclass
+class VariableAccess:
+    """One syntactic access to a global variable."""
+
+    variable: str
+    function: str
+    is_write: bool
+    in_atomic: bool
+
+
+@dataclass
+class ConcurrencyReport:
+    """Result of the concurrency analysis.
+
+    Attributes:
+        async_functions: Functions reachable from interrupt handlers.
+        sync_functions: Functions reachable from ``main`` and tasks.
+        accesses: Every global-variable access found.
+        racy_variables: Variables reported as potential races.
+        norace_skipped: Variables that would be racy but carry ``norace``.
+    """
+
+    async_functions: set[str] = field(default_factory=set)
+    sync_functions: set[str] = field(default_factory=set)
+    accesses: list[VariableAccess] = field(default_factory=list)
+    racy_variables: set[str] = field(default_factory=set)
+    norace_skipped: set[str] = field(default_factory=set)
+
+
+def _collect_accesses(program: Program, func: ast.FunctionDef,
+                      global_names: set[str]) -> list[VariableAccess]:
+    """Find direct (non-pointer) accesses to globals inside ``func``."""
+    from repro.cminor.typecheck import local_types
+
+    locals_ = set(local_types(func))
+    accesses: list[VariableAccess] = []
+
+    def record(block: ast.Block, in_atomic: bool) -> None:
+        for stmt in block.stmts:
+            nested_atomic = in_atomic or isinstance(stmt, ast.Atomic)
+            if isinstance(stmt, ast.Assign):
+                base = _lvalue_base(stmt.lvalue)
+                if base is not None and base not in locals_ and base in global_names:
+                    accesses.append(VariableAccess(base, func.name, True, nested_atomic))
+                _record_reads(stmt.rvalue, nested_atomic)
+                _record_reads_lvalue_indices(stmt.lvalue, nested_atomic)
+            else:
+                for expr in statement_expressions(stmt):
+                    _record_reads(expr, nested_atomic)
+            if isinstance(stmt, ast.Atomic):
+                record(stmt.body, True)
+            elif isinstance(stmt, ast.If):
+                record(stmt.then_body, nested_atomic if isinstance(stmt, ast.Atomic) else in_atomic)
+                if stmt.else_body is not None:
+                    record(stmt.else_body, in_atomic)
+            elif isinstance(stmt, (ast.While, ast.DoWhile)):
+                record(stmt.body, in_atomic)
+            elif isinstance(stmt, ast.For):
+                record(stmt.body, in_atomic)
+            elif isinstance(stmt, ast.Block):
+                record(stmt, in_atomic)
+
+    def _record_reads(expr: ast.Expr, in_atomic: bool) -> None:
+        for node in walk_expression(expr):
+            if isinstance(node, ast.Identifier):
+                if node.name not in locals_ and node.name in global_names:
+                    accesses.append(
+                        VariableAccess(node.name, func.name, False, in_atomic))
+
+    def _record_reads_lvalue_indices(lvalue: ast.Expr, in_atomic: bool) -> None:
+        # Reads that happen while computing the written location (array
+        # indices, pointer bases of a deref, struct bases).
+        if isinstance(lvalue, ast.Index):
+            _record_reads(lvalue.index, in_atomic)
+            _record_reads_lvalue_indices(lvalue.base, in_atomic)
+        elif isinstance(lvalue, ast.Deref):
+            _record_reads(lvalue.pointer, in_atomic)
+        elif isinstance(lvalue, ast.Member):
+            _record_reads_lvalue_indices(lvalue.base, in_atomic)
+
+    record(func.body, False)
+    return accesses
+
+
+def _lvalue_base(lvalue: ast.Expr) -> str | None:
+    """The root variable of an lvalue, or None if written through a pointer."""
+    if isinstance(lvalue, ast.Identifier):
+        return lvalue.name
+    if isinstance(lvalue, ast.Index):
+        return _lvalue_base(lvalue.base)
+    if isinstance(lvalue, ast.Member):
+        if lvalue.arrow:
+            return None
+        return _lvalue_base(lvalue.base)
+    return None
+
+
+def analyze_concurrency(program: Program,
+                        suppress_norace: bool = False) -> ConcurrencyReport:
+    """Run the nesC-style race analysis over ``program``."""
+    report = ConcurrencyReport()
+    graph = build_call_graph(program)
+
+    interrupt_roots = program.interrupt_handlers()
+    sync_roots = [program.entry] + [t for t in program.tasks
+                                    if t in program.functions]
+    report.async_functions = graph.reachable_from(interrupt_roots)
+    report.sync_functions = graph.reachable_from(
+        [r for r in sync_roots if r in program.functions])
+
+    global_names = set(program.globals)
+    by_variable: dict[str, list[VariableAccess]] = {}
+    for func in program.iter_functions():
+        for access in _collect_accesses(program, func, global_names):
+            report.accesses.append(access)
+            by_variable.setdefault(access.variable, []).append(access)
+
+    for variable, accesses in by_variable.items():
+        var = program.lookup_global(variable)
+        if var is None:
+            continue
+        if var.is_const or var.is_volatile:
+            # Constants cannot race; volatile hardware registers are handled
+            # by the hardware access refactoring, not by locking.
+            continue
+        touched_async = any(a.function in report.async_functions for a in accesses)
+        if not touched_async:
+            continue
+        only_async = all(a.function in report.async_functions
+                         and a.function not in report.sync_functions
+                         for a in accesses)
+        if only_async:
+            # Interrupt handlers do not preempt each other on these MCUs.
+            continue
+        unprotected = any(not a.in_atomic for a in accesses)
+        if not unprotected:
+            continue
+        if var.is_norace and not suppress_norace:
+            report.norace_skipped.add(variable)
+            continue
+        report.racy_variables.add(variable)
+
+    return report
+
+
+def nesc_race_analysis(program: Program, suppress_norace: bool = False
+                       ) -> ConcurrencyReport:
+    """Run the analysis and record the racy-variable list on the program."""
+    report = analyze_concurrency(program, suppress_norace=suppress_norace)
+    program.racy_variables = set(report.racy_variables)
+    if suppress_norace:
+        program.norace_suppressed = {
+            v.name for v in program.iter_globals() if v.is_norace}
+    return report

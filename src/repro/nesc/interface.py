@@ -1,0 +1,170 @@
+"""nesC interface definitions.
+
+An interface is a named, bidirectional contract: *commands* flow from the
+user of the interface to its provider, and *events* flow from the provider
+back to the user.  Interface functions are declared with CMinor types so the
+flattener can generate correctly typed dispatch and default-handler code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cminor import typesys as ty
+
+COMMAND = "command"
+EVENT = "event"
+
+
+@dataclass(frozen=True)
+class InterfaceFunction:
+    """One command or event of an interface.
+
+    Attributes:
+        name: Function name within the interface (e.g. ``"fired"``).
+        kind: ``"command"`` (user calls provider) or ``"event"`` (provider
+            signals user).
+        return_type: CMinor return type.
+        params: Ordered (name, type) pairs.
+    """
+
+    name: str
+    kind: str
+    return_type: ty.CType = ty.VOID
+    params: tuple[tuple[str, ty.CType], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (COMMAND, EVENT):
+            raise ValueError(f"invalid interface function kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A named nesC interface: a set of commands and events."""
+
+    name: str
+    functions: tuple[InterfaceFunction, ...] = ()
+
+    def function(self, name: str) -> InterfaceFunction:
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(f"interface {self.name} has no function {name!r}")
+
+    def has_function(self, name: str) -> bool:
+        return any(f.name == name for f in self.functions)
+
+    def commands(self) -> list[InterfaceFunction]:
+        return [f for f in self.functions if f.kind == COMMAND]
+
+    def events(self) -> list[InterfaceFunction]:
+        return [f for f in self.functions if f.kind == EVENT]
+
+
+def command(name: str, return_type: ty.CType = ty.UINT8,
+            params: tuple[tuple[str, ty.CType], ...] = ()) -> InterfaceFunction:
+    """Convenience constructor for a command (default ``result_t`` return)."""
+    return InterfaceFunction(name, COMMAND, return_type, params)
+
+
+def event(name: str, return_type: ty.CType = ty.VOID,
+          params: tuple[tuple[str, ty.CType], ...] = ()) -> InterfaceFunction:
+    """Convenience constructor for an event."""
+    return InterfaceFunction(name, EVENT, return_type, params)
+
+
+# ---------------------------------------------------------------------------
+# The standard TinyOS 1.x interfaces used by the component library and the
+# twelve benchmark applications.  ``result_t`` is uint8_t (SUCCESS=1, FAIL=0),
+# exactly as in TinyOS 1.x.
+# ---------------------------------------------------------------------------
+
+RESULT = ty.UINT8
+TOS_MSG_PTR = ty.PointerType  # helper alias used below with the message struct
+
+
+def standard_interfaces(msg_struct: ty.StructType) -> dict[str, Interface]:
+    """Build the standard interface set.
+
+    Args:
+        msg_struct: The ``struct TOS_Msg`` type shared by the radio stack
+            and applications.
+
+    Returns:
+        Mapping from interface name to :class:`Interface`.
+    """
+    msg_ptr = ty.PointerType(msg_struct)
+    interfaces = [
+        Interface("StdControl", (
+            command("init"),
+            command("start"),
+            command("stop"),
+        )),
+        Interface("Timer", (
+            command("start", RESULT, (("interval", ty.UINT32),)),
+            command("stop"),
+            event("fired", RESULT),
+        )),
+        Interface("Clock", (
+            command("setRate", RESULT, (("interval", ty.UINT16),)),
+            event("tick", RESULT),
+        )),
+        Interface("Leds", (
+            command("redOn"), command("redOff"), command("redToggle"),
+            command("greenOn"), command("greenOff"), command("greenToggle"),
+            command("yellowOn"), command("yellowOff"), command("yellowToggle"),
+            command("set", RESULT, (("value", ty.UINT8),)),
+        )),
+        Interface("ADC", (
+            command("getData"),
+            event("dataReady", RESULT, (("value", ty.UINT16),)),
+        )),
+        Interface("ADCControl", (
+            command("init"),
+            command("bindPort", RESULT, (("port", ty.UINT8), ("adcPort", ty.UINT8))),
+        )),
+        Interface("SendMsg", (
+            command("send", RESULT, (("address", ty.UINT16),
+                                     ("length", ty.UINT8),
+                                     ("msg", msg_ptr))),
+            event("sendDone", RESULT, (("msg", msg_ptr), ("success", ty.UINT8))),
+        )),
+        Interface("ReceiveMsg", (
+            event("receive", msg_ptr, (("msg", msg_ptr),)),
+        )),
+        Interface("BareSendMsg", (
+            command("send", RESULT, (("msg", msg_ptr),)),
+            event("sendDone", RESULT, (("msg", msg_ptr), ("success", ty.UINT8))),
+        )),
+        Interface("RadioControl", (
+            command("setListeningMode", RESULT, (("mode", ty.UINT8),)),
+        )),
+        Interface("Random", (
+            command("init"),
+            command("rand", ty.UINT16),
+        )),
+        Interface("Send", (
+            command("send", RESULT, (("msg", msg_ptr), ("length", ty.UINT16))),
+            event("sendDone", RESULT, (("msg", msg_ptr), ("success", ty.UINT8))),
+        )),
+        Interface("Intercept", (
+            event("intercept", RESULT, (("msg", msg_ptr),
+                                        ("payload", ty.PointerType(ty.UINT8)),
+                                        ("len", ty.UINT16))),
+        )),
+        Interface("RouteControl", (
+            command("getParent", ty.UINT16),
+        )),
+        Interface("TimeStamping", (
+            command("getStamp", ty.UINT32),
+            event("stamped", RESULT, (("stamp", ty.UINT32),)),
+        )),
+        Interface("Ident", (
+            command("announce"),
+        )),
+        Interface("HLSensor", (
+            command("sample"),
+            event("ready", RESULT, (("value", ty.UINT16),)),
+        )),
+    ]
+    return {iface.name: iface for iface in interfaces}

@@ -1,0 +1,34 @@
+"""TinyOS 1.x substrate: hardware model, component library, and applications.
+
+The paper evaluates twelve TinyOS applications on the Mica2 and TelosB
+platforms.  This package re-creates that software stack for the CMinor
+toolchain:
+
+* :mod:`repro.tinyos.hardware` — the memory-mapped register model and
+  platform parameters shared by the component library, the backend cost
+  model and the simulator,
+* :mod:`repro.tinyos.messages` — ``struct TOS_Msg`` and the other shared
+  declarations (the ``common_source`` of every application),
+* :mod:`repro.tinyos.lib` — the component library (timers, LEDs, ADC,
+  radio stack, UART, multihop routing, …),
+* :mod:`repro.tinyos.apps` — the twelve benchmark applications from the
+  paper's figures,
+* :mod:`repro.tinyos.suite` — a registry mapping figure application names to
+  builders.
+"""
+
+from repro.tinyos.suite import (
+    FIGURE_APPS,
+    MICA2_APPS,
+    all_application_names,
+    build_application,
+    build_program,
+)
+
+__all__ = [
+    "FIGURE_APPS",
+    "MICA2_APPS",
+    "all_application_names",
+    "build_application",
+    "build_program",
+]

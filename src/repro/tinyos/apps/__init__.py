@@ -1,0 +1,7 @@
+"""The twelve benchmark applications from the paper's evaluation figures.
+
+Each module exposes a ``build()`` function returning a wired
+:class:`~repro.nesc.application.Application`.  The registry in
+:mod:`repro.tinyos.suite` maps the figure labels (``BlinkTask_Mica2`` …
+``RadioCountToLeds_TelosB``) to these builders.
+"""

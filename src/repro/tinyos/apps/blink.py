@@ -1,0 +1,65 @@
+"""``BlinkTask``: the smallest benchmark application.
+
+A one-second timer posts a task that toggles the red LED — the TinyOS
+"hello world".  It is the paper's smallest application (22 CCured checks,
+1.5 KB of unsafe code) and the one used for the runtime-footprint
+measurement in Section 2.3.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos.apps import _base
+
+
+def _blink_task_m(ifaces) -> Component:
+    source = """
+uint16_t blink_count = 0;
+
+uint8_t Control_init(void) {
+  blink_count = 0;
+  return 1;
+}
+
+uint8_t Control_start(void) {
+  Timer_start(1000);
+  return 1;
+}
+
+uint8_t Control_stop(void) {
+  Timer_stop();
+  return 1;
+}
+
+void toggle_task(void) {
+  blink_count = blink_count + 1;
+  Leds_redToggle();
+}
+
+uint8_t Timer_fired(void) {
+  post toggle_task();
+  return 1;
+}
+"""
+    return Component(
+        name="BlinkTaskM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"]},
+        source=source,
+        tasks=["toggle_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the BlinkTask application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application("BlinkTask", platform,
+                                "Toggle the red LED from a task once per second")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    app.add_component(_blink_task_m(ifaces))
+    app.wire("BlinkTaskM", "Timer", "TimerC", "Timer0")
+    app.wire("BlinkTaskM", "Leds", "LedsC", "Leds")
+    app.boot.append(("BlinkTaskM", "Control"))
+    return app

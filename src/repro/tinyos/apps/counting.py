@@ -1,0 +1,207 @@
+"""Counting applications: ``CntToLedsAndRfm`` (Mica2) and ``RadioCountToLeds``
+(TelosB).
+
+Both maintain a counter driven by a timer.  ``CntToLedsAndRfm`` displays the
+counter on the LEDs *and* broadcasts it over the radio;
+``RadioCountToLeds`` both broadcasts its own counter and displays counters
+received from other motes — it is the one TelosB entry in the paper's
+figures.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+
+#: Counting period in milliseconds.
+COUNT_PERIOD_MS = 250
+
+
+def _cnt_to_leds_and_rfm_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg cnt_msg_buf;
+uint16_t cnt_counter = 0;
+uint8_t cnt_send_busy = 0;
+
+uint8_t Control_init(void) {{
+  cnt_counter = 0;
+  cnt_send_busy = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({COUNT_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+void send_count_task(void) {{
+  uint16_t value;
+  atomic {{
+    value = cnt_counter;
+  }}
+  if (cnt_send_busy) {{
+    return;
+  }}
+  cnt_msg_buf.data[0] = (uint8_t)(value & 255);
+  cnt_msg_buf.data[1] = (uint8_t)(value >> 8);
+  cnt_msg_buf.type = {msgs.AM_INT_MSG};
+  if (SendMsg_send({msgs.TOS_BCAST_ADDR}, 2, &cnt_msg_buf)) {{
+    cnt_send_busy = 1;
+  }}
+}}
+
+uint8_t Timer_fired(void) {{
+  atomic {{
+    cnt_counter = cnt_counter + 1;
+  }}
+  Leds_set((uint8_t)(cnt_counter & 7));
+  post send_count_task();
+  return 1;
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &cnt_msg_buf) {{
+    cnt_send_busy = 0;
+  }}
+  return 1;
+}}
+"""
+    return Component(
+        name="CntToLedsAndRfmM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "SendMsg": ifaces["SendMsg"]},
+        source=source,
+        tasks=["send_count_task"],
+    )
+
+
+def build_cnt_to_leds_and_rfm(platform: str = "mica2") -> Application:
+    """Build the CntToLedsAndRfm application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "CntToLedsAndRfm", platform,
+        "Count on a timer; show the count on the LEDs and broadcast it")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    app.add_component(_cnt_to_leds_and_rfm_m(ifaces))
+    app.wire("CntToLedsAndRfmM", "Timer", "TimerC", "Timer0")
+    app.wire("CntToLedsAndRfmM", "Leds", "LedsC", "Leds")
+    app.wire("CntToLedsAndRfmM", "SendMsg", "AMStandard", "SendMsg")
+    app.boot.append(("CntToLedsAndRfmM", "Control"))
+    return app
+
+
+def _radio_count_to_leds_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg rcl_msg_buf;
+uint16_t rcl_counter = 0;
+uint16_t rcl_last_received = 0;
+uint8_t rcl_send_busy = 0;
+
+uint8_t Control_init(void) {{
+  rcl_counter = 0;
+  rcl_last_received = 0;
+  rcl_send_busy = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({COUNT_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+void send_task(void) {{
+  uint16_t value;
+  atomic {{
+    value = rcl_counter;
+  }}
+  if (rcl_send_busy) {{
+    return;
+  }}
+  rcl_msg_buf.data[0] = (uint8_t)(value & 255);
+  rcl_msg_buf.data[1] = (uint8_t)(value >> 8);
+  rcl_msg_buf.type = {msgs.AM_COUNT};
+  if (SendMsg_send({msgs.TOS_BCAST_ADDR}, 2, &rcl_msg_buf)) {{
+    rcl_send_busy = 1;
+  }}
+}}
+
+void display_task(void) {{
+  uint16_t value;
+  atomic {{
+    value = rcl_last_received;
+  }}
+  Leds_set((uint8_t)(value & 7));
+}}
+
+uint8_t Timer_fired(void) {{
+  atomic {{
+    rcl_counter = rcl_counter + 1;
+  }}
+  post send_task();
+  return 1;
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &rcl_msg_buf) {{
+    rcl_send_busy = 0;
+  }}
+  return 1;
+}}
+
+struct TOS_Msg* ReceiveMsg_receive(struct TOS_Msg* msg) {{
+  uint16_t value;
+  if (msg == NULL) {{
+    return msg;
+  }}
+  if (msg->type != {msgs.AM_COUNT}) {{
+    return msg;
+  }}
+  value = (uint16_t)msg->data[0] | ((uint16_t)msg->data[1] << 8);
+  atomic {{
+    rcl_last_received = value;
+  }}
+  post display_task();
+  return msg;
+}}
+"""
+    return Component(
+        name="RadioCountToLedsM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "SendMsg": ifaces["SendMsg"], "ReceiveMsg": ifaces["ReceiveMsg"]},
+        source=source,
+        tasks=["send_task", "display_task"],
+    )
+
+
+def build_radio_count_to_leds(platform: str = "telosb") -> Application:
+    """Build the RadioCountToLeds application (the TelosB benchmark)."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "RadioCountToLeds", platform,
+        "Broadcast a counter and display counters received from other motes")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    app.add_component(_radio_count_to_leds_m(ifaces))
+    app.wire("RadioCountToLedsM", "Timer", "TimerC", "Timer0")
+    app.wire("RadioCountToLedsM", "Leds", "LedsC", "Leds")
+    app.wire("RadioCountToLedsM", "SendMsg", "AMStandard", "SendMsg")
+    app.wire("RadioCountToLedsM", "ReceiveMsg", "AMStandard", "ReceiveMsg")
+    app.boot.append(("RadioCountToLedsM", "Control"))
+    return app

@@ -1,0 +1,156 @@
+"""``GenericBase``: the radio/serial bridge used as a base station.
+
+Packets received from the radio are forwarded to the attached PC over the
+UART, and packets received from the UART are transmitted over the radio.
+Both directions use the buffer-swap protocol with one spare buffer per
+direction, so the component juggles message pointers — a good stress test
+for CCured's pointer kinds.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos.apps import _base
+from repro.tinyos.lib.radio import radio_crc_packet_c
+
+
+def _generic_base_m(ifaces) -> Component:
+    source = """
+struct TOS_Msg gb_radio_spare;
+struct TOS_Msg gb_uart_spare;
+struct TOS_Msg* gb_uart_pending;
+struct TOS_Msg* gb_radio_pending;
+uint8_t gb_uart_busy = 0;
+uint8_t gb_radio_busy = 0;
+uint16_t gb_forwarded_to_uart = 0;
+uint16_t gb_forwarded_to_radio = 0;
+uint16_t gb_dropped = 0;
+
+uint8_t Control_init(void) {
+  atomic {
+    gb_uart_busy = 0;
+    gb_radio_busy = 0;
+    gb_uart_pending = NULL;
+    gb_radio_pending = NULL;
+  }
+  return 1;
+}
+
+uint8_t Control_start(void) {
+  Leds_greenOn();
+  return 1;
+}
+
+uint8_t Control_stop(void) {
+  return 1;
+}
+
+struct TOS_Msg* RadioReceive_receive(struct TOS_Msg* msg) {
+  struct TOS_Msg* free_buf;
+  uint8_t busy;
+  if (msg == NULL) {
+    return msg;
+  }
+  atomic {
+    busy = gb_uart_busy;
+    if (busy == 0) {
+      gb_uart_busy = 1;
+      gb_uart_pending = msg;
+    }
+  }
+  if (busy) {
+    gb_dropped = gb_dropped + 1;
+    return msg;
+  }
+  if (UARTSend_send(msg) == 0) {
+    atomic {
+      gb_uart_busy = 0;
+      gb_uart_pending = NULL;
+    }
+    gb_dropped = gb_dropped + 1;
+    return msg;
+  }
+  Leds_yellowToggle();
+  free_buf = &gb_radio_spare;
+  return free_buf;
+}
+
+uint8_t UARTSend_sendDone(struct TOS_Msg* msg, uint8_t success) {
+  atomic {
+    gb_uart_busy = 0;
+    gb_uart_pending = NULL;
+  }
+  gb_forwarded_to_uart = gb_forwarded_to_uart + 1;
+  return 1;
+}
+
+struct TOS_Msg* UARTReceive_receive(struct TOS_Msg* msg) {
+  struct TOS_Msg* free_buf;
+  uint8_t busy;
+  if (msg == NULL) {
+    return msg;
+  }
+  atomic {
+    busy = gb_radio_busy;
+    if (busy == 0) {
+      gb_radio_busy = 1;
+      gb_radio_pending = msg;
+    }
+  }
+  if (busy) {
+    gb_dropped = gb_dropped + 1;
+    return msg;
+  }
+  if (RadioSend_send(msg) == 0) {
+    atomic {
+      gb_radio_busy = 0;
+      gb_radio_pending = NULL;
+    }
+    gb_dropped = gb_dropped + 1;
+    return msg;
+  }
+  Leds_redToggle();
+  free_buf = &gb_uart_spare;
+  return free_buf;
+}
+
+uint8_t RadioSend_sendDone(struct TOS_Msg* msg, uint8_t success) {
+  atomic {
+    gb_radio_busy = 0;
+    gb_radio_pending = NULL;
+  }
+  gb_forwarded_to_radio = gb_forwarded_to_radio + 1;
+  return 1;
+}
+"""
+    return Component(
+        name="GenericBaseM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Leds": ifaces["Leds"],
+              "RadioSend": ifaces["BareSendMsg"],
+              "RadioReceive": ifaces["ReceiveMsg"],
+              "UARTSend": ifaces["BareSendMsg"],
+              "UARTReceive": ifaces["ReceiveMsg"]},
+        source=source,
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the GenericBase application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "GenericBase", platform,
+        "Bridge packets between the radio and the serial port")
+    _base.add_leds(app, ifaces)
+    _base.add_uart_stack(app, ifaces)
+    app.add_component(radio_crc_packet_c(ifaces))
+    app.boot.append(("RadioCRCPacketC", "Control"))
+    app.add_component(_generic_base_m(ifaces))
+    app.wire("GenericBaseM", "Leds", "LedsC", "Leds")
+    app.wire("GenericBaseM", "RadioSend", "RadioCRCPacketC", "Send")
+    app.wire("GenericBaseM", "RadioReceive", "RadioCRCPacketC", "Receive")
+    app.wire("GenericBaseM", "UARTSend", "UARTFramedPacketC", "UARTSend")
+    app.wire("GenericBaseM", "UARTReceive", "UARTFramedPacketC", "UARTReceive")
+    app.boot.append(("GenericBaseM", "Control"))
+    return app

@@ -1,0 +1,171 @@
+"""``HighFrequencySampling``: double-buffered high-rate data acquisition.
+
+A fast micro-timer drives ADC conversions at a much higher rate than the
+other applications.  Readings are written into one half of a double buffer
+in interrupt context; when a half fills, a task drains it into radio
+messages (three readings per message).  It is the largest RAM consumer in
+the paper's figures because of its sample buffers.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+from repro.tinyos import hardware as hw
+
+#: Samples per buffer half.
+BUFFER_SAMPLES = 32
+#: Micro-timer period in jiffies (1024 Hz base): ~128 conversions/second.
+MICRO_PERIOD_JIFFIES = 8
+#: Readings packed into one radio message.
+READINGS_PER_MSG = 10
+
+
+def _hfs_m(ifaces) -> Component:
+    source = f"""
+uint16_t hfs_buffer_a[{BUFFER_SAMPLES}];
+uint16_t hfs_buffer_b[{BUFFER_SAMPLES}];
+uint8_t hfs_active_buffer = 0;
+uint8_t hfs_fill_index = 0;
+uint8_t hfs_drain_pending = 0;
+uint16_t hfs_total_samples = 0;
+uint16_t hfs_messages_sent = 0;
+uint8_t hfs_send_busy = 0;
+uint8_t hfs_drain_index = 0;
+struct TOS_Msg hfs_msg_buf;
+
+uint8_t Control_init(void) {{
+  uint8_t i;
+  for (i = 0; i < {BUFFER_SAMPLES}; i++) {{
+    hfs_buffer_a[i] = 0;
+    hfs_buffer_b[i] = 0;
+  }}
+  hfs_active_buffer = 0;
+  hfs_fill_index = 0;
+  hfs_drain_pending = 0;
+  hfs_total_samples = 0;
+  hfs_messages_sent = 0;
+  hfs_send_busy = 0;
+  hfs_drain_index = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  MicroTimer_setRate({MICRO_PERIOD_JIFFIES});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  return 1;
+}}
+
+uint8_t MicroTimer_tick(void) {{
+  PhotoADC_getData();
+  return 1;
+}}
+
+void store_sample(uint16_t value) {{
+  uint16_t* buffer;
+  if (hfs_active_buffer == 0) {{
+    buffer = hfs_buffer_a;
+  }} else {{
+    buffer = hfs_buffer_b;
+  }}
+  if (hfs_fill_index < {BUFFER_SAMPLES}) {{
+    buffer[hfs_fill_index] = value;
+    hfs_fill_index = hfs_fill_index + 1;
+  }}
+  hfs_total_samples = hfs_total_samples + 1;
+  if (hfs_fill_index >= {BUFFER_SAMPLES}) {{
+    hfs_fill_index = 0;
+    hfs_active_buffer = (uint8_t)(1 - hfs_active_buffer);
+    hfs_drain_pending = 1;
+    hfs_drain_index = 0;
+    post drain_task();
+  }}
+}}
+
+uint8_t PhotoADC_dataReady(uint16_t value) {{
+  store_sample(value);
+  return 1;
+}}
+
+void drain_task(void) {{
+  struct OscopeMsg* payload;
+  uint16_t* buffer;
+  uint8_t i;
+  uint8_t index;
+  if (hfs_drain_pending == 0) {{
+    return;
+  }}
+  if (hfs_send_busy) {{
+    post drain_task();
+    return;
+  }}
+  if (hfs_active_buffer == 0) {{
+    buffer = hfs_buffer_b;
+  }} else {{
+    buffer = hfs_buffer_a;
+  }}
+  payload = (struct OscopeMsg*)hfs_msg_buf.data;
+  payload->sourceMoteID = TOS_LOCAL_ADDRESS;
+  payload->lastSampleNumber = hfs_total_samples;
+  payload->channel = 1;
+  for (i = 0; i < {READINGS_PER_MSG}; i++) {{
+    index = hfs_drain_index + i;
+    if (index < {BUFFER_SAMPLES}) {{
+      payload->data[i] = buffer[index];
+    }} else {{
+      payload->data[i] = 0;
+    }}
+  }}
+  hfs_msg_buf.type = {msgs.AM_HFS_DATA};
+  if (SendMsg_send({msgs.TOS_BCAST_ADDR}, sizeof(struct OscopeMsg), &hfs_msg_buf)) {{
+    hfs_send_busy = 1;
+    hfs_messages_sent = hfs_messages_sent + 1;
+  }}
+  hfs_drain_index = hfs_drain_index + {READINGS_PER_MSG};
+  if (hfs_drain_index >= {BUFFER_SAMPLES}) {{
+    hfs_drain_pending = 0;
+    hfs_drain_index = 0;
+  }} else {{
+    post drain_task();
+  }}
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &hfs_msg_buf) {{
+    hfs_send_busy = 0;
+  }}
+  return 1;
+}}
+"""
+    return Component(
+        name="HighFrequencySamplingM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"MicroTimer": ifaces["Clock"], "PhotoADC": ifaces["ADC"],
+              "SendMsg": ifaces["SendMsg"], "Leds": ifaces["Leds"]},
+        source=source,
+        tasks=["drain_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the HighFrequencySampling application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "HighFrequencySampling", platform,
+        "Double-buffered high-rate ADC sampling streamed over the radio")
+    _base.add_leds(app, ifaces)
+    _base.add_adc(app, ifaces)
+    _base.add_micro_timer(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    app.add_component(_hfs_m(ifaces))
+    app.wire("HighFrequencySamplingM", "MicroTimer", "MicroTimerC", "MicroTimer")
+    app.wire("HighFrequencySamplingM", "PhotoADC", "ADCC", "PhotoADC")
+    app.wire("HighFrequencySamplingM", "SendMsg", "AMStandard", "SendMsg")
+    app.wire("HighFrequencySamplingM", "Leds", "LedsC", "Leds")
+    app.boot.append(("HighFrequencySamplingM", "Control"))
+    return app

@@ -1,0 +1,121 @@
+"""``Ident``: periodic identity announcements.
+
+Every few seconds the mote broadcasts an ``IdentMsg`` carrying its address
+and a fixed name string; when it hears another mote's announcement it
+flashes the green LED.  The name string is the one application-level string
+literal in the suite, which matters for the static-data experiment: on the
+Mica2 it lives in RAM unless explicitly moved to flash.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+
+#: Milliseconds between announcements.
+ANNOUNCE_PERIOD_MS = 2000
+
+#: Bytes in the announced name.
+NAME_LENGTH = 16
+
+
+def _ident_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg ident_msg_buf;
+uint8_t ident_name[{NAME_LENGTH}] = "safe-tinyos-mote";
+uint16_t ident_announcements = 0;
+uint16_t ident_heard = 0;
+uint8_t ident_send_busy = 0;
+
+uint8_t Control_init(void) {{
+  ident_announcements = 0;
+  ident_heard = 0;
+  ident_send_busy = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({ANNOUNCE_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+void announce_task(void) {{
+  struct IdentMsg* payload;
+  uint8_t i;
+  if (ident_send_busy) {{
+    return;
+  }}
+  payload = (struct IdentMsg*)ident_msg_buf.data;
+  payload->id = TOS_LOCAL_ADDRESS;
+  for (i = 0; i < {NAME_LENGTH}; i++) {{
+    payload->name[i] = ident_name[i];
+  }}
+  ident_msg_buf.type = {msgs.AM_IDENT};
+  if (SendMsg_send({msgs.TOS_BCAST_ADDR}, sizeof(struct IdentMsg), &ident_msg_buf)) {{
+    ident_send_busy = 1;
+    ident_announcements = ident_announcements + 1;
+  }}
+}}
+
+uint8_t Timer_fired(void) {{
+  post announce_task();
+  return 1;
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &ident_msg_buf) {{
+    ident_send_busy = 0;
+  }}
+  return 1;
+}}
+
+struct TOS_Msg* ReceiveMsg_receive(struct TOS_Msg* msg) {{
+  struct IdentMsg* payload;
+  if (msg == NULL) {{
+    return msg;
+  }}
+  if (msg->type != {msgs.AM_IDENT}) {{
+    return msg;
+  }}
+  payload = (struct IdentMsg*)msg->data;
+  if (payload->id != TOS_LOCAL_ADDRESS) {{
+    atomic {{
+      ident_heard = ident_heard + 1;
+    }}
+    Leds_greenToggle();
+  }}
+  return msg;
+}}
+"""
+    return Component(
+        name="IdentM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "SendMsg": ifaces["SendMsg"], "ReceiveMsg": ifaces["ReceiveMsg"]},
+        source=source,
+        tasks=["announce_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the Ident application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "Ident", platform, "Broadcast the mote's identity and listen for peers")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    app.add_component(_ident_m(ifaces))
+    app.wire("IdentM", "Timer", "TimerC", "Timer0")
+    app.wire("IdentM", "Leds", "LedsC", "Leds")
+    app.wire("IdentM", "SendMsg", "AMStandard", "SendMsg")
+    app.wire("IdentM", "ReceiveMsg", "AMStandard", "ReceiveMsg")
+    app.boot.append(("IdentM", "Control"))
+    return app

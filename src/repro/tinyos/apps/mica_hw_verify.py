@@ -1,0 +1,179 @@
+"""``MicaHWVerify``: the hardware self-test application.
+
+Cycles through a sequence of hardware tests — an LED walking pattern, photo
+and temperature conversions, and a status report over the UART — advancing
+one step per timer tick.  Structurally it is a state machine that touches
+every peripheral, which is why its check count sits in the middle of the
+paper's range.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos.apps import _base
+
+#: Milliseconds between test steps.
+STEP_PERIOD_MS = 250
+
+#: Test-state machine states.
+STATE_LEDS = 0
+STATE_PHOTO = 1
+STATE_TEMP = 2
+STATE_REPORT = 3
+NUM_STATES = 4
+
+
+def _mica_hw_verify_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg hwv_report_msg;
+uint16_t hwv_photo_reading = 0;
+uint16_t hwv_temp_reading = 0;
+uint16_t hwv_step_count = 0;
+uint8_t hwv_state = {STATE_LEDS};
+uint8_t hwv_led_phase = 0;
+uint8_t hwv_uart_busy = 0;
+uint8_t hwv_failures = 0;
+
+uint8_t Control_init(void) {{
+  hwv_state = {STATE_LEDS};
+  hwv_led_phase = 0;
+  hwv_step_count = 0;
+  hwv_uart_busy = 0;
+  hwv_failures = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({STEP_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+void run_led_test(void) {{
+  if (hwv_led_phase == 0) {{
+    Leds_redOn();
+    Leds_greenOff();
+    Leds_yellowOff();
+  }}
+  if (hwv_led_phase == 1) {{
+    Leds_redOff();
+    Leds_greenOn();
+    Leds_yellowOff();
+  }}
+  if (hwv_led_phase == 2) {{
+    Leds_redOff();
+    Leds_greenOff();
+    Leds_yellowOn();
+  }}
+  hwv_led_phase = (uint8_t)((hwv_led_phase + 1) % 3);
+}}
+
+void fill_report(void) {{
+  uint8_t* payload;
+  payload = hwv_report_msg.data;
+  payload[0] = (uint8_t)(hwv_photo_reading & 255);
+  payload[1] = (uint8_t)(hwv_photo_reading >> 8);
+  payload[2] = (uint8_t)(hwv_temp_reading & 255);
+  payload[3] = (uint8_t)(hwv_temp_reading >> 8);
+  payload[4] = (uint8_t)(hwv_step_count & 255);
+  payload[5] = (uint8_t)(hwv_step_count >> 8);
+  payload[6] = hwv_failures;
+  hwv_report_msg.length = 7;
+  hwv_report_msg.type = 99;
+}}
+
+void report_task(void) {{
+  if (hwv_uart_busy) {{
+    return;
+  }}
+  fill_report();
+  if (UARTSend_send(&hwv_report_msg)) {{
+    hwv_uart_busy = 1;
+  }} else {{
+    hwv_failures = hwv_failures + 1;
+  }}
+}}
+
+uint8_t Timer_fired(void) {{
+  hwv_step_count = hwv_step_count + 1;
+  if (hwv_state == {STATE_LEDS}) {{
+    run_led_test();
+  }}
+  if (hwv_state == {STATE_PHOTO}) {{
+    if (PhotoADC_getData() == 0) {{
+      hwv_failures = hwv_failures + 1;
+    }}
+  }}
+  if (hwv_state == {STATE_TEMP}) {{
+    if (TempADC_getData() == 0) {{
+      hwv_failures = hwv_failures + 1;
+    }}
+  }}
+  if (hwv_state == {STATE_REPORT}) {{
+    post report_task();
+  }}
+  hwv_state = (uint8_t)((hwv_state + 1) % {NUM_STATES});
+  return 1;
+}}
+
+uint8_t PhotoADC_dataReady(uint16_t value) {{
+  atomic {{
+    hwv_photo_reading = value;
+  }}
+  return 1;
+}}
+
+uint8_t TempADC_dataReady(uint16_t value) {{
+  atomic {{
+    hwv_temp_reading = value;
+  }}
+  return 1;
+}}
+
+uint8_t UARTSend_sendDone(struct TOS_Msg* msg, uint8_t success) {{
+  hwv_uart_busy = 0;
+  if (success == 0) {{
+    hwv_failures = hwv_failures + 1;
+  }}
+  return 1;
+}}
+
+struct TOS_Msg* UARTReceive_receive(struct TOS_Msg* msg) {{
+  return msg;
+}}
+"""
+    return Component(
+        name="MicaHWVerifyM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "PhotoADC": ifaces["ADC"], "TempADC": ifaces["ADC"],
+              "UARTSend": ifaces["BareSendMsg"],
+              "UARTReceive": ifaces["ReceiveMsg"]},
+        source=source,
+        tasks=["report_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the MicaHWVerify application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "MicaHWVerify", platform, "Exercise LEDs, sensors and the UART in sequence")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_adc(app, ifaces)
+    _base.add_uart_stack(app, ifaces)
+    app.add_component(_mica_hw_verify_m(ifaces))
+    app.wire("MicaHWVerifyM", "Timer", "TimerC", "Timer0")
+    app.wire("MicaHWVerifyM", "Leds", "LedsC", "Leds")
+    app.wire("MicaHWVerifyM", "PhotoADC", "ADCC", "PhotoADC")
+    app.wire("MicaHWVerifyM", "TempADC", "ADCC", "TempADC")
+    app.wire("MicaHWVerifyM", "UARTSend", "UARTFramedPacketC", "UARTSend")
+    app.wire("MicaHWVerifyM", "UARTReceive", "UARTFramedPacketC", "UARTReceive")
+    app.boot.append(("MicaHWVerifyM", "Control"))
+    return app

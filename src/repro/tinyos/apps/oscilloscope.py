@@ -1,0 +1,136 @@
+"""``Oscilloscope``: periodic light sampling streamed over the radio.
+
+The application samples the photo sensor on a timer, accumulates ten
+readings into an ``OscopeMsg`` buffer overlaid on the message payload, and
+broadcasts each full buffer.  It is the canonical "sense and send" TinyOS
+demo and a mid-sized entry in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+
+#: Readings per radio message.
+READINGS_PER_MSG = 10
+#: Sampling period in milliseconds.
+SAMPLE_PERIOD_MS = 125
+
+
+def _oscilloscope_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg oscope_msg_buf;
+uint16_t oscope_readings[{READINGS_PER_MSG}];
+uint8_t oscope_reading_count = 0;
+uint16_t oscope_packet_count = 0;
+uint16_t oscope_sample_count = 0;
+uint8_t oscope_send_busy = 0;
+
+uint8_t Control_init(void) {{
+  uint8_t i;
+  oscope_reading_count = 0;
+  oscope_packet_count = 0;
+  oscope_sample_count = 0;
+  oscope_send_busy = 0;
+  for (i = 0; i < {READINGS_PER_MSG}; i++) {{
+    oscope_readings[i] = 0;
+  }}
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({SAMPLE_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+uint8_t Timer_fired(void) {{
+  PhotoADC_getData();
+  return 1;
+}}
+
+void send_task(void) {{
+  struct OscopeMsg* payload;
+  uint8_t i;
+  if (oscope_send_busy) {{
+    return;
+  }}
+  payload = (struct OscopeMsg*)oscope_msg_buf.data;
+  payload->sourceMoteID = TOS_LOCAL_ADDRESS;
+  payload->lastSampleNumber = oscope_sample_count;
+  payload->channel = 1;
+  for (i = 0; i < {READINGS_PER_MSG}; i++) {{
+    payload->data[i] = oscope_readings[i];
+  }}
+  oscope_msg_buf.type = {msgs.AM_OSCOPE};
+  if (SendMsg_send({msgs.TOS_BCAST_ADDR}, sizeof(struct OscopeMsg), &oscope_msg_buf)) {{
+    oscope_send_busy = 1;
+    Leds_greenToggle();
+  }}
+}}
+
+uint8_t PhotoADC_dataReady(uint16_t value) {{
+  atomic {{
+    if (oscope_reading_count < {READINGS_PER_MSG}) {{
+      oscope_readings[oscope_reading_count] = value;
+      oscope_reading_count = oscope_reading_count + 1;
+    }}
+    oscope_sample_count = oscope_sample_count + 1;
+  }}
+  Leds_redToggle();
+  if (oscope_reading_count >= {READINGS_PER_MSG}) {{
+    atomic {{
+      oscope_reading_count = 0;
+    }}
+    post send_task();
+  }}
+  return 1;
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &oscope_msg_buf) {{
+    oscope_send_busy = 0;
+    oscope_packet_count = oscope_packet_count + 1;
+  }}
+  return 1;
+}}
+
+struct TOS_Msg* ReceiveMsg_receive(struct TOS_Msg* msg) {{
+  return msg;
+}}
+"""
+    return Component(
+        name="OscilloscopeM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "PhotoADC": ifaces["ADC"], "SendMsg": ifaces["SendMsg"],
+              "ReceiveMsg": ifaces["ReceiveMsg"]},
+        source=source,
+        tasks=["send_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the Oscilloscope application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "Oscilloscope", platform,
+        "Sample the photo sensor and stream readings over the radio")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_adc(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    app.add_component(_oscilloscope_m(ifaces))
+    app.wire("OscilloscopeM", "Timer", "TimerC", "Timer0")
+    app.wire("OscilloscopeM", "Leds", "LedsC", "Leds")
+    app.wire("OscilloscopeM", "PhotoADC", "ADCC", "PhotoADC")
+    app.wire("OscilloscopeM", "SendMsg", "AMStandard", "SendMsg")
+    app.wire("OscilloscopeM", "ReceiveMsg", "AMStandard", "ReceiveMsg")
+    app.boot.append(("OscilloscopeM", "Control"))
+    return app

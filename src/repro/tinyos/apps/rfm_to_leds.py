@@ -1,0 +1,81 @@
+"""``RfmToLeds``: display received radio values on the LEDs.
+
+The receive half of the classic ``CntToLedsAndRfm``/``RfmToLeds`` pair: any
+integer broadcast over the radio is shown on the three LEDs.  All of its
+interesting work happens in interrupt context (the radio receive path), so
+it exercises the concurrency handling of the safe toolchain.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+
+
+def _rfm_to_leds_m(ifaces) -> Component:
+    source = f"""
+uint16_t rfm_received = 0;
+uint16_t rfm_last_value = 0;
+
+uint8_t Control_init(void) {{
+  rfm_received = 0;
+  rfm_last_value = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  return 1;
+}}
+
+void display_task(void) {{
+  uint16_t value;
+  atomic {{
+    value = rfm_last_value;
+  }}
+  Leds_set((uint8_t)(value & 7));
+}}
+
+struct TOS_Msg* ReceiveMsg_receive(struct TOS_Msg* msg) {{
+  uint16_t value;
+  if (msg == NULL) {{
+    return msg;
+  }}
+  if (msg->type != {msgs.AM_INT_MSG}) {{
+    return msg;
+  }}
+  value = (uint16_t)msg->data[0] | ((uint16_t)msg->data[1] << 8);
+  atomic {{
+    rfm_last_value = value;
+    rfm_received = rfm_received + 1;
+  }}
+  post display_task();
+  return msg;
+}}
+"""
+    return Component(
+        name="RfmToLedsM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Leds": ifaces["Leds"], "ReceiveMsg": ifaces["ReceiveMsg"]},
+        source=source,
+        tasks=["display_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the RfmToLeds application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "RfmToLeds", platform, "Show integers received over the radio on the LEDs")
+    _base.add_leds(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    app.add_component(_rfm_to_leds_m(ifaces))
+    app.wire("RfmToLedsM", "Leds", "LedsC", "Leds")
+    app.wire("RfmToLedsM", "ReceiveMsg", "AMStandard", "ReceiveMsg")
+    app.boot.append(("RfmToLedsM", "Control"))
+    return app

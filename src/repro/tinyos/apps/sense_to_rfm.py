@@ -1,0 +1,110 @@
+"""``SenseToRfm``: sample a sensor periodically and broadcast every reading.
+
+The single-hop ancestor of Surge: each timer tick starts an ADC conversion
+and every completed reading is sent over the radio immediately (one reading
+per message), with the LEDs showing the low bits of the last reading.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+
+#: Sampling period in milliseconds.
+SAMPLE_PERIOD_MS = 500
+
+
+def _sense_to_rfm_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg sense_msg_buf;
+uint16_t sense_reading = 0;
+uint16_t sense_seqno = 0;
+uint8_t sense_send_busy = 0;
+
+uint8_t Control_init(void) {{
+  sense_reading = 0;
+  sense_seqno = 0;
+  sense_send_busy = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({SAMPLE_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+uint8_t Timer_fired(void) {{
+  PhotoADC_getData();
+  return 1;
+}}
+
+void report_task(void) {{
+  uint16_t value;
+  uint16_t seq;
+  atomic {{
+    value = sense_reading;
+    seq = sense_seqno;
+  }}
+  Leds_set((uint8_t)(value & 7));
+  if (sense_send_busy) {{
+    return;
+  }}
+  sense_msg_buf.data[0] = (uint8_t)(value & 255);
+  sense_msg_buf.data[1] = (uint8_t)(value >> 8);
+  sense_msg_buf.data[2] = (uint8_t)(seq & 255);
+  sense_msg_buf.data[3] = (uint8_t)(seq >> 8);
+  sense_msg_buf.type = {msgs.AM_INT_MSG};
+  if (SendMsg_send({msgs.TOS_BCAST_ADDR}, 4, &sense_msg_buf)) {{
+    sense_send_busy = 1;
+  }}
+}}
+
+uint8_t PhotoADC_dataReady(uint16_t value) {{
+  atomic {{
+    sense_reading = value;
+    sense_seqno = sense_seqno + 1;
+  }}
+  post report_task();
+  return 1;
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &sense_msg_buf) {{
+    sense_send_busy = 0;
+  }}
+  return 1;
+}}
+"""
+    return Component(
+        name="SenseToRfmM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "PhotoADC": ifaces["ADC"], "SendMsg": ifaces["SendMsg"]},
+        source=source,
+        tasks=["report_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the SenseToRfm application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "SenseToRfm", platform, "Broadcast every photo-sensor reading")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_adc(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    app.add_component(_sense_to_rfm_m(ifaces))
+    app.wire("SenseToRfmM", "Timer", "TimerC", "Timer0")
+    app.wire("SenseToRfmM", "Leds", "LedsC", "Leds")
+    app.wire("SenseToRfmM", "PhotoADC", "ADCC", "PhotoADC")
+    app.wire("SenseToRfmM", "SendMsg", "AMStandard", "SendMsg")
+    app.boot.append(("SenseToRfmM", "Control"))
+    return app

@@ -1,0 +1,156 @@
+"""``Surge``: multihop data collection — the largest benchmark application.
+
+Each mote samples its photo sensor on a timer and sends the reading toward
+the base station through the multihop router; intermediate motes forward
+traffic and snoop forwarded readings via the ``Intercept`` interface.  The
+application layer itself is small, but pulling in the routing engine, the
+radio stack, the timer stack and the ADC makes Surge the biggest program in
+the paper's figures (330 CCured checks, ~16.6 KB unsafe code).
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+
+#: Milliseconds between sensor readings.
+SAMPLE_PERIOD_MS = 2000
+
+#: Byte offset of the Surge payload inside the multihop payload (the
+#: multihop header occupies the first seven payload bytes).
+SURGE_PAYLOAD_OFFSET = 7
+
+
+def _surge_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg surge_msg_buf;
+uint16_t surge_reading = 0;
+uint16_t surge_seqno = 0;
+uint16_t surge_intercepted = 0;
+uint8_t surge_send_busy = 0;
+uint8_t surge_initialized = 0;
+
+uint8_t Control_init(void) {{
+  surge_reading = 0;
+  surge_seqno = 0;
+  surge_intercepted = 0;
+  surge_send_busy = 0;
+  surge_initialized = 1;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({SAMPLE_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+uint8_t Timer_fired(void) {{
+  PhotoADC_getData();
+  return 1;
+}}
+
+void fill_surge_payload(struct TOS_Msg* msg, uint16_t reading, uint16_t seq) {{
+  struct SurgeMsg* payload;
+  payload = (struct SurgeMsg*)(msg->data + {SURGE_PAYLOAD_OFFSET});
+  payload->sourceaddr = TOS_LOCAL_ADDRESS;
+  payload->originaddr = TOS_LOCAL_ADDRESS;
+  payload->reading = reading;
+  payload->seqno = seq;
+  payload->parentaddr = RouteControl_getParent();
+  payload->hopcount = 0;
+}}
+
+void send_reading_task(void) {{
+  uint16_t value;
+  uint16_t seq;
+  atomic {{
+    value = surge_reading;
+    seq = surge_seqno;
+  }}
+  Leds_yellowToggle();
+  if (surge_send_busy) {{
+    return;
+  }}
+  fill_surge_payload(&surge_msg_buf, value, seq);
+  if (Send_send(&surge_msg_buf, {SURGE_PAYLOAD_OFFSET} + sizeof(struct SurgeMsg))) {{
+    surge_send_busy = 1;
+  }}
+}}
+
+uint8_t PhotoADC_dataReady(uint16_t value) {{
+  atomic {{
+    surge_reading = value;
+    surge_seqno = surge_seqno + 1;
+  }}
+  post send_reading_task();
+  return 1;
+}}
+
+uint8_t Send_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &surge_msg_buf) {{
+    surge_send_busy = 0;
+    if (success) {{
+      Leds_greenToggle();
+    }} else {{
+      Leds_redToggle();
+    }}
+  }}
+  return 1;
+}}
+
+uint8_t Intercept_intercept(struct TOS_Msg* msg, uint8_t* payload, uint16_t len) {{
+  struct SurgeMsg* reading;
+  if (msg == NULL) {{
+    return 1;
+  }}
+  if (len < {SURGE_PAYLOAD_OFFSET} + sizeof(struct SurgeMsg)) {{
+    return 1;
+  }}
+  reading = (struct SurgeMsg*)(payload + {SURGE_PAYLOAD_OFFSET});
+  atomic {{
+    surge_intercepted = surge_intercepted + 1;
+  }}
+  if ((reading->reading & 7) == 7) {{
+    Leds_redToggle();
+  }}
+  return 1;
+}}
+"""
+    return Component(
+        name="SurgeM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "PhotoADC": ifaces["ADC"], "Send": ifaces["Send"],
+              "Intercept": ifaces["Intercept"],
+              "RouteControl": ifaces["RouteControl"]},
+        source=source,
+        tasks=["send_reading_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the Surge application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "Surge", platform, "Multihop collection of photo-sensor readings")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_adc(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    _base.add_multihop(app, ifaces)
+    app.add_component(_surge_m(ifaces))
+    app.wire("SurgeM", "Timer", "TimerC", "Timer0")
+    app.wire("SurgeM", "Leds", "LedsC", "Leds")
+    app.wire("SurgeM", "PhotoADC", "ADCC", "PhotoADC")
+    app.wire("SurgeM", "Send", "MultiHopRouterM", "Send")
+    app.wire("SurgeM", "Intercept", "MultiHopRouterM", "Intercept")
+    app.wire("SurgeM", "RouteControl", "MultiHopRouterM", "RouteControl")
+    app.boot.append(("SurgeM", "Control"))
+    return app

@@ -1,0 +1,130 @@
+"""``TestTimeStamping``: periodic time-stamped message exchange.
+
+Each timer tick sends a ``TimeStampMsg`` carrying the local 32-bit jiffy
+stamp; received messages are stamped again on arrival and the measured
+offset drives the LEDs.  The application exists to exercise the
+time-stamping service and 32-bit arithmetic in the safe toolchain.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.application import Application
+from repro.nesc.component import Component
+from repro.tinyos import messages as msgs
+from repro.tinyos.apps import _base
+
+#: Milliseconds between time-stamped messages.
+STAMP_PERIOD_MS = 1000
+
+
+def _test_time_stamping_m(ifaces) -> Component:
+    source = f"""
+struct TOS_Msg tts_msg_buf;
+uint16_t tts_seqno = 0;
+uint32_t tts_last_offset = 0;
+uint16_t tts_received = 0;
+uint8_t tts_send_busy = 0;
+
+uint8_t Control_init(void) {{
+  tts_seqno = 0;
+  tts_last_offset = 0;
+  tts_received = 0;
+  tts_send_busy = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Timer_start({STAMP_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  Timer_stop();
+  return 1;
+}}
+
+void send_stamp_task(void) {{
+  struct TimeStampMsg* payload;
+  uint32_t now;
+  if (tts_send_busy) {{
+    return;
+  }}
+  now = TimeStamping_getStamp();
+  payload = (struct TimeStampMsg*)tts_msg_buf.data;
+  payload->source = TOS_LOCAL_ADDRESS;
+  payload->seqno = tts_seqno;
+  payload->sendTime = now;
+  payload->receiveTime = 0;
+  tts_seqno = tts_seqno + 1;
+  tts_msg_buf.type = {msgs.AM_TIMESTAMP};
+  if (SendMsg_send({msgs.TOS_BCAST_ADDR}, sizeof(struct TimeStampMsg), &tts_msg_buf)) {{
+    tts_send_busy = 1;
+  }}
+}}
+
+uint8_t Timer_fired(void) {{
+  post send_stamp_task();
+  return 1;
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* sent, uint8_t success) {{
+  if (sent == &tts_msg_buf) {{
+    tts_send_busy = 0;
+  }}
+  return 1;
+}}
+
+struct TOS_Msg* ReceiveMsg_receive(struct TOS_Msg* msg) {{
+  struct TimeStampMsg* payload;
+  uint32_t now;
+  uint32_t offset;
+  if (msg == NULL) {{
+    return msg;
+  }}
+  if (msg->type != {msgs.AM_TIMESTAMP}) {{
+    return msg;
+  }}
+  now = TimeStamping_getStamp();
+  payload = (struct TimeStampMsg*)msg->data;
+  payload->receiveTime = now;
+  if (now >= payload->sendTime) {{
+    offset = now - payload->sendTime;
+  }} else {{
+    offset = payload->sendTime - now;
+  }}
+  atomic {{
+    tts_last_offset = offset;
+    tts_received = tts_received + 1;
+  }}
+  Leds_set((uint8_t)(offset & 7));
+  return msg;
+}}
+"""
+    return Component(
+        name="TestTimeStampingM",
+        provides={"Control": ifaces["StdControl"]},
+        uses={"Timer": ifaces["Timer"], "Leds": ifaces["Leds"],
+              "SendMsg": ifaces["SendMsg"], "ReceiveMsg": ifaces["ReceiveMsg"],
+              "TimeStamping": ifaces["TimeStamping"]},
+        source=source,
+        tasks=["send_stamp_task"],
+    )
+
+
+def build(platform: str = "mica2") -> Application:
+    """Build the TestTimeStamping application."""
+    ifaces = _base.interfaces()
+    app = _base.new_application(
+        "TestTimeStamping", platform, "Exchange time-stamped radio messages")
+    _base.add_leds(app, ifaces)
+    _base.add_timer_stack(app, ifaces)
+    _base.add_radio_stack(app, ifaces)
+    _base.add_time_stamping(app, ifaces)
+    app.add_component(_test_time_stamping_m(ifaces))
+    app.wire("TestTimeStampingM", "Timer", "TimerC", "Timer0")
+    app.wire("TestTimeStampingM", "Leds", "LedsC", "Leds")
+    app.wire("TestTimeStampingM", "SendMsg", "AMStandard", "SendMsg")
+    app.wire("TestTimeStampingM", "ReceiveMsg", "AMStandard", "ReceiveMsg")
+    app.wire("TestTimeStampingM", "TimeStamping", "TimeStampingC", "TimeStamping")
+    app.boot.append(("TestTimeStampingM", "Control"))
+    return app

@@ -1,0 +1,160 @@
+"""Hardware model shared by the component library, backend, and simulator.
+
+The register map below is a simplified composite of the Mica2's ATmega128
+peripherals.  The TelosB reuses the same register layout (our own hardware
+abstraction) but differs in the parameters that matter to the paper's
+results: pointer width behaviour of string literals (flash vs. RAM), clock
+frequency, memory budgets and per-operation cycle costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+# ---------------------------------------------------------------------------
+# Memory-mapped registers (shared by both platforms in this model)
+# ---------------------------------------------------------------------------
+
+#: LED output port: bit0 = red, bit1 = green, bit2 = yellow.
+LED_PORT = 0x3B
+
+#: Clock (Timer1) compare period, in jiffies (1 jiffy = 1/1024 s). 16-bit.
+TIMER_RATE = 0x40
+#: Clock control: bit0 enables the periodic compare interrupt.
+TIMER_CTRL = 0x42
+
+#: Micro timer (Timer3) period in jiffies. 16-bit.
+MICROTIMER_RATE = 0x44
+#: Micro timer control: bit0 enables the interrupt.
+MICROTIMER_CTRL = 0x46
+
+#: ADC control: low nibble selects the channel, bit7 starts a conversion.
+ADC_CTRL = 0x26
+#: ADC result (10-bit value in a 16-bit register).
+ADC_DATA = 0x24
+
+#: Radio control: bit0 enables receive, bit1 enables the transceiver.
+RADIO_CTRL = 0x50
+#: Radio transmit FIFO (write bytes one at a time).
+RADIO_TXBUF = 0x51
+#: Radio receive FIFO (read bytes one at a time).
+RADIO_RXBUF = 0x52
+#: Length of the packet waiting in the receive FIFO.
+RADIO_RXLEN = 0x53
+#: Writing a length here transmits the bytes queued in the TX FIFO.
+RADIO_TXGO = 0x54
+#: Radio status: bit0 = transmit in progress.
+RADIO_STATUS = 0x55
+#: Received signal strength of the last packet (16-bit).
+RADIO_RSSI = 0x56
+
+#: UART data register (write to transmit one byte, read for received byte).
+UART_DATA = 0x2C
+#: UART status: bit0 = transmitter ready.
+UART_STATUS = 0x2E
+
+#: 32-bit free-running jiffy counter exposed to the TimeStamping service
+#: (read as two 16-bit halves).
+JIFFY_COUNTER_LO = 0x60
+JIFFY_COUNTER_HI = 0x62
+
+
+# ---------------------------------------------------------------------------
+# Interrupt vectors
+# ---------------------------------------------------------------------------
+
+VECTOR_CLOCK = "TIMER1_COMPA"
+VECTOR_MICROTIMER = "TIMER3_COMPA"
+VECTOR_ADC = "ADC"
+VECTOR_RADIO_RX = "RADIO_RX"
+VECTOR_RADIO_TXDONE = "RADIO_TXDONE"
+VECTOR_UART_TX = "UART_TX"
+VECTOR_UART_RX = "UART_RX"
+
+ALL_VECTORS = [
+    VECTOR_CLOCK,
+    VECTOR_MICROTIMER,
+    VECTOR_ADC,
+    VECTOR_RADIO_RX,
+    VECTOR_RADIO_TXDONE,
+    VECTOR_UART_TX,
+    VECTOR_UART_RX,
+]
+
+#: ADC channels used by the sensor boards.
+ADC_CHANNEL_PHOTO = 1
+ADC_CHANNEL_TEMP = 2
+ADC_CHANNEL_MIC = 3
+
+#: Jiffies per second of the Clock/Timer subsystem.
+JIFFIES_PER_SECOND = 1024
+
+
+# ---------------------------------------------------------------------------
+# Platforms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Platform:
+    """Parameters of one sensor-node platform.
+
+    Attributes:
+        name: Platform identifier used throughout the toolchain.
+        cpu: Marketing name of the microcontroller.
+        clock_hz: CPU clock frequency.
+        pointer_bytes: Width of a data pointer.
+        ram_bytes: SRAM budget.
+        flash_bytes: Code (flash) budget.
+        word_bits: Natural register width; operations wider than this are
+            charged extra code bytes and cycles by the backend.
+        strings_in_ram: Whether string literals occupy RAM by default.  On
+            the Harvard-architecture AVR they do (unless explicitly placed in
+            program memory), which is why the paper's "verbose error
+            messages" variant has such a large RAM overhead on the Mica2.
+            The MSP430 is a von Neumann machine, so constants stay in flash.
+    """
+
+    name: str
+    cpu: str
+    clock_hz: int
+    pointer_bytes: int
+    ram_bytes: int
+    flash_bytes: int
+    word_bits: int
+    strings_in_ram: bool
+
+
+MICA2 = Platform(
+    name="mica2",
+    cpu="ATmega128L",
+    clock_hz=7_372_800,
+    pointer_bytes=2,
+    ram_bytes=4 * 1024,
+    flash_bytes=128 * 1024,
+    word_bits=8,
+    strings_in_ram=True,
+)
+
+TELOSB = Platform(
+    name="telosb",
+    cpu="MSP430F1611",
+    clock_hz=4_000_000,
+    pointer_bytes=2,
+    ram_bytes=10 * 1024,
+    flash_bytes=48 * 1024,
+    word_bits=16,
+    strings_in_ram=False,
+)
+
+PLATFORMS = {p.name: p for p in (MICA2, TELOSB)}
+
+
+def platform(name: str) -> Platform:
+    """Look up a platform by name (``"mica2"`` or ``"telosb"``)."""
+    try:
+        return PLATFORMS[name]
+    except KeyError:
+        raise KeyError(f"unknown platform {name!r}; expected one of "
+                       f"{sorted(PLATFORMS)}") from None

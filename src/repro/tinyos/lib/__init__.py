@@ -1,0 +1,47 @@
+"""The TinyOS 1.x component library.
+
+Each factory function returns a fresh :class:`~repro.nesc.component.Component`
+so that applications can be built independently (the flattener never mutates
+components, but fresh instances keep application definitions self-contained).
+
+The library mirrors the parts of TinyOS 1.x that the paper's twelve
+benchmark applications rely on:
+
+===================  =====================================================
+Component            Role
+===================  =====================================================
+``HPLClock``         Hardware presentation layer for the 1024 Hz clock
+``MicroTimerC``      High-rate timer used by HighFrequencySampling
+``LedsC``            LED driver (red/green/yellow on the LED port)
+``TimerC``           Virtual timers multiplexed over the clock
+``ADCC``             Split-phase analog-to-digital conversion (photo/temp)
+``RadioCRCPacketC``  Packet-level radio driver with CRC
+``AMStandard``       Active-message layer (addressing, groups, dispatch)
+``UARTFramedPacketC``Framed packets over the UART (for base stations)
+``RandomLFSR``       16-bit LFSR random numbers
+``TimeStampingC``    Message time-stamping service over the jiffy counter
+``MultiHopRouterM``  Beacon-based multihop routing engine (Surge)
+===================  =====================================================
+"""
+
+from repro.tinyos.lib.hpl import hpl_clock, leds_c, micro_timer_c
+from repro.tinyos.lib.timer import timer_c
+from repro.tinyos.lib.sensors import adc_c
+from repro.tinyos.lib.radio import am_standard, radio_crc_packet_c
+from repro.tinyos.lib.uart import uart_framed_packet_c
+from repro.tinyos.lib.services import random_lfsr, time_stamping_c
+from repro.tinyos.lib.routing import multi_hop_router
+
+__all__ = [
+    "hpl_clock",
+    "leds_c",
+    "micro_timer_c",
+    "timer_c",
+    "adc_c",
+    "am_standard",
+    "radio_crc_packet_c",
+    "uart_framed_packet_c",
+    "random_lfsr",
+    "time_stamping_c",
+    "multi_hop_router",
+]

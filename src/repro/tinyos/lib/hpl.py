@@ -1,0 +1,212 @@
+"""Hardware presentation layer components: clock, micro timer, and LEDs.
+
+These components are the lowest level of the stack and are the only ones
+that touch memory-mapped registers directly.  They intentionally use the
+raw ``*(uint8_t*)ADDR`` cast style of real TinyOS HPL code so that the
+hardware-register refactoring stage of the pipeline has real work to do
+(without it, CCured would classify these pointers WILD).
+"""
+
+from __future__ import annotations
+
+from repro.nesc.component import Component
+from repro.nesc.interface import Interface
+from repro.tinyos import hardware as hw
+
+
+def hpl_clock(interfaces: dict[str, Interface]) -> Component:
+    """``HPLClock``: drives the 1024 Hz clock hardware and signals ticks."""
+    source = f"""
+uint16_t clock_rate = 0;
+uint8_t clock_running = 0;
+
+uint8_t Clock_setRate(uint16_t interval) {{
+  atomic {{
+    clock_rate = interval;
+    *(uint16_t*){hw.TIMER_RATE} = interval;
+    *(uint8_t*){hw.TIMER_CTRL} = 1;
+    clock_running = 1;
+  }}
+  return 1;
+}}
+
+void clock_isr(void) {{
+  if (clock_running) {{
+    Clock_tick();
+  }}
+}}
+"""
+    return Component(
+        name="HPLClock",
+        provides={"Clock": interfaces["Clock"]},
+        uses={},
+        source=source,
+        interrupts={hw.VECTOR_CLOCK: "clock_isr"},
+        init_priority=10,
+    )
+
+
+def micro_timer_c(interfaces: dict[str, Interface]) -> Component:
+    """``MicroTimerC``: a high-rate clock for high-frequency sampling."""
+    source = f"""
+uint16_t micro_rate = 0;
+uint8_t micro_running = 0;
+
+uint8_t Control_init(void) {{
+  micro_rate = 0;
+  micro_running = 0;
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  atomic {{
+    micro_running = 0;
+    *(uint8_t*){hw.MICROTIMER_CTRL} = 0;
+  }}
+  return 1;
+}}
+
+uint8_t MicroTimer_setRate(uint16_t interval) {{
+  atomic {{
+    micro_rate = interval;
+    *(uint16_t*){hw.MICROTIMER_RATE} = interval;
+    *(uint8_t*){hw.MICROTIMER_CTRL} = 1;
+    micro_running = 1;
+  }}
+  return 1;
+}}
+
+void micro_isr(void) {{
+  if (micro_running) {{
+    MicroTimer_tick();
+  }}
+}}
+"""
+    return Component(
+        name="MicroTimerC",
+        provides={"Control": interfaces["StdControl"],
+                  "MicroTimer": interfaces["Clock"]},
+        uses={},
+        source=source,
+        interrupts={hw.VECTOR_MICROTIMER: "micro_isr"},
+        init_priority=10,
+    )
+
+
+def leds_c(interfaces: dict[str, Interface]) -> Component:
+    """``LedsC``: the three-LED driver used by nearly every application."""
+    source = f"""
+uint8_t leds_state = 0;
+
+void leds_update(void) {{
+  *(uint8_t*){hw.LED_PORT} = leds_state;
+}}
+
+uint8_t Control_init(void) {{
+  atomic {{
+    leds_state = 0;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  return 1;
+}}
+
+uint8_t Leds_redOn(void) {{
+  atomic {{
+    leds_state = leds_state | 1;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_redOff(void) {{
+  atomic {{
+    leds_state = leds_state & 254;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_redToggle(void) {{
+  atomic {{
+    leds_state = leds_state ^ 1;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_greenOn(void) {{
+  atomic {{
+    leds_state = leds_state | 2;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_greenOff(void) {{
+  atomic {{
+    leds_state = leds_state & 253;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_greenToggle(void) {{
+  atomic {{
+    leds_state = leds_state ^ 2;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_yellowOn(void) {{
+  atomic {{
+    leds_state = leds_state | 4;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_yellowOff(void) {{
+  atomic {{
+    leds_state = leds_state & 251;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_yellowToggle(void) {{
+  atomic {{
+    leds_state = leds_state ^ 4;
+  }}
+  leds_update();
+  return 1;
+}}
+
+uint8_t Leds_set(uint8_t value) {{
+  atomic {{
+    leds_state = value & 7;
+  }}
+  leds_update();
+  return 1;
+}}
+"""
+    return Component(
+        name="LedsC",
+        provides={"Control": interfaces["StdControl"],
+                  "Leds": interfaces["Leds"]},
+        uses={},
+        source=source,
+        init_priority=5,
+    )

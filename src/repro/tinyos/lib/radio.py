@@ -1,0 +1,268 @@
+"""The radio stack: packet-level driver and active-message layer.
+
+``RadioCRCPacketC`` is the packet driver: it serializes a ``TOS_Msg`` into
+the radio transmit FIFO (with a CRC computed over the wire bytes), and
+deserializes received bytes back into a message buffer, using the classic
+TinyOS buffer-swap protocol with its client.  ``AMStandard`` sits on top and
+implements active-message addressing: it fills in the header on send and
+filters received packets by group and destination address.
+
+Both components are deliberately pointer- and array-heavy (byte-wise
+serialization through ``uint8_t*`` views of the message struct), because
+this is where most of CCured's interesting bounds checks come from in the
+real Safe TinyOS radio stack.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.component import Component
+from repro.nesc.interface import Interface
+from repro.tinyos import hardware as hw
+from repro.tinyos import messages as msgs
+
+
+def radio_crc_packet_c(interfaces: dict[str, Interface]) -> Component:
+    """Build the packet-level radio driver."""
+    wire_len = msgs.TOS_MSG_WIRE_LENGTH
+    source = f"""
+struct TOS_Msg radio_rx_buffer;
+struct TOS_Msg* radio_rx_ptr;
+struct TOS_Msg* radio_tx_ptr;
+uint8_t radio_tx_busy = 0;
+uint8_t radio_rx_enabled = 0;
+uint16_t radio_crc_errors = 0;
+uint16_t radio_packets_sent = 0;
+uint16_t radio_packets_received = 0;
+
+uint16_t calc_crc(uint8_t* packet, uint8_t count) {{
+  uint16_t crc = 0;
+  uint8_t i;
+  uint8_t b;
+  for (i = 0; i < count; i++) {{
+    b = packet[i];
+    crc = crc ^ ((uint16_t)b << 8);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+    crc = (crc << 1) ^ (crc & 32768 ? 4129 : 0);
+  }}
+  return crc;
+}}
+
+uint8_t Control_init(void) {{
+  atomic {{
+    radio_tx_busy = 0;
+    radio_rx_enabled = 0;
+    radio_rx_ptr = &radio_rx_buffer;
+    radio_tx_ptr = NULL;
+  }}
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  atomic {{
+    radio_rx_enabled = 1;
+  }}
+  *(uint8_t*){hw.RADIO_CTRL} = 3;
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  atomic {{
+    radio_rx_enabled = 0;
+  }}
+  *(uint8_t*){hw.RADIO_CTRL} = 0;
+  return 1;
+}}
+
+uint8_t RadioControl_setListeningMode(uint8_t mode) {{
+  if (mode) {{
+    *(uint8_t*){hw.RADIO_CTRL} = 3;
+  }} else {{
+    *(uint8_t*){hw.RADIO_CTRL} = 2;
+  }}
+  return 1;
+}}
+
+uint8_t Send_send(struct TOS_Msg* msg) {{
+  uint8_t i;
+  uint8_t* bytes;
+  uint16_t crc;
+  uint8_t busy;
+  if (msg == NULL) {{
+    return 0;
+  }}
+  atomic {{
+    busy = radio_tx_busy;
+    if (busy == 0) {{
+      radio_tx_busy = 1;
+      radio_tx_ptr = msg;
+    }}
+  }}
+  if (busy) {{
+    return 0;
+  }}
+  bytes = (uint8_t*)msg;
+  crc = calc_crc(bytes, {wire_len} - 2);
+  msg->crc = crc;
+  for (i = 0; i < {wire_len}; i++) {{
+    *(uint8_t*){hw.RADIO_TXBUF} = bytes[i];
+  }}
+  *(uint8_t*){hw.RADIO_TXGO} = {wire_len};
+  return 1;
+}}
+
+void radio_txdone_isr(void) {{
+  struct TOS_Msg* sent;
+  atomic {{
+    sent = radio_tx_ptr;
+    radio_tx_busy = 0;
+    radio_tx_ptr = NULL;
+  }}
+  radio_packets_sent = radio_packets_sent + 1;
+  if (sent != NULL) {{
+    Send_sendDone(sent, 1);
+  }}
+}}
+
+void radio_rx_isr(void) {{
+  uint8_t len;
+  uint8_t i;
+  uint8_t* bytes;
+  uint16_t received_crc;
+  uint16_t computed_crc;
+  struct TOS_Msg* next;
+  if (radio_rx_enabled == 0) {{
+    return;
+  }}
+  if (radio_rx_ptr == NULL) {{
+    return;
+  }}
+  len = *(uint8_t*){hw.RADIO_RXLEN};
+  if (len > {wire_len}) {{
+    len = {wire_len};
+  }}
+  bytes = (uint8_t*)radio_rx_ptr;
+  for (i = 0; i < len; i++) {{
+    bytes[i] = *(uint8_t*){hw.RADIO_RXBUF};
+  }}
+  received_crc = radio_rx_ptr->crc;
+  computed_crc = calc_crc(bytes, {wire_len} - 2);
+  if (received_crc != computed_crc) {{
+    radio_crc_errors = radio_crc_errors + 1;
+    return;
+  }}
+  radio_rx_ptr->strength = *(uint16_t*){hw.RADIO_RSSI};
+  radio_packets_received = radio_packets_received + 1;
+  next = Receive_receive(radio_rx_ptr);
+  if (next != NULL) {{
+    radio_rx_ptr = next;
+  }}
+}}
+"""
+    return Component(
+        name="RadioCRCPacketC",
+        provides={"Control": interfaces["StdControl"],
+                  "Send": interfaces["BareSendMsg"],
+                  "Receive": interfaces["ReceiveMsg"],
+                  "RadioControl": interfaces["RadioControl"]},
+        uses={},
+        source=source,
+        interrupts={hw.VECTOR_RADIO_RX: "radio_rx_isr",
+                    hw.VECTOR_RADIO_TXDONE: "radio_txdone_isr"},
+        init_priority=30,
+    )
+
+
+def am_standard(interfaces: dict[str, Interface]) -> Component:
+    """Build the active-message layer (``AMStandard`` / ``GenericComm``)."""
+    source = f"""
+uint8_t am_send_busy = 0;
+uint16_t am_sent_count = 0;
+uint16_t am_received_count = 0;
+uint8_t am_group = {msgs.TOS_DEFAULT_GROUP};
+
+uint8_t Control_init(void) {{
+  atomic {{
+    am_send_busy = 0;
+    am_sent_count = 0;
+    am_received_count = 0;
+  }}
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  return 1;
+}}
+
+uint8_t SendMsg_send(uint16_t address, uint8_t length, struct TOS_Msg* msg) {{
+  uint8_t ok;
+  if (msg == NULL) {{
+    return 0;
+  }}
+  if (length > {msgs.TOSH_DATA_LENGTH}) {{
+    return 0;
+  }}
+  atomic {{
+    ok = am_send_busy == 0;
+    if (ok) {{
+      am_send_busy = 1;
+    }}
+  }}
+  if (!ok) {{
+    return 0;
+  }}
+  msg->addr = address;
+  msg->group = am_group;
+  msg->length = length;
+  ok = RadioSend_send(msg);
+  if (!ok) {{
+    atomic {{
+      am_send_busy = 0;
+    }}
+  }}
+  return ok;
+}}
+
+uint8_t RadioSend_sendDone(struct TOS_Msg* msg, uint8_t success) {{
+  atomic {{
+    am_send_busy = 0;
+  }}
+  am_sent_count = am_sent_count + 1;
+  return SendMsg_sendDone(msg, success);
+}}
+
+struct TOS_Msg* RadioReceive_receive(struct TOS_Msg* msg) {{
+  if (msg == NULL) {{
+    return msg;
+  }}
+  if (msg->group != am_group) {{
+    return msg;
+  }}
+  if (msg->addr != {msgs.TOS_BCAST_ADDR}) {{
+    if (msg->addr != TOS_LOCAL_ADDRESS) {{
+      return msg;
+    }}
+  }}
+  am_received_count = am_received_count + 1;
+  return ReceiveMsg_receive(msg);
+}}
+"""
+    return Component(
+        name="AMStandard",
+        provides={"Control": interfaces["StdControl"],
+                  "SendMsg": interfaces["SendMsg"],
+                  "ReceiveMsg": interfaces["ReceiveMsg"]},
+        uses={"RadioSend": interfaces["BareSendMsg"],
+              "RadioReceive": interfaces["ReceiveMsg"]},
+        source=source,
+        init_priority=40,
+    )

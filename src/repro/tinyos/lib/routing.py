@@ -1,0 +1,328 @@
+"""``MultiHopRouterM``: beacon-based multihop routing (the Surge substrate).
+
+A simplified re-creation of the TinyOS 1.x ``MultiHopRouter``/``WMEWMA``
+engine with the structure that matters to the toolchain: a neighbor table
+updated from received beacons, periodic parent selection, a small forwarding
+queue of message buffers, and a multihop header overlaid on the message
+payload through a pointer cast.  Surge is the largest application in the
+paper's figures chiefly because of this component.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.component import Component
+from repro.nesc.interface import Interface
+from repro.tinyos import messages as msgs
+
+#: Number of neighbor-table entries.
+NEIGHBOR_TABLE_SIZE = 8
+#: Number of message buffers in the forwarding queue.
+FORWARD_QUEUE_SIZE = 4
+#: Beacon period in milliseconds.
+BEACON_PERIOD_MS = 4000
+#: Address of the routing tree root (the base station).
+BASE_STATION_ADDRESS = 0
+
+
+def multi_hop_router(interfaces: dict[str, Interface]) -> Component:
+    """Build the multihop routing engine."""
+    source = f"""
+struct MultihopHdr {{
+  uint16_t sourceaddr;
+  uint16_t originaddr;
+  uint16_t seqno;
+  uint8_t hopcount;
+}};
+
+struct NeighborEntry {{
+  uint16_t addr;
+  uint8_t hopcount;
+  uint8_t quality;
+  uint8_t age;
+  uint8_t valid;
+}};
+
+struct NeighborEntry route_table[{NEIGHBOR_TABLE_SIZE}];
+struct TOS_Msg route_fwd_queue[{FORWARD_QUEUE_SIZE}];
+uint8_t route_fwd_in_use[{FORWARD_QUEUE_SIZE}];
+struct TOS_Msg route_beacon_msg;
+uint16_t route_parent = {msgs.TOS_BCAST_ADDR};
+uint8_t route_hopcount = 64;
+uint16_t route_seqno = 0;
+uint8_t route_sending = 0;
+uint16_t route_forwarded = 0;
+uint16_t route_dropped = 0;
+
+uint8_t Control_init(void) {{
+  uint8_t i;
+  for (i = 0; i < {NEIGHBOR_TABLE_SIZE}; i++) {{
+    route_table[i].addr = {msgs.TOS_BCAST_ADDR};
+    route_table[i].hopcount = 255;
+    route_table[i].quality = 0;
+    route_table[i].age = 0;
+    route_table[i].valid = 0;
+  }}
+  for (i = 0; i < {FORWARD_QUEUE_SIZE}; i++) {{
+    route_fwd_in_use[i] = 0;
+  }}
+  route_parent = {msgs.TOS_BCAST_ADDR};
+  route_hopcount = 64;
+  route_seqno = 0;
+  route_sending = 0;
+  if (TOS_LOCAL_ADDRESS == {BASE_STATION_ADDRESS}) {{
+    route_hopcount = 0;
+    route_parent = {BASE_STATION_ADDRESS};
+  }}
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  RouteTimer_start({BEACON_PERIOD_MS});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  RouteTimer_stop();
+  return 1;
+}}
+
+uint8_t find_neighbor(uint16_t addr) {{
+  uint8_t i;
+  for (i = 0; i < {NEIGHBOR_TABLE_SIZE}; i++) {{
+    if (route_table[i].valid && route_table[i].addr == addr) {{
+      return i;
+    }}
+  }}
+  return {NEIGHBOR_TABLE_SIZE};
+}}
+
+uint8_t allocate_neighbor(uint16_t addr) {{
+  uint8_t i;
+  uint8_t oldest = 0;
+  uint8_t oldest_age = 0;
+  for (i = 0; i < {NEIGHBOR_TABLE_SIZE}; i++) {{
+    if (!route_table[i].valid) {{
+      route_table[i].addr = addr;
+      route_table[i].hopcount = 255;
+      route_table[i].quality = 0;
+      route_table[i].age = 0;
+      route_table[i].valid = 1;
+      return i;
+    }}
+    if (route_table[i].age >= oldest_age) {{
+      oldest_age = route_table[i].age;
+      oldest = i;
+    }}
+  }}
+  route_table[oldest].addr = addr;
+  route_table[oldest].hopcount = 255;
+  route_table[oldest].quality = 0;
+  route_table[oldest].age = 0;
+  route_table[oldest].valid = 1;
+  return oldest;
+}}
+
+void update_neighbor(uint16_t addr, uint8_t hopcount) {{
+  uint8_t slot;
+  slot = find_neighbor(addr);
+  if (slot >= {NEIGHBOR_TABLE_SIZE}) {{
+    slot = allocate_neighbor(addr);
+  }}
+  route_table[slot].hopcount = hopcount;
+  route_table[slot].age = 0;
+  if (route_table[slot].quality < 255) {{
+    route_table[slot].quality = route_table[slot].quality + 16;
+  }}
+}}
+
+void choose_parent(void) {{
+  uint8_t i;
+  uint8_t best = {NEIGHBOR_TABLE_SIZE};
+  uint8_t best_hopcount = 255;
+  if (TOS_LOCAL_ADDRESS == {BASE_STATION_ADDRESS}) {{
+    return;
+  }}
+  for (i = 0; i < {NEIGHBOR_TABLE_SIZE}; i++) {{
+    if (!route_table[i].valid) {{
+      continue;
+    }}
+    if (route_table[i].quality < 32) {{
+      continue;
+    }}
+    if (route_table[i].hopcount < best_hopcount) {{
+      best_hopcount = route_table[i].hopcount;
+      best = i;
+    }}
+  }}
+  if (best < {NEIGHBOR_TABLE_SIZE}) {{
+    route_parent = route_table[best].addr;
+    route_hopcount = best_hopcount + 1;
+  }} else {{
+    route_parent = {msgs.TOS_BCAST_ADDR};
+    route_hopcount = 64;
+  }}
+}}
+
+void age_neighbors(void) {{
+  uint8_t i;
+  for (i = 0; i < {NEIGHBOR_TABLE_SIZE}; i++) {{
+    if (!route_table[i].valid) {{
+      continue;
+    }}
+    if (route_table[i].age < 255) {{
+      route_table[i].age = route_table[i].age + 1;
+    }}
+    if (route_table[i].quality > 0) {{
+      route_table[i].quality = route_table[i].quality - 1;
+    }}
+    if (route_table[i].age > 8) {{
+      route_table[i].valid = 0;
+    }}
+  }}
+}}
+
+void send_beacon(void) {{
+  struct MultihopHdr* hdr;
+  uint8_t jitter;
+  jitter = (uint8_t)(Random_rand() & 7);
+  hdr = (struct MultihopHdr*)route_beacon_msg.data;
+  hdr->sourceaddr = TOS_LOCAL_ADDRESS;
+  hdr->originaddr = TOS_LOCAL_ADDRESS;
+  hdr->seqno = route_seqno;
+  hdr->hopcount = route_hopcount + jitter - jitter;
+  route_beacon_msg.type = {msgs.AM_MULTIHOP};
+  SendMsg_send({msgs.TOS_BCAST_ADDR}, sizeof(struct MultihopHdr), &route_beacon_msg);
+}}
+
+uint8_t RouteTimer_fired(void) {{
+  age_neighbors();
+  choose_parent();
+  send_beacon();
+  return 1;
+}}
+
+uint16_t RouteControl_getParent(void) {{
+  return route_parent;
+}}
+
+uint8_t Send_send(struct TOS_Msg* msg, uint16_t length) {{
+  struct MultihopHdr* hdr;
+  if (msg == NULL) {{
+    return 0;
+  }}
+  if (length > {msgs.TOSH_DATA_LENGTH}) {{
+    return 0;
+  }}
+  if (route_parent == {msgs.TOS_BCAST_ADDR}) {{
+    return 0;
+  }}
+  hdr = (struct MultihopHdr*)msg->data;
+  hdr->sourceaddr = TOS_LOCAL_ADDRESS;
+  hdr->originaddr = TOS_LOCAL_ADDRESS;
+  hdr->seqno = route_seqno;
+  hdr->hopcount = route_hopcount;
+  route_seqno = route_seqno + 1;
+  msg->type = {msgs.AM_MULTIHOP};
+  return SendMsg_send(route_parent, (uint8_t)length, msg);
+}}
+
+uint8_t find_free_queue_slot(void) {{
+  uint8_t i;
+  for (i = 0; i < {FORWARD_QUEUE_SIZE}; i++) {{
+    if (route_fwd_in_use[i] == 0) {{
+      return i;
+    }}
+  }}
+  return {FORWARD_QUEUE_SIZE};
+}}
+
+void copy_message(struct TOS_Msg* dst, struct TOS_Msg* src) {{
+  uint8_t i;
+  uint8_t* dbytes;
+  uint8_t* sbytes;
+  dbytes = (uint8_t*)dst;
+  sbytes = (uint8_t*)src;
+  for (i = 0; i < {msgs.TOS_MSG_WIRE_LENGTH}; i++) {{
+    dbytes[i] = sbytes[i];
+  }}
+}}
+
+void forward_message(struct TOS_Msg* msg) {{
+  uint8_t slot;
+  struct MultihopHdr* hdr;
+  struct TOS_Msg* copy;
+  if (route_parent == {msgs.TOS_BCAST_ADDR}) {{
+    route_dropped = route_dropped + 1;
+    return;
+  }}
+  slot = find_free_queue_slot();
+  if (slot >= {FORWARD_QUEUE_SIZE}) {{
+    route_dropped = route_dropped + 1;
+    return;
+  }}
+  copy = &route_fwd_queue[slot];
+  copy_message(copy, msg);
+  hdr = (struct MultihopHdr*)copy->data;
+  hdr->sourceaddr = TOS_LOCAL_ADDRESS;
+  hdr->hopcount = route_hopcount;
+  route_fwd_in_use[slot] = 1;
+  if (SendMsg_send(route_parent, copy->length, copy)) {{
+    route_forwarded = route_forwarded + 1;
+  }} else {{
+    route_fwd_in_use[slot] = 0;
+    route_dropped = route_dropped + 1;
+  }}
+}}
+
+uint8_t SendMsg_sendDone(struct TOS_Msg* msg, uint8_t success) {{
+  uint8_t i;
+  for (i = 0; i < {FORWARD_QUEUE_SIZE}; i++) {{
+    if (route_fwd_in_use[i] && msg == &route_fwd_queue[i]) {{
+      route_fwd_in_use[i] = 0;
+      return 1;
+    }}
+  }}
+  if (msg == &route_beacon_msg) {{
+    return 1;
+  }}
+  return Send_sendDone(msg, success);
+}}
+
+struct TOS_Msg* ReceiveMsg_receive(struct TOS_Msg* msg) {{
+  struct MultihopHdr* hdr;
+  uint8_t* payload;
+  if (msg == NULL) {{
+    return msg;
+  }}
+  if (msg->type != {msgs.AM_MULTIHOP}) {{
+    return msg;
+  }}
+  hdr = (struct MultihopHdr*)msg->data;
+  update_neighbor(hdr->sourceaddr, hdr->hopcount);
+  if (msg->length <= sizeof(struct MultihopHdr)) {{
+    choose_parent();
+    return msg;
+  }}
+  payload = msg->data;
+  if (!Intercept_intercept(msg, payload, msg->length)) {{
+    return msg;
+  }}
+  if (TOS_LOCAL_ADDRESS != {BASE_STATION_ADDRESS}) {{
+    forward_message(msg);
+  }}
+  return msg;
+}}
+"""
+    return Component(
+        name="MultiHopRouterM",
+        provides={"Control": interfaces["StdControl"],
+                  "Send": interfaces["Send"],
+                  "Intercept": interfaces["Intercept"],
+                  "RouteControl": interfaces["RouteControl"]},
+        uses={"SendMsg": interfaces["SendMsg"],
+              "ReceiveMsg": interfaces["ReceiveMsg"],
+              "Random": interfaces["Random"],
+              "RouteTimer": interfaces["Timer"]},
+        source=source,
+        init_priority=60,
+    )

@@ -1,0 +1,87 @@
+"""``ADCC``: split-phase analog-to-digital conversion for the sensor board.
+
+Provides two ADC instances (photo and temperature).  ``getData`` starts a
+conversion in hardware; the ADC completion interrupt reads the result and
+signals ``dataReady`` to whichever client started the conversion.  The
+pending-channel bookkeeping is shared between task and interrupt context.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.component import Component
+from repro.nesc.interface import Interface
+from repro.tinyos import hardware as hw
+
+
+def adc_c(interfaces: dict[str, Interface]) -> Component:
+    """Build the ADC component (photo on channel 1, temperature on channel 2)."""
+    source = f"""
+uint8_t adc_busy = 0;
+uint8_t adc_pending_channel = 0;
+uint16_t adc_last_value = 0;
+
+uint8_t Control_init(void) {{
+  atomic {{
+    adc_busy = 0;
+    adc_pending_channel = 0;
+    adc_last_value = 0;
+  }}
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  return 1;
+}}
+
+uint8_t start_conversion(uint8_t channel) {{
+  uint8_t ok = 0;
+  atomic {{
+    if (adc_busy == 0) {{
+      adc_busy = 1;
+      adc_pending_channel = channel;
+      ok = 1;
+    }}
+  }}
+  if (ok) {{
+    *(uint8_t*){hw.ADC_CTRL} = (uint8_t)(128 | channel);
+  }}
+  return ok;
+}}
+
+uint8_t PhotoADC_getData(void) {{
+  return start_conversion({hw.ADC_CHANNEL_PHOTO});
+}}
+
+uint8_t TempADC_getData(void) {{
+  return start_conversion({hw.ADC_CHANNEL_TEMP});
+}}
+
+void adc_isr(void) {{
+  uint16_t value;
+  uint8_t channel;
+  value = *(uint16_t*){hw.ADC_DATA};
+  channel = adc_pending_channel;
+  adc_last_value = value;
+  adc_busy = 0;
+  if (channel == {hw.ADC_CHANNEL_PHOTO}) {{
+    PhotoADC_dataReady(value);
+  }}
+  if (channel == {hw.ADC_CHANNEL_TEMP}) {{
+    TempADC_dataReady(value);
+  }}
+}}
+"""
+    return Component(
+        name="ADCC",
+        provides={"Control": interfaces["StdControl"],
+                  "PhotoADC": interfaces["ADC"],
+                  "TempADC": interfaces["ADC"]},
+        uses={},
+        source=source,
+        interrupts={hw.VECTOR_ADC: "adc_isr"},
+        init_priority=15,
+    )

@@ -1,0 +1,87 @@
+"""Utility services: pseudo-random numbers and message time-stamping.
+
+``RandomLFSR`` is the 16-bit linear-feedback shift register from TinyOS 1.x,
+used by the multihop router to jitter its beacon timing.  ``TimeStampingC``
+exposes the free-running jiffy counter as a 32-bit time stamp, which the
+TestTimeStamping application embeds in outgoing messages.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.component import Component
+from repro.nesc.interface import Interface
+from repro.tinyos import hardware as hw
+
+
+def random_lfsr(interfaces: dict[str, Interface]) -> Component:
+    """Build the 16-bit LFSR random number generator."""
+    source = """
+uint16_t lfsr_shift_register = 119;
+uint16_t lfsr_init_seed = 119;
+uint16_t lfsr_mask = 137;
+
+uint8_t Random_init(void) {
+  atomic {
+    lfsr_shift_register = 119;
+    lfsr_init_seed = 119;
+    lfsr_mask = 137;
+  }
+  return 1;
+}
+
+uint16_t Random_rand(void) {
+  uint8_t endbit;
+  uint16_t tmp_shift_register;
+  atomic {
+    tmp_shift_register = lfsr_shift_register;
+    endbit = (uint8_t)((tmp_shift_register & 32768) != 0);
+    tmp_shift_register = tmp_shift_register << 1;
+    if (endbit) {
+      tmp_shift_register = tmp_shift_register ^ 4352;
+    }
+    tmp_shift_register = tmp_shift_register + 1;
+    lfsr_shift_register = tmp_shift_register;
+  }
+  return tmp_shift_register ^ lfsr_mask;
+}
+"""
+    return Component(
+        name="RandomLFSR",
+        provides={"Random": interfaces["Random"]},
+        uses={},
+        source=source,
+        init_priority=50,
+    )
+
+
+def time_stamping_c(interfaces: dict[str, Interface]) -> Component:
+    """Build the time-stamping service over the jiffy counter registers."""
+    source = f"""
+uint32_t ts_last_stamp = 0;
+
+uint32_t TimeStamping_getStamp(void) {{
+  uint16_t lo;
+  uint16_t hi;
+  uint16_t hi2;
+  uint32_t stamp;
+  atomic {{
+    hi = *(uint16_t*){hw.JIFFY_COUNTER_HI};
+    lo = *(uint16_t*){hw.JIFFY_COUNTER_LO};
+    hi2 = *(uint16_t*){hw.JIFFY_COUNTER_HI};
+    if (hi2 != hi) {{
+      lo = *(uint16_t*){hw.JIFFY_COUNTER_LO};
+      hi = hi2;
+    }}
+  }}
+  stamp = ((uint32_t)hi << 16) | (uint32_t)lo;
+  ts_last_stamp = stamp;
+  return stamp;
+}}
+"""
+    return Component(
+        name="TimeStampingC",
+        provides={"TimeStamping": interfaces["TimeStamping"]},
+        uses={},
+        source=source,
+        init_priority=50,
+    )

@@ -1,0 +1,164 @@
+"""``TimerC``: virtual timers multiplexed over the hardware clock.
+
+The component provides three independently wireable timers.  Clock ticks
+arrive in interrupt context; expired timers are recorded and a task is
+posted so that ``fired`` events are signalled in task context, exactly like
+``TimerM`` in TinyOS 1.x.  The shared state between the interrupt handler
+and the task is what makes the timer the canonical source of racy variables
+for the concurrency analysis.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.component import Component
+from repro.nesc.interface import Interface
+from repro.tinyos import hardware as hw
+
+#: Number of virtual timers provided (Timer0, Timer1, Timer2).
+NUM_TIMERS = 3
+
+#: Clock ticks per second used by the virtual timer layer.  Timer intervals
+#: are given in milliseconds and converted to ticks of this rate.
+TICKS_PER_SECOND = 32
+
+
+def timer_c(interfaces: dict[str, Interface]) -> Component:
+    """Build the virtual-timer component."""
+    tick_interval_jiffies = hw.JIFFIES_PER_SECOND // TICKS_PER_SECOND
+    source = f"""
+uint16_t timer_period[{NUM_TIMERS}];
+uint16_t timer_remaining[{NUM_TIMERS}];
+uint8_t timer_running = 0;
+norace uint8_t timer_expired = 0;
+uint8_t timer_posted = 0;
+
+uint8_t Control_init(void) {{
+  uint8_t i;
+  atomic {{
+    for (i = 0; i < {NUM_TIMERS}; i++) {{
+      timer_period[i] = 0;
+      timer_remaining[i] = 0;
+    }}
+    timer_running = 0;
+    timer_expired = 0;
+    timer_posted = 0;
+  }}
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  Clock_setRate({tick_interval_jiffies});
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  atomic {{
+    timer_running = 0;
+  }}
+  return 1;
+}}
+
+uint8_t start_timer(uint8_t which, uint32_t interval) {{
+  uint16_t ticks;
+  if (which >= {NUM_TIMERS}) {{
+    return 0;
+  }}
+  ticks = (uint16_t)((interval * {TICKS_PER_SECOND}) / 1000);
+  if (ticks == 0) {{
+    ticks = 1;
+  }}
+  atomic {{
+    timer_period[which] = ticks;
+    timer_remaining[which] = ticks;
+    timer_running = timer_running | (1 << which);
+  }}
+  return 1;
+}}
+
+uint8_t stop_timer(uint8_t which) {{
+  if (which >= {NUM_TIMERS}) {{
+    return 0;
+  }}
+  atomic {{
+    timer_running = timer_running & ~(1 << which);
+  }}
+  return 1;
+}}
+
+uint8_t Timer0_start(uint32_t interval) {{
+  return start_timer(0, interval);
+}}
+
+uint8_t Timer0_stop(void) {{
+  return stop_timer(0);
+}}
+
+uint8_t Timer1_start(uint32_t interval) {{
+  return start_timer(1, interval);
+}}
+
+uint8_t Timer1_stop(void) {{
+  return stop_timer(1);
+}}
+
+uint8_t Timer2_start(uint32_t interval) {{
+  return start_timer(2, interval);
+}}
+
+uint8_t Timer2_stop(void) {{
+  return stop_timer(2);
+}}
+
+void fire_timers(void) {{
+  uint8_t expired_now;
+  atomic {{
+    expired_now = timer_expired;
+    timer_expired = 0;
+    timer_posted = 0;
+  }}
+  if (expired_now & 1) {{
+    Timer0_fired();
+  }}
+  if (expired_now & 2) {{
+    Timer1_fired();
+  }}
+  if (expired_now & 4) {{
+    Timer2_fired();
+  }}
+}}
+
+uint8_t Clock_tick(void) {{
+  uint8_t i;
+  uint8_t need_post = 0;
+  for (i = 0; i < {NUM_TIMERS}; i++) {{
+    if (timer_running & (1 << i)) {{
+      if (timer_remaining[i] > 0) {{
+        timer_remaining[i] = timer_remaining[i] - 1;
+      }}
+      if (timer_remaining[i] == 0) {{
+        timer_remaining[i] = timer_period[i];
+        timer_expired = timer_expired | (1 << i);
+        need_post = 1;
+      }}
+    }}
+  }}
+  if (need_post) {{
+    if (timer_posted == 0) {{
+      timer_posted = 1;
+      post fire_timers();
+    }}
+  }}
+  return 1;
+}}
+"""
+    return Component(
+        name="TimerC",
+        provides={"Control": interfaces["StdControl"],
+                  "Timer0": interfaces["Timer"],
+                  "Timer1": interfaces["Timer"],
+                  "Timer2": interfaces["Timer"]},
+        uses={"Clock": interfaces["Clock"]},
+        source=source,
+        tasks=["fire_timers"],
+        init_priority=20,
+    )

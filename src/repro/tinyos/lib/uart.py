@@ -1,0 +1,127 @@
+"""``UARTFramedPacketC``: framed TOS messages over the serial port.
+
+Used by base-station style applications (GenericBase, MicaHWVerify) to move
+packets between the radio network and an attached PC.  Transmission is
+interrupt-driven one byte at a time; reception assembles bytes into a
+message buffer and hands complete frames to the client with the same
+buffer-swap protocol as the radio driver.
+"""
+
+from __future__ import annotations
+
+from repro.nesc.component import Component
+from repro.nesc.interface import Interface
+from repro.tinyos import hardware as hw
+from repro.tinyos import messages as msgs
+
+
+def uart_framed_packet_c(interfaces: dict[str, Interface]) -> Component:
+    """Build the framed UART packet component."""
+    wire_len = msgs.TOS_MSG_WIRE_LENGTH
+    source = f"""
+struct TOS_Msg uart_rx_buffer;
+struct TOS_Msg* uart_rx_ptr;
+struct TOS_Msg* uart_tx_ptr;
+uint8_t uart_tx_index = 0;
+uint8_t uart_tx_busy = 0;
+uint8_t uart_rx_index = 0;
+
+uint8_t Control_init(void) {{
+  atomic {{
+    uart_tx_busy = 0;
+    uart_tx_index = 0;
+    uart_rx_index = 0;
+    uart_rx_ptr = &uart_rx_buffer;
+    uart_tx_ptr = NULL;
+  }}
+  return 1;
+}}
+
+uint8_t Control_start(void) {{
+  return 1;
+}}
+
+uint8_t Control_stop(void) {{
+  return 1;
+}}
+
+uint8_t UARTSend_send(struct TOS_Msg* msg) {{
+  uint8_t busy;
+  uint8_t* bytes;
+  if (msg == NULL) {{
+    return 0;
+  }}
+  atomic {{
+    busy = uart_tx_busy;
+    if (busy == 0) {{
+      uart_tx_busy = 1;
+      uart_tx_ptr = msg;
+      uart_tx_index = 0;
+    }}
+  }}
+  if (busy) {{
+    return 0;
+  }}
+  bytes = (uint8_t*)msg;
+  *(uint8_t*){hw.UART_DATA} = bytes[0];
+  atomic {{
+    uart_tx_index = 1;
+  }}
+  return 1;
+}}
+
+void uart_tx_isr(void) {{
+  uint8_t* bytes;
+  struct TOS_Msg* done;
+  uint8_t index;
+  if (uart_tx_busy == 0) {{
+    return;
+  }}
+  index = uart_tx_index;
+  if (index >= {wire_len}) {{
+    done = uart_tx_ptr;
+    uart_tx_busy = 0;
+    uart_tx_ptr = NULL;
+    if (done != NULL) {{
+      UARTSend_sendDone(done, 1);
+    }}
+    return;
+  }}
+  bytes = (uint8_t*)uart_tx_ptr;
+  *(uint8_t*){hw.UART_DATA} = bytes[index];
+  uart_tx_index = index + 1;
+}}
+
+void uart_rx_isr(void) {{
+  uint8_t byte;
+  uint8_t* bytes;
+  struct TOS_Msg* next;
+  byte = *(uint8_t*){hw.UART_DATA};
+  if (uart_rx_ptr == NULL) {{
+    return;
+  }}
+  bytes = (uint8_t*)uart_rx_ptr;
+  if (uart_rx_index < {wire_len}) {{
+    bytes[uart_rx_index] = byte;
+    uart_rx_index = uart_rx_index + 1;
+  }}
+  if (uart_rx_index >= {wire_len}) {{
+    uart_rx_index = 0;
+    next = UARTReceive_receive(uart_rx_ptr);
+    if (next != NULL) {{
+      uart_rx_ptr = next;
+    }}
+  }}
+}}
+"""
+    return Component(
+        name="UARTFramedPacketC",
+        provides={"Control": interfaces["StdControl"],
+                  "UARTSend": interfaces["BareSendMsg"],
+                  "UARTReceive": interfaces["ReceiveMsg"]},
+        uses={},
+        source=source,
+        interrupts={hw.VECTOR_UART_TX: "uart_tx_isr",
+                    hw.VECTOR_UART_RX: "uart_rx_isr"},
+        init_priority=30,
+    )

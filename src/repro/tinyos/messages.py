@@ -1,0 +1,98 @@
+"""Shared message structures and constants (the applications' common source).
+
+Every application's ``common_source`` starts with these declarations; they
+play the role of ``AM.h`` / ``TosMsg.h`` in TinyOS 1.x.  The 29-byte payload
+and the header layout follow the TinyOS 1.x ``TOS_Msg`` definition, which is
+what the paper's applications exchange over the CC1000 radio.
+"""
+
+from __future__ import annotations
+
+from repro.cminor import typesys as ty
+
+#: Payload bytes available in one active message.
+TOSH_DATA_LENGTH = 29
+
+#: Total on-air message length: header (5) + payload (29) + crc (2).
+TOS_MSG_WIRE_LENGTH = 5 + TOSH_DATA_LENGTH + 2
+
+#: Broadcast destination address.
+TOS_BCAST_ADDR = 0xFFFF
+#: Address delivered to the local UART bridge.
+TOS_UART_ADDR = 0x007E
+#: Default active-message group.
+TOS_DEFAULT_GROUP = 0x7D
+
+#: Active message types used by the benchmark applications.
+AM_OSCOPE = 10
+AM_INT_MSG = 4
+AM_SURGE = 17
+AM_MULTIHOP = 250
+AM_IDENT = 27
+AM_TIMESTAMP = 37
+AM_HFS_DATA = 51
+AM_COUNT = 61
+
+COMMON_SOURCE = f"""
+uint16_t TOS_LOCAL_ADDRESS = 1;
+
+struct TOS_Msg {{
+  uint16_t addr;
+  uint8_t type;
+  uint8_t group;
+  uint8_t length;
+  uint8_t data[{TOSH_DATA_LENGTH}];
+  uint16_t crc;
+  uint16_t strength;
+  uint8_t ack;
+  uint16_t time;
+}};
+
+struct SurgeMsg {{
+  uint16_t sourceaddr;
+  uint16_t originaddr;
+  uint16_t reading;
+  uint16_t seqno;
+  uint16_t parentaddr;
+  uint8_t hopcount;
+}};
+
+struct OscopeMsg {{
+  uint16_t sourceMoteID;
+  uint16_t lastSampleNumber;
+  uint16_t channel;
+  uint16_t data[10];
+}};
+
+struct IdentMsg {{
+  uint16_t id;
+  uint8_t name[16];
+}};
+
+struct TimeStampMsg {{
+  uint16_t source;
+  uint16_t seqno;
+  uint32_t sendTime;
+  uint32_t receiveTime;
+}};
+"""
+
+
+def tos_msg_struct_fields() -> list[ty.StructField]:
+    """The ``struct TOS_Msg`` field list as CMinor types (for interface defs)."""
+    return [
+        ty.StructField("addr", ty.UINT16),
+        ty.StructField("type", ty.UINT8),
+        ty.StructField("group", ty.UINT8),
+        ty.StructField("length", ty.UINT8),
+        ty.StructField("data", ty.ArrayType(ty.UINT8, TOSH_DATA_LENGTH)),
+        ty.StructField("crc", ty.UINT16),
+        ty.StructField("strength", ty.UINT16),
+        ty.StructField("ack", ty.UINT8),
+        ty.StructField("time", ty.UINT16),
+    ]
+
+
+def tos_msg_type() -> ty.StructType:
+    """A standalone ``struct TOS_Msg`` type object (used by interface defs)."""
+    return ty.StructType("TOS_Msg", tuple(tos_msg_struct_fields()))

@@ -1,0 +1,33 @@
+"""The Safe TinyOS toolchain: Figure 1 of the paper as a library.
+
+``BuildPipeline`` strings together the stages — nesC flattening, hardware
+register refactoring, CCured, the inliner, cXprop, and the GCC-strength
+backend — according to a :class:`~repro.toolchain.config.BuildVariant`.
+The predefined variants in :mod:`repro.toolchain.variants` correspond to the
+bars of Figures 2 and 3.
+"""
+
+from repro.toolchain.config import BuildVariant
+from repro.toolchain.pipeline import BuildPipeline, BuildResult
+from repro.toolchain.variants import (
+    BASELINE,
+    FIGURE2_STRATEGIES,
+    FIGURE3_VARIANTS,
+    SAFE_OPTIMIZED,
+    UNSAFE_OPTIMIZED,
+    variant_by_name,
+)
+from repro.toolchain.contexts import duty_cycle_context
+
+__all__ = [
+    "BuildVariant",
+    "BuildPipeline",
+    "BuildResult",
+    "BASELINE",
+    "SAFE_OPTIMIZED",
+    "UNSAFE_OPTIMIZED",
+    "FIGURE2_STRATEGIES",
+    "FIGURE3_VARIANTS",
+    "variant_by_name",
+    "duty_cycle_context",
+]

@@ -1,0 +1,58 @@
+"""Build-variant configuration.
+
+A :class:`BuildVariant` selects which pipeline stages run and how CCured is
+configured.  Each bar in the paper's Figures 2 and 3 is one variant; the
+predefined set lives in :mod:`repro.toolchain.variants`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ccured.config import MessageStrategy, RuntimeMode
+
+
+@dataclass(frozen=True)
+class BuildVariant:
+    """One way of building an application.
+
+    Attributes:
+        name: Short identifier used in reports and benchmark output.
+        description: Human-readable summary (matches the figure legends).
+        safe: Whether CCured runs at all (safe vs. unsafe builds).
+        message_strategy: How failure messages are encoded (safe builds).
+        runtime_mode: Which CCured runtime library is linked (safe builds).
+        run_ccured_optimizer: Run CCured's own redundant-check optimizer.
+        insert_locks: Protect checks on racy variables with atomic sections.
+        run_inliner: Run the source-to-source inliner before cXprop.
+        run_cxprop: Run the cXprop whole-program optimizer.
+        cxprop_domain: Abstract domain used by cXprop.
+        suppress_norace: Ignore ``norace`` annotations in the nesC race
+            analysis (required for soundness of safe builds; Section 2.2).
+    """
+
+    name: str
+    description: str = ""
+    safe: bool = True
+    message_strategy: MessageStrategy = MessageStrategy.FLID
+    runtime_mode: RuntimeMode = RuntimeMode.TRIMMED
+    run_ccured_optimizer: bool = True
+    insert_locks: bool = True
+    run_inliner: bool = False
+    run_cxprop: bool = False
+    cxprop_domain: str = "interval"
+    suppress_norace: bool = True
+
+    def describe(self) -> str:
+        parts: list[str] = ["safe" if self.safe else "unsafe"]
+        if self.safe:
+            parts.append(f"messages={self.message_strategy.value}")
+            parts.append(f"runtime={self.runtime_mode.value}")
+            if self.run_ccured_optimizer:
+                parts.append("ccured-opt")
+        if self.run_inliner:
+            parts.append("inline")
+        if self.run_cxprop:
+            parts.append(f"cxprop[{self.cxprop_domain}]")
+        parts.append("gcc")
+        return " + ".join(parts)

@@ -1,0 +1,162 @@
+"""The build pipeline (Figure 1 of the paper).
+
+``BuildPipeline.build`` runs the stages in the paper's order:
+
+1. the nesC compiler (flattening + concurrency analysis),
+2. hardware-register access refactoring,
+3. CCured (kind inference, check insertion, locks, runtime, messages/FLIDs),
+4. CCured's own check optimizer,
+5. the source-to-source inliner,
+6. cXprop,
+7. the GCC-strength backend and image accounting.
+
+Every stage's report is captured in the returned :class:`BuildResult`, which
+is also what the benchmark harnesses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.backend.gcc_opt import GccOptReport, gcc_optimize
+from repro.backend.image import MemoryImage, build_image
+from repro.backend.target import cost_model_for
+from repro.ccured.config import CCuredConfig
+from repro.ccured.instrument import CCuredResult, cure, surviving_check_ids
+from repro.ccured.optimizer import optimize_checks
+from repro.ccured.runtime import RUNTIME_UNIT
+from repro.cminor.program import Program
+from repro.cxprop.driver import CxpropConfig, CxpropReport, optimize_program
+from repro.cxprop.inline import InlineReport, inline_program
+from repro.nesc.application import Application
+from repro.nesc.flatten import flatten_application
+from repro.nesc.hwrefactor import HwRefactorReport, refactor_hardware_accesses
+from repro.tinyos import suite
+from repro.toolchain.config import BuildVariant
+from repro.toolchain.variants import BASELINE
+
+
+@dataclass
+class BuildResult:
+    """Everything produced by building one application with one variant."""
+
+    application: str
+    variant: BuildVariant
+    program: Program
+    image: MemoryImage
+    hw_refactor: Optional[HwRefactorReport] = None
+    ccured: Optional[CCuredResult] = None
+    ccured_optimizer_removed: int = 0
+    inline: Optional[InlineReport] = None
+    cxprop: Optional[CxpropReport] = None
+    gcc: Optional[GccOptReport] = None
+
+    @property
+    def checks_inserted(self) -> int:
+        return self.ccured.checks_inserted if self.ccured is not None else 0
+
+    @property
+    def checks_surviving(self) -> int:
+        return len(self.image.surviving_checks)
+
+    @property
+    def checks_removed_fraction(self) -> float:
+        """Fraction of CCured's checks eliminated by the build (Figure 2)."""
+        inserted = self.checks_inserted
+        if inserted == 0:
+            return 0.0
+        return (inserted - self.checks_surviving) / inserted
+
+    def runtime_footprint(self) -> tuple[int, int]:
+        """(ROM, RAM) bytes attributable to the CCured runtime library."""
+        runtime_functions = {f.name for f in self.program.iter_functions()
+                             if f.origin == RUNTIME_UNIT}
+        runtime_globals = {v.name for v in self.program.iter_globals()
+                           if v.origin == RUNTIME_UNIT}
+        return self.image.footprint_of(runtime_functions, runtime_globals)
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "application": self.application,
+            "variant": self.variant.name,
+            "code_bytes": self.image.code_bytes,
+            "ram_bytes": self.image.ram_bytes,
+            "checks_inserted": self.checks_inserted,
+            "checks_surviving": self.checks_surviving,
+        }
+
+
+class BuildPipeline:
+    """Builds applications according to a :class:`BuildVariant`."""
+
+    def __init__(self, variant: Optional[BuildVariant] = None):
+        self.variant = variant or BASELINE
+
+    # -- stage 1+2: front end ------------------------------------------------------
+
+    def front_end(self, app: Application) -> tuple[Program, HwRefactorReport]:
+        """Run the nesC compiler and the hardware-register refactoring."""
+        program = flatten_application(app,
+                                      suppress_norace=self.variant.suppress_norace)
+        report = refactor_hardware_accesses(program)
+        return program, report
+
+    # -- full build ------------------------------------------------------------------
+
+    def build(self, app: Application) -> BuildResult:
+        """Build ``app`` with this pipeline's variant."""
+        variant = self.variant
+        program, hw_report = self.front_end(app)
+
+        ccured_result: Optional[CCuredResult] = None
+        ccured_opt_removed = 0
+        if variant.safe:
+            config = CCuredConfig(
+                message_strategy=variant.message_strategy,
+                runtime_mode=variant.runtime_mode,
+                insert_locks=variant.insert_locks,
+                run_optimizer=False,
+                application_name=app.name,
+            )
+            ccured_result = cure(program, config)
+            if variant.run_ccured_optimizer:
+                ccured_opt_removed = optimize_checks(program)
+
+        inline_report: Optional[InlineReport] = None
+        if variant.run_inliner:
+            inline_report = inline_program(program)
+
+        cxprop_report: Optional[CxpropReport] = None
+        if variant.run_cxprop:
+            cxprop_report = optimize_program(
+                program, CxpropConfig(domain=variant.cxprop_domain))
+
+        gcc_report = gcc_optimize(program)
+        image = build_image(program, cost_model_for(program.platform))
+
+        return BuildResult(
+            application=app.name,
+            variant=variant,
+            program=program,
+            image=image,
+            hw_refactor=hw_report,
+            ccured=ccured_result,
+            ccured_optimizer_removed=ccured_opt_removed,
+            inline=inline_report,
+            cxprop=cxprop_report,
+            gcc=gcc_report,
+        )
+
+    def build_named(self, figure_app_name: str) -> BuildResult:
+        """Build one of the registered benchmark applications by figure label."""
+        app = suite.build_application(figure_app_name)
+        result = self.build(app)
+        result.application = figure_app_name
+        return result
+
+
+def build_application(figure_app_name: str,
+                      variant: Optional[BuildVariant] = None) -> BuildResult:
+    """Convenience wrapper: build a registered application with ``variant``."""
+    return BuildPipeline(variant).build_named(figure_app_name)

@@ -1,0 +1,146 @@
+"""Tests for pointer kinds and CCured's kind inference."""
+
+import pytest
+
+from repro.ccured.infer import infer_pointer_kinds
+from repro.ccured.kinds import (
+    KindMap,
+    PointerKind,
+    global_slot,
+    local_slot,
+    param_slot,
+)
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import make_program
+
+
+class TestKindLattice:
+    def test_ordering(self):
+        assert PointerKind.SAFE < PointerKind.SEQ < PointerKind.WILD
+
+    def test_join_is_commutative_and_monotone(self):
+        for a in PointerKind:
+            for b in PointerKind:
+                assert PointerKind.join(a, b) == PointerKind.join(b, a)
+                assert PointerKind.join(a, b) >= a
+
+    def test_representation_words(self):
+        assert PointerKind.SAFE.words == 1
+        assert PointerKind.SEQ.words == 3
+        assert PointerKind.WILD.words == 4
+        assert PointerKind.SEQ.extra_bytes(pointer_size=2) == 4
+
+    def test_needs_bounds(self):
+        assert not PointerKind.SAFE.needs_bounds
+        assert PointerKind.SEQ.needs_bounds and PointerKind.WILD.needs_bounds
+
+    def test_kind_map_raise_to_is_monotone(self):
+        kinds = KindMap()
+        slot = global_slot("p")
+        assert kinds.raise_to(slot, PointerKind.SEQ)
+        assert not kinds.raise_to(slot, PointerKind.SAFE)
+        assert kinds.get(slot) == PointerKind.SEQ
+        assert kinds.counts()[PointerKind.SEQ] == 1
+
+    def test_slot_string_forms(self):
+        assert str(global_slot("g")) == "g"
+        assert "f:" in str(local_slot("f", "x"))
+        assert "struct" in str(__import__("repro.ccured.kinds",
+                                          fromlist=["field_slot"]).field_slot("s", "f"))
+
+
+INFERENCE_SOURCE = """
+struct TOS_Msg { uint16_t addr; uint8_t length; uint8_t data[29]; };
+
+uint8_t plain_buffer[16];
+uint8_t* walking_pointer;
+uint16_t* safe_pointer;
+uint16_t safe_target;
+struct TOS_Msg message;
+
+uint16_t scan(uint8_t* bytes, uint8_t count) {
+  uint8_t i;
+  uint16_t sum = 0;
+  for (i = 0; i < count; i++) {
+    sum = sum + bytes[i];
+  }
+  return sum;
+}
+
+__spontaneous void main(void) {
+  uint8_t* view;
+  safe_pointer = &safe_target;
+  *safe_pointer = 5;
+  walking_pointer = plain_buffer;
+  walking_pointer = walking_pointer + 1;
+  view = (uint8_t*)&message;
+  scan(view, 10);
+  scan(plain_buffer, 16);
+}
+"""
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def kinds(self):
+        return infer_pointer_kinds(make_program(INFERENCE_SOURCE))
+
+    def test_pointer_used_only_for_dereference_is_safe(self, kinds):
+        assert kinds.get(global_slot("safe_pointer")) == PointerKind.SAFE
+
+    def test_pointer_arithmetic_forces_seq(self, kinds):
+        assert kinds.get(global_slot("walking_pointer")) == PointerKind.SEQ
+
+    def test_indexed_parameter_is_seq(self, kinds):
+        assert kinds.get(param_slot("scan", "bytes")) == PointerKind.SEQ
+
+    def test_reinterpreting_cast_forces_seq(self, kinds):
+        assert kinds.get(local_slot("main", "view")) >= PointerKind.SEQ
+
+    def test_nothing_is_wild_after_hw_refactoring_style_code(self, kinds):
+        assert kinds.counts()[PointerKind.WILD] == 0
+
+    def test_int_to_pointer_cast_is_wild(self):
+        program = make_program("""
+uint8_t* port_alias;
+__spontaneous void main(void) {
+  port_alias = (uint8_t*)59;
+  *port_alias = 1;
+}
+""")
+        kinds = infer_pointer_kinds(program)
+        assert kinds.get(global_slot("port_alias")) == PointerKind.WILD
+
+    def test_kinds_flow_through_assignments(self):
+        program = make_program("""
+uint8_t buffer[8];
+uint8_t* first;
+uint8_t* second;
+__spontaneous void main(void) {
+  first = buffer;
+  first = first + 1;
+  second = first;
+  *second = 0;
+}
+""")
+        kinds = infer_pointer_kinds(program)
+        assert kinds.get(global_slot("second")) == PointerKind.SEQ
+
+    def test_struct_pointer_fields_are_tracked(self):
+        program = make_program("""
+struct node { uint8_t* payload; uint8_t length; };
+struct node item;
+uint8_t storage[4];
+__spontaneous void main(void) {
+  uint8_t x;
+  item.payload = storage;
+  x = item.payload[2];
+}
+""")
+        kinds = infer_pointer_kinds(program)
+        from repro.ccured.kinds import field_slot
+
+        assert kinds.get(field_slot("node", "payload")) == PointerKind.SEQ

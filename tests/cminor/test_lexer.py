@@ -1,0 +1,121 @@
+"""Tests for the CMinor lexer."""
+
+import pytest
+
+from repro.cminor.errors import LexError
+from repro.cminor.lexer import Lexer, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)[:-1]]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_identifier(self):
+        (tok,) = tokenize("counter")[:-1]
+        assert tok.kind == "ident"
+        assert tok.text == "counter"
+
+    def test_keyword_versus_identifier(self):
+        toks = tokenize("uint8_t counterx")[:-1]
+        assert toks[0].kind == "keyword"
+        assert toks[1].kind == "ident"
+
+    def test_decimal_literal(self):
+        (tok,) = tokenize("1234")[:-1]
+        assert tok.kind == "int"
+        assert tok.value == 1234
+
+    def test_hex_literal(self):
+        (tok,) = tokenize("0x7Fff")[:-1]
+        assert tok.value == 0x7FFF
+
+    def test_integer_suffixes_are_accepted(self):
+        (tok,) = tokenize("42UL")[:-1]
+        assert tok.value == 42
+
+    def test_char_literal(self):
+        (tok,) = tokenize("'A'")[:-1]
+        assert tok.kind == "char"
+        assert tok.value == ord("A")
+
+    def test_char_escape(self):
+        (tok,) = tokenize(r"'\n'")[:-1]
+        assert tok.value == ord("\n")
+
+    def test_string_literal(self):
+        (tok,) = tokenize('"hello mote"')[:-1]
+        assert tok.kind == "string"
+        assert tok.text == "hello mote"
+
+    def test_string_escapes(self):
+        (tok,) = tokenize(r'"a\tb\0"')[:-1]
+        assert tok.text == "a\tb\0"
+
+    def test_underscore_identifier(self):
+        (tok,) = tokenize("__hw_write8")[:-1]
+        assert tok.kind == "ident"
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<<=", ">>=", "==", "!=", "<=", ">=", "&&",
+                                    "||", "<<", ">>", "->", "++", "--", "+", "-",
+                                    "*", "/", "%", "&", "|", "^", "~", "!", "?",
+                                    ":"])
+    def test_single_operator(self, op):
+        (tok,) = tokenize(op)[:-1]
+        assert tok.kind == "op"
+        assert tok.text == op
+
+    def test_maximal_munch(self):
+        assert texts("a<<=b") == ["a", "<<=", "b"]
+        assert texts("a<<b") == ["a", "<<", "b"]
+        assert texts("p->f") == ["p", "->", "f"]
+
+    def test_arrow_not_confused_with_minus(self):
+        assert texts("a-b") == ["a", "-", "b"]
+
+
+class TestWhitespaceAndComments:
+    def test_line_comments_are_skipped(self):
+        assert kinds("a // comment\n b") == ["ident", "ident"]
+
+    def test_block_comments_are_skipped(self):
+        assert kinds("a /* multi\nline */ b") == ["ident", "ident"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a /* never closed")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"never closed')
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b", filename="unit.c")
+        assert tokens[0].loc.line == 1 and tokens[0].loc.column == 1
+        assert tokens[1].loc.line == 2 and tokens[1].loc.column == 3
+        assert tokens[1].loc.filename == "unit.c"
+
+    def test_token_helpers(self):
+        tok = tokenize("if")[0]
+        assert tok.is_keyword("if")
+        assert not tok.is_op("if")
+
+    def test_statement_token_stream(self):
+        assert kinds("x = x + 1;") == ["ident", "op", "ident", "op", "int", "op"]

@@ -1,0 +1,175 @@
+"""Tests for whole-program linking, the CFG builder, and the call graph."""
+
+import pytest
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor import typesys as ty
+from repro.cminor.callgraph import build_call_graph
+from repro.cminor.cfg import build_cfg, has_unreachable_code
+from repro.cminor.errors import LinkError
+from repro.cminor.parser import parse_program
+from repro.cminor.program import Program, link_units, standard_builtins
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import make_program
+
+
+class TestLinking:
+    def test_link_two_units(self):
+        a = parse_program("uint8_t shared;\nvoid f(void) { shared = 1; }", "a")
+        b = parse_program("void g(void) { }", "b")
+        program = link_units([a, b], name="app")
+        assert set(program.functions) == {"f", "g"}
+        assert "shared" in program.globals
+
+    def test_duplicate_function_is_a_link_error(self):
+        a = parse_program("void f(void) { }", "a")
+        b = parse_program("void f(void) { }", "b")
+        with pytest.raises(LinkError):
+            link_units([a, b])
+
+    def test_duplicate_global_is_a_link_error(self):
+        a = parse_program("uint8_t x;", "a")
+        b = parse_program("uint8_t x;", "b")
+        with pytest.raises(LinkError):
+            link_units([a, b])
+
+    def test_function_and_global_name_collision(self):
+        program = Program()
+        program.add_function(ast.FunctionDef("thing", ty.VOID))
+        with pytest.raises(LinkError):
+            program.add_global(ast.GlobalVar("thing", ty.UINT8))
+
+    def test_standard_builtins_present(self):
+        names = set(standard_builtins())
+        assert {"__hw_read8", "__hw_write8", "__sleep", "__bounds_ok",
+                "__error_report_id", "__halt"} <= names
+
+    def test_root_functions(self):
+        program = make_program("""
+__spontaneous void main(void) { }
+__interrupt("ADC") void adc(void) { }
+void task_one(void) { }
+void helper(void) { }
+""", simplify=False)
+        program.interrupt_vectors["ADC"] = "adc"
+        program.tasks = ["task_one"]
+        roots = set(program.root_functions())
+        assert roots == {"main", "adc", "task_one"}
+
+    def test_clone_is_deep(self):
+        program = make_program("uint8_t x;\n__spontaneous void main(void) { x = 1; }")
+        clone = program.clone()
+        clone.remove_global("x")
+        assert "x" in program.globals
+
+    def test_summary_counts(self):
+        program = make_program("""
+uint8_t a;
+void f(void) { a = 1; }
+__spontaneous void main(void) { f(); }
+""")
+        summary = program.summary()
+        assert summary["functions"] == 2
+        assert summary["globals"] == 1
+        assert summary["statements"] >= 2
+
+
+class TestControlFlowGraph:
+    def test_linear_function_has_single_path(self):
+        program = make_program("""
+uint8_t x;
+__spontaneous void main(void) { x = 1; x = 2; }
+""")
+        cfg = build_cfg(program.lookup_function("main"))
+        assert cfg.statement_count() == 2
+        assert cfg.exit.index in cfg.reachable_blocks()
+
+    def test_if_produces_branching(self):
+        program = make_program("""
+uint8_t x;
+__spontaneous void main(void) {
+  if (x) { x = 1; } else { x = 2; }
+  x = 3;
+}
+""")
+        cfg = build_cfg(program.lookup_function("main"))
+        branch_blocks = [b for b in cfg.iter_blocks() if len(b.successors) >= 2]
+        assert branch_blocks, "the if statement should create a two-way branch"
+
+    def test_loop_creates_back_edge(self):
+        program = make_program("""
+uint8_t n = 4;
+__spontaneous void main(void) {
+  while (n) { n = n - 1; }
+}
+""")
+        cfg = build_cfg(program.lookup_function("main"))
+
+        def reaches(start, target, seen=None):
+            seen = seen or set()
+            for succ in cfg.block(start).successors:
+                if succ == target:
+                    return True
+                if succ not in seen:
+                    seen.add(succ)
+                    if reaches(succ, target, seen):
+                        return True
+            return False
+
+        has_cycle = any(reaches(b.index, b.index) for b in cfg.iter_blocks())
+        assert has_cycle
+
+    def test_code_after_return_is_unreachable(self):
+        program = make_program("""
+uint8_t f(void) {
+  return 1;
+  return 2;
+}
+__spontaneous void main(void) { f(); }
+""")
+        assert has_unreachable_code(program.lookup_function("f"))
+
+    def test_fully_reachable_function(self):
+        program = make_program("""
+uint8_t f(uint8_t x) {
+  if (x) { return 1; }
+  return 0;
+}
+__spontaneous void main(void) { f(1); }
+""")
+        assert not has_unreachable_code(program.lookup_function("f"))
+
+
+class TestCallGraph:
+    SOURCE = """
+void leaf(void) { }
+void middle(void) { leaf(); }
+void recursive(uint8_t n) { if (n) { recursive(n - 1); } }
+__spontaneous void main(void) { middle(); recursive(3); }
+"""
+
+    def test_callees_and_callers(self):
+        program = make_program(self.SOURCE)
+        graph = build_call_graph(program)
+        assert graph.calls("main") == {"middle", "recursive"}
+        assert graph.called_by("leaf") == {"middle"}
+
+    def test_reachability(self):
+        program = make_program(self.SOURCE + "\nvoid orphan(void) { }")
+        graph = build_call_graph(program)
+        reachable = graph.reachable_from(["main"])
+        assert "leaf" in reachable and "orphan" not in reachable
+
+    def test_recursion_detection(self):
+        program = make_program(self.SOURCE)
+        graph = build_call_graph(program)
+        assert graph.recursive_functions() == {"recursive"}
+
+    def test_bottom_up_order_places_callees_first(self):
+        program = make_program(self.SOURCE)
+        graph = build_call_graph(program)
+        order = graph.bottom_up_order()
+        assert order.index("leaf") < order.index("middle") < order.index("main")

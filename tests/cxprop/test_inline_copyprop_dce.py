@@ -1,0 +1,265 @@
+"""Tests for the inliner, copy propagation, and dead code elimination."""
+
+import pytest
+
+from repro.cminor import ast_nodes as ast
+from repro.cxprop.copyprop import propagate_copies
+from repro.cxprop.dce import eliminate_dead_code
+from repro.cxprop.inline import InlineConfig, inline_program, normalize_calls
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import count_calls, make_program, statements_of
+
+
+class TestCallNormalization:
+    def test_nested_calls_are_hoisted_into_temporaries(self):
+        program = make_program("""
+uint8_t inner(void) { return 3; }
+uint8_t outer(uint8_t x) { return x; }
+uint8_t sink;
+__spontaneous void main(void) {
+  sink = outer(inner()) + 1;
+}
+""")
+        hoisted = normalize_calls(program)
+        assert hoisted >= 1
+        main_stmts = statements_of(program, "main")
+        temps = [s for s in main_stmts if isinstance(s, ast.VarDecl)
+                 and isinstance(s.init, ast.Call)]
+        assert temps
+
+    def test_calls_in_conditions_are_hoisted(self):
+        program = make_program("""
+uint8_t check(void) { return 1; }
+uint8_t sink;
+__spontaneous void main(void) {
+  if (check()) { sink = 1; }
+}
+""")
+        assert normalize_calls(program) == 1
+        ifs = [s for s in statements_of(program, "main") if isinstance(s, ast.If)]
+        assert not any(isinstance(n, ast.Call)
+                       for n in _walk_expr(ifs[0].cond))
+
+
+def _walk_expr(expr):
+    from repro.cminor.visitor import walk_expression
+
+    return walk_expression(expr)
+
+
+class TestInliner:
+    SOURCE = """
+uint8_t total;
+
+__inline uint8_t tiny(uint8_t x) {
+  return x + 1;
+}
+
+uint8_t early(uint8_t x) {
+  if (x == 0) {
+    return 0;
+  }
+  return x + 2;
+}
+
+uint8_t loopy(uint8_t n) {
+  uint8_t i;
+  uint8_t sum = 0;
+  for (i = 0; i < n; i++) {
+    sum = sum + i;
+  }
+  return sum;
+}
+
+void recurse(uint8_t n) {
+  if (n) { recurse(n - 1); }
+}
+
+__spontaneous void main(void) {
+  total = tiny(1);
+  total = total + early(total);
+  total = total + loopy(4);
+  recurse(2);
+}
+"""
+
+    def test_small_and_marked_functions_are_inlined(self):
+        program = make_program(self.SOURCE)
+        report = inline_program(program)
+        assert report.calls_inlined >= 3
+        assert count_calls(program, "tiny") == 0
+        assert count_calls(program, "early") == 0
+
+    def test_recursive_functions_are_never_inlined(self):
+        program = make_program(self.SOURCE)
+        inline_program(program)
+        assert count_calls(program, "recurse") >= 1
+        assert program.lookup_function("recurse") is not None
+
+    def test_fully_inlined_callees_are_dropped(self):
+        program = make_program(self.SOURCE)
+        report = inline_program(program)
+        assert report.functions_removed >= 1
+        assert program.lookup_function("tiny") is None
+
+    def test_early_return_callee_uses_loop_break_expansion(self):
+        program = make_program(self.SOURCE)
+        inline_program(program)
+        from repro.cminor.typecheck import check_program
+
+        check_program(program)
+
+    def test_size_limit_is_respected(self):
+        program = make_program(self.SOURCE)
+        config = InlineConfig(size_limit=0, inline_single_call_site=False)
+        report = inline_program(program, config)
+        # Only the __inline-marked helper may be expanded.
+        assert count_calls(program, "loopy") == 1
+        assert count_calls(program, "early") == 1
+
+    def test_inlined_program_preserves_behaviour_statically(self):
+        program = make_program(self.SOURCE)
+        inline_program(program)
+        # total is still assigned three times in main.
+        assigns = [s for s in statements_of(program, "main")
+                   if isinstance(s, ast.Assign)
+                   and isinstance(s.lvalue, ast.Identifier)
+                   and s.lvalue.name == "total"]
+        assert len(assigns) >= 3
+
+
+class TestCopyPropagation:
+    def test_copies_of_literals_are_propagated(self):
+        program = make_program("""
+uint8_t sink;
+__spontaneous void main(void) {
+  uint8_t a = 4;
+  uint8_t b = a;
+  sink = b;
+}
+""")
+        report = propagate_copies(program)
+        assert report.copies_propagated >= 1
+
+    def test_copies_are_not_propagated_into_loops_that_reassign(self):
+        program = make_program("""
+uint8_t sink;
+__spontaneous void main(void) {
+  uint8_t i = 0;
+  while (i < 4) {
+    sink = i;
+    i = i + 1;
+  }
+}
+""")
+        propagate_copies(program)
+        loops = [s for s in statements_of(program, "main")
+                 if isinstance(s, ast.While)]
+        reads = [s for s in statements_of(program, "main")
+                 if isinstance(s, ast.Assign)
+                 and isinstance(s.lvalue, ast.Identifier)
+                 and s.lvalue.name == "sink"]
+        assert isinstance(reads[0].rvalue, ast.Identifier), \
+            "the loop-carried variable must not be replaced by its initial value"
+
+    def test_reassignment_invalidates_copies(self):
+        program = make_program("""
+uint8_t sink;
+__spontaneous void main(void) {
+  uint8_t a = 1;
+  uint8_t b = a;
+  a = 9;
+  sink = b;
+}
+""")
+        propagate_copies(program)
+        read = [s for s in statements_of(program, "main")
+                if isinstance(s, ast.Assign)
+                and isinstance(s.lvalue, ast.Identifier)
+                and s.lvalue.name == "sink"][0]
+        # b may be replaced by the literal 1 (its value), never by a (stale).
+        assert not (isinstance(read.rvalue, ast.Identifier)
+                    and read.rvalue.name == "a")
+
+
+class TestDeadCodeElimination:
+    SOURCE = """
+uint8_t used_global = 1;
+uint8_t unused_global = 2;
+uint16_t write_only_counter = 0;
+volatile uint16_t keep_me = 0;
+volatile uint8_t sink;
+
+void unreachable_helper(void) { sink = 0; }
+
+__spontaneous void main(void) {
+  uint8_t unused_local = 9;
+  sink = used_global;
+  write_only_counter = write_only_counter + 1;
+  keep_me = keep_me + 1;
+}
+"""
+
+    def test_unreachable_functions_are_removed(self):
+        program = make_program(self.SOURCE)
+        report = eliminate_dead_code(program)
+        assert report.functions_removed == 1
+        assert program.lookup_function("unreachable_helper") is None
+
+    def test_unreferenced_globals_are_removed(self):
+        program = make_program(self.SOURCE)
+        eliminate_dead_code(program)
+        assert "unused_global" not in program.globals
+        assert "used_global" in program.globals
+
+    def test_write_only_globals_and_their_stores_are_removed(self):
+        program = make_program(self.SOURCE)
+        report = eliminate_dead_code(program)
+        assert "write_only_counter" not in program.globals
+        assert report.dead_stores_removed >= 1
+
+    def test_volatile_globals_are_preserved(self):
+        program = make_program(self.SOURCE)
+        eliminate_dead_code(program)
+        assert "keep_me" in program.globals
+
+    def test_unused_locals_are_removed(self):
+        program = make_program(self.SOURCE)
+        eliminate_dead_code(program)
+        decls = [s for s in statements_of(program, "main")
+                 if isinstance(s, ast.VarDecl)]
+        assert not decls
+
+    def test_fat_pointer_metadata_follows_its_pointer(self):
+        from repro.ccured.config import CCuredConfig
+        from repro.ccured.instrument import METADATA_PREFIX, cure
+
+        program = make_program("""
+uint8_t buffer[8];
+uint8_t* cursor;
+uint8_t sink;
+__spontaneous void main(void) {
+  uint8_t i;
+  cursor = buffer;
+  for (i = 0; i < 8; i++) {
+    sink = sink + cursor[i];
+  }
+}
+""")
+        cure(program, CCuredConfig(run_optimizer=False))
+        meta_name = f"{METADATA_PREFIX}cursor"
+        assert meta_name in program.globals
+        eliminate_dead_code(program)
+        # cursor is still used, so its metadata must survive too.
+        assert "cursor" in program.globals
+        assert meta_name in program.globals
+
+    def test_program_still_typechecks_after_dce(self):
+        program = make_program(self.SOURCE)
+        eliminate_dead_code(program)
+        from repro.cminor.typecheck import check_program
+
+        check_program(program)

@@ -1,0 +1,135 @@
+"""Tests for the nesC component model: interfaces, components, applications."""
+
+import pytest
+
+from repro.cminor import typesys as ty
+from repro.nesc.application import Application, Wire
+from repro.nesc.component import Component
+from repro.nesc.interface import COMMAND, EVENT, Interface, command, event, \
+    standard_interfaces
+from repro.tinyos import messages as msgs
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import interfaces, tiny_application
+
+
+class TestInterfaces:
+    def test_command_and_event_constructors(self):
+        cmd = command("start", ty.UINT8, (("interval", ty.UINT32),))
+        evt = event("fired", ty.UINT8)
+        assert cmd.kind == COMMAND and evt.kind == EVENT
+
+    def test_invalid_kind_rejected(self):
+        from repro.nesc.interface import InterfaceFunction
+
+        with pytest.raises(ValueError):
+            InterfaceFunction("broken", "neither")
+
+    def test_interface_lookup(self):
+        timer = interfaces()["Timer"]
+        assert timer.has_function("fired")
+        assert timer.function("start").kind == COMMAND
+        with pytest.raises(KeyError):
+            timer.function("missing")
+
+    def test_commands_and_events_split(self):
+        timer = interfaces()["Timer"]
+        assert {f.name for f in timer.commands()} == {"start", "stop"}
+        assert {f.name for f in timer.events()} == {"fired"}
+
+    def test_standard_interface_set_is_complete(self):
+        names = set(standard_interfaces(msgs.tos_msg_type()))
+        assert {"StdControl", "Timer", "Clock", "Leds", "ADC", "SendMsg",
+                "ReceiveMsg", "BareSendMsg", "Send", "Intercept",
+                "RouteControl", "TimeStamping", "Random"} <= names
+
+    def test_message_interfaces_use_tos_msg_pointer(self):
+        send = interfaces()["SendMsg"].function("send")
+        msg_param = send.params[-1][1]
+        assert isinstance(msg_param, ty.PointerType)
+        assert isinstance(msg_param.target, ty.StructType)
+        assert msg_param.target.name == "TOS_Msg"
+
+
+class TestComponents:
+    def test_interface_instances_merges_provides_and_uses(self):
+        ifaces = interfaces()
+        component = Component(
+            name="X", provides={"Control": ifaces["StdControl"]},
+            uses={"Timer": ifaces["Timer"]}, source="")
+        instances = component.interface_instances()
+        assert instances["Control"][1] is True
+        assert instances["Timer"][1] is False
+
+    def test_same_instance_name_in_provides_and_uses_rejected(self):
+        ifaces = interfaces()
+        component = Component(
+            name="X", provides={"Timer": ifaces["Timer"]},
+            uses={"Timer": ifaces["Timer"]}, source="")
+        with pytest.raises(ValueError):
+            component.interface_instances()
+
+    def test_validate_requires_task_definitions(self):
+        component = Component(name="X", source="void other(void) { }",
+                              tasks=["missing_task"])
+        with pytest.raises(ValueError):
+            component.validate()
+
+    def test_validate_requires_interrupt_handlers(self):
+        component = Component(name="X", source="",
+                              interrupts={"ADC": "handler"})
+        with pytest.raises(ValueError):
+            component.validate()
+
+
+class TestApplications:
+    def test_wire_checks_interface_compatibility(self):
+        app = tiny_application()
+        with pytest.raises(ValueError):
+            app.wire("ClientM", "Timer", "FakeTimerC", "Control")
+
+    def test_wire_unknown_instance_rejected(self):
+        app = tiny_application()
+        with pytest.raises(ValueError):
+            app.wire("ClientM", "Nothing", "FakeTimerC", "Timer")
+
+    def test_duplicate_component_rejected(self):
+        app = tiny_application()
+        with pytest.raises(ValueError):
+            app.add_component(app.component("ClientM"))
+
+    def test_validate_accepts_complete_wiring(self):
+        tiny_application().validate()
+
+    def test_validate_rejects_unwired_uses(self):
+        app = tiny_application()
+        app.wires.clear()
+        with pytest.raises(ValueError):
+            app.validate()
+
+    def test_validate_rejects_double_wiring(self):
+        app = tiny_application()
+        app.wires.append(app.wires[0])
+        with pytest.raises(ValueError):
+            app.validate()
+
+    def test_validate_rejects_bad_boot_entry(self):
+        app = tiny_application()
+        app.boot.append(("ClientM", "Timer"))
+        with pytest.raises(ValueError):
+            app.validate()
+
+    def test_wires_from_and_to(self):
+        app = tiny_application()
+        assert len(app.wires_from("ClientM", "Timer")) == 1
+        assert len(app.wires_to("FakeTimerC", "Timer")) == 1
+        assert str(app.wires[0]) == "ClientM.Timer -> FakeTimerC.Timer"
+
+    def test_component_lookup(self):
+        app = tiny_application()
+        assert app.component("ClientM").name == "ClientM"
+        assert app.has_component("FakeTimerC")
+        with pytest.raises(KeyError):
+            app.component("Nothing")

@@ -1,0 +1,137 @@
+"""Tests for the TinyOS substrate: hardware model, library and applications."""
+
+import pytest
+
+from repro.cminor import ast_nodes as ast
+from repro.nesc.flatten import flatten_application
+from repro.tinyos import hardware as hw
+from repro.tinyos import messages as msgs
+from repro.tinyos import suite
+from repro.tinyos.lib import (
+    adc_c,
+    am_standard,
+    hpl_clock,
+    leds_c,
+    multi_hop_router,
+    radio_crc_packet_c,
+    timer_c,
+    uart_framed_packet_c,
+)
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import interfaces
+
+
+class TestHardwareModel:
+    def test_platform_lookup(self):
+        assert hw.platform("mica2").cpu.startswith("ATmega")
+        assert hw.platform("telosb").cpu.startswith("MSP430")
+        with pytest.raises(KeyError):
+            hw.platform("arduino")
+
+    def test_mica2_characteristics_match_the_paper(self):
+        mica2 = hw.MICA2
+        assert mica2.ram_bytes == 4 * 1024
+        assert mica2.flash_bytes == 128 * 1024
+        assert mica2.pointer_bytes == 2
+        assert mica2.strings_in_ram
+
+    def test_telosb_characteristics_match_the_paper(self):
+        telosb = hw.TELOSB
+        assert telosb.ram_bytes == 10 * 1024
+        assert telosb.flash_bytes == 48 * 1024
+        assert not telosb.strings_in_ram
+
+    def test_register_addresses_are_distinct(self):
+        registers = [hw.LED_PORT, hw.TIMER_RATE, hw.TIMER_CTRL, hw.ADC_CTRL,
+                     hw.ADC_DATA, hw.RADIO_CTRL, hw.RADIO_TXBUF, hw.RADIO_RXBUF,
+                     hw.RADIO_RXLEN, hw.RADIO_TXGO, hw.UART_DATA,
+                     hw.JIFFY_COUNTER_LO, hw.JIFFY_COUNTER_HI]
+        assert len(registers) == len(set(registers))
+
+
+class TestMessages:
+    def test_tos_msg_layout(self):
+        tos_msg = msgs.tos_msg_type()
+        assert tos_msg.field_offset("addr") == 0
+        assert tos_msg.field_offset("data") == 5
+        assert tos_msg.field_type("data").length == msgs.TOSH_DATA_LENGTH
+        assert tos_msg.sizeof() > msgs.TOS_MSG_WIRE_LENGTH
+
+    def test_wire_length_matches_header_payload_crc(self):
+        assert msgs.TOS_MSG_WIRE_LENGTH == 5 + msgs.TOSH_DATA_LENGTH + 2
+
+    def test_common_source_parses(self):
+        from repro.cminor.parser import parse_program
+
+        unit = parse_program(msgs.COMMON_SOURCE, "common")
+        assert unit.structs.get("TOS_Msg") is not None
+        assert unit.structs.get("SurgeMsg") is not None
+
+
+class TestLibraryComponents:
+    @pytest.mark.parametrize("factory", [
+        hpl_clock, leds_c, timer_c, adc_c, radio_crc_packet_c, am_standard,
+        uart_framed_packet_c, multi_hop_router,
+    ])
+    def test_component_declares_consistent_interfaces(self, factory):
+        component = factory(interfaces())
+        component.validate()
+        assert component.provides or component.uses
+
+    def test_timer_c_provides_three_timers(self):
+        component = timer_c(interfaces())
+        assert {"Timer0", "Timer1", "Timer2"} <= set(component.provides)
+        assert component.tasks == ["fire_timers"]
+
+    def test_radio_driver_registers_interrupts(self):
+        component = radio_crc_packet_c(interfaces())
+        assert hw.VECTOR_RADIO_RX in component.interrupts
+        assert hw.VECTOR_RADIO_TXDONE in component.interrupts
+
+    def test_factories_return_fresh_instances(self):
+        assert leds_c(interfaces()) is not leds_c(interfaces())
+
+
+class TestApplicationSuite:
+    def test_registry_contains_all_twelve_figure_apps(self):
+        assert len(suite.FIGURE_APPS) == 12
+        assert suite.FIGURE_APPS[0] == "BlinkTask_Mica2"
+        assert suite.FIGURE_APPS[-1] == "RadioCountToLeds_TelosB"
+
+    def test_mica2_subset_excludes_the_telosb_app(self):
+        assert len(suite.MICA2_APPS) == 11
+        assert "RadioCountToLeds_TelosB" not in suite.MICA2_APPS
+
+    def test_unknown_application_raises(self):
+        with pytest.raises(KeyError):
+            suite.build_application("Missing_Mica2")
+
+    @pytest.mark.parametrize("name", suite.FIGURE_APPS)
+    def test_every_application_flattens_and_typechecks(self, name):
+        program = suite.build_program(name)
+        assert program.lookup_function("main") is not None
+        assert program.interrupt_vectors, f"{name} should use interrupts"
+        summary = program.summary()
+        assert summary["functions"] >= 20
+        assert summary["statements"] >= 100
+
+    def test_platform_is_recorded(self):
+        assert suite.build_application("RadioCountToLeds_TelosB").platform == "telosb"
+        assert suite.build_application("Surge_Mica2").platform == "mica2"
+
+    def test_surge_is_the_largest_mica2_application(self):
+        sizes = {}
+        for name in ("BlinkTask_Mica2", "Oscilloscope_Mica2", "Surge_Mica2"):
+            sizes[name] = suite.build_program(name).summary()["statements"]
+        assert sizes["Surge_Mica2"] > sizes["Oscilloscope_Mica2"] > \
+            sizes["BlinkTask_Mica2"]
+
+    def test_suppress_norace_flag_changes_race_list(self):
+        relaxed = suite.build_program("BlinkTask_Mica2", suppress_norace=False)
+        strict = suite.build_program("BlinkTask_Mica2", suppress_norace=True)
+        assert relaxed.racy_variables <= strict.racy_variables
+        assert "TimerC__timer_expired" in strict.racy_variables
+        assert "TimerC__timer_expired" not in relaxed.racy_variables
