@@ -9,8 +9,11 @@ of Mica2 motes.  This package provides the equivalent for CMinor images:
   bounds checks concretely),
 * :mod:`repro.avrora.devices` — memory-mapped peripherals: LEDs, the 1024 Hz
   clock, the micro timer, the ADC, the packet radio and the UART,
-* :mod:`repro.avrora.interp` — a direct interpreter for CMinor programs that
-  charges cycles from the backend cost model as it executes,
+* :mod:`repro.avrora.interp` — the execution facade: a reference
+  tree-walking interpreter plus the engine selection logic,
+* :mod:`repro.avrora.engine` — the compile-to-closures execution engine
+  (the default): each function is lowered once into a flat op stream and
+  re-executed many times, like a dynamic binary translator's code cache,
 * :mod:`repro.avrora.node` — one mote: program + devices + interrupt
   delivery + sleep/wake accounting,
 * :mod:`repro.avrora.network` — multi-mote simulations with radio delivery

@@ -1,0 +1,1895 @@
+"""Compile-to-closures execution engine for the simulator.
+
+The tree-walking interpreter re-derives everything per executed statement:
+it re-dispatches on AST node types, re-reads per-function analyses, keeps
+frames in dicts, and models ``return``/``break``/``continue`` with Python
+exceptions.  This module applies the translate-once/run-many principle of
+dynamic binary translators to the simulator: each :class:`FunctionDef` is
+lowered **once** into a flat stream of Python closures ("compiled ops"),
+and executing the function is a tight ``pc = ops[pc](frame)`` loop.
+
+The lowering pass resolves at compile time everything the tree-walker
+resolves per statement:
+
+* **slot-indexed frames** — every parameter and local gets an integer slot
+  in a plain list; no per-call dict, no hashing;
+* **precomputed costs** — each statement's cycle cost (statement +
+  expression nodes) is folded into its op;
+* **structured jumps** — ``if``/loops/``break``/``continue``/``return``
+  become next-index threading, not signal exceptions;
+* **precomputed analyses** — address-taken sets, struct field offsets,
+  element sizes, integer wrap masks are all baked into the closures.
+
+Semantics are kept **byte-identical** to the tree-walker (cycle counts,
+interrupt delivery points, check failures, radio traffic): ops charge the
+same costs in the same order and poll the node at exactly the same points
+(after every statement, by default).  The differential test in
+``tests/avrora/test_engine_differential.py`` enforces this on every
+application in the paper's figure suite.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Optional, TYPE_CHECKING
+
+from repro.cminor import ast_nodes as ast
+from repro.cminor import typesys as ty
+from repro.cminor.program import Program
+from repro.cminor.visitor import walk_expression
+from repro.avrora.memory import (
+    MemoryError_,
+    MemoryObject,
+    MemorySystem,
+    Pointer,
+    RuntimeValue,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.avrora.node import Node
+
+
+def _simulation_finished():
+    """The node module's end-of-simulation signal (lazy to avoid a cycle)."""
+    from repro.avrora.node import _SimulationFinished
+
+    return _SimulationFinished
+
+
+class _Unset:
+    """Sentinel for a frame slot whose declaration has not executed yet."""
+
+    __repr__ = lambda self: "<unset>"  # noqa: E731
+
+
+_UNSET = _Unset()
+
+#: Slot 0 of every frame holds the (eventual) return value.
+_RET = 0
+
+#: Closure signature of one compiled op: frame -> next op index.
+Op = Callable[[list], int]
+#: Closure signature of one compiled expression: frame -> runtime value.
+ExprFn = Callable[[list], RuntimeValue]
+
+
+class _Label:
+    """A forward-referenced op index, patched when the target is emitted."""
+
+    __slots__ = ("index",)
+
+    def __init__(self) -> None:
+        self.index: Optional[int] = None
+
+
+class _LoopCtx:
+    """Compile-time context of the innermost enclosing loop."""
+
+    __slots__ = ("break_label", "continue_label", "atomic_depth")
+
+    def __init__(self, break_label: _Label, continue_label: _Label,
+                 atomic_depth: int):
+        self.break_label = break_label
+        self.continue_label = continue_label
+        self.atomic_depth = atomic_depth
+
+
+# ---------------------------------------------------------------------------
+# Runtime helpers shared by the generated closures
+# ---------------------------------------------------------------------------
+
+
+def _as_pointer(value: RuntimeValue) -> Pointer:
+    if isinstance(value, Pointer):
+        return value
+    if isinstance(value, int) and value == 0:
+        raise MemoryError_("null pointer dereference")
+    raise MemoryError_(f"dereference of non-pointer value {value!r}")
+
+
+def _compare_rt(op: str, left: RuntimeValue, right: RuntimeValue) -> int:
+    """Comparison slow path; mirrors the tree-walker's ``_compare``."""
+    if isinstance(left, Pointer) or isinstance(right, Pointer):
+        if isinstance(left, Pointer) and isinstance(right, Pointer):
+            equal = left.obj is right.obj and left.offset == right.offset
+        else:
+            equal = False
+        if op == "==":
+            return 1 if equal else 0
+        if op == "!=":
+            return 0 if equal else 1
+        if isinstance(left, Pointer) and isinstance(right, Pointer) and \
+                left.obj is right.obj:
+            left, right = left.offset, right.offset
+        else:
+            return 0
+    left_int, right_int = int(left), int(right)
+    results = {
+        "==": left_int == right_int,
+        "!=": left_int != right_int,
+        "<": left_int < right_int,
+        "<=": left_int <= right_int,
+        ">": left_int > right_int,
+        ">=": left_int >= right_int,
+    }
+    return 1 if results[op] else 0
+
+
+def _div_rt(left: int, right: int) -> int:
+    if right == 0:
+        return 0
+    return int(left / right)
+
+
+def _mod_rt(left: int, right: int) -> int:
+    if right == 0:
+        return 0
+    return int(left - int(left / right) * right)
+
+
+def _shl_rt(left: int, right: int) -> int:
+    return left << (right & 31)
+
+
+def _shr_rt(left: int, right: int) -> int:
+    return left >> (right & 31)
+
+
+#: Integer arithmetic implementations, mirroring ``_int_arithmetic``.
+_INT_OPS: dict[str, Callable[[int, int], int]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": _div_rt,
+    "%": _mod_rt,
+    "&": operator.and_,
+    "|": operator.or_,
+    "^": operator.xor,
+    "<<": _shl_rt,
+    ">>": _shr_rt,
+}
+
+_COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+def _make_wrap(ctype: ty.CType) -> Callable[[int], int]:
+    """A closure implementing ``ty.wrap_to(ctype, value)``."""
+    if isinstance(ctype, ty.IntType):
+        bits = ctype.bits
+        mask = (1 << bits) - 1
+        if not ctype.signed:
+            return lambda v, _m=mask: v & _m
+
+        maxv = (1 << (bits - 1)) - 1
+        span = 1 << bits
+
+        def wrap_signed(v: int, _m: int = mask, _x: int = maxv,
+                        _s: int = span) -> int:
+            v &= _m
+            return v - _s if v > _x else v
+
+        return wrap_signed
+    if isinstance(ctype, ty.BoolType):
+        return lambda v: 1 if v else 0
+    if isinstance(ctype, ty.CharType):
+        def wrap_char(v: int) -> int:
+            v &= 0xFF
+            return v - 0x100 if v > 0x7F else v
+
+        return wrap_char
+    if isinstance(ctype, ty.PointerType):
+        return lambda v: v & 0xFFFF
+    return lambda v, _c=ctype: ty.wrap_to(_c, v)
+
+
+def _elem_size(ctype: Optional[ty.CType], pointer_size: int) -> int:
+    """Pointed-to element size used for pointer arithmetic scaling."""
+    if ctype is None:
+        return 1
+    decayed = ctype.decay()
+    if isinstance(decayed, ty.PointerType):
+        return decayed.target.sizeof(pointer_size) or 1
+    return 1
+
+
+def _pointer_arith(op: str, left: RuntimeValue, right: RuntimeValue,
+                   left_elem: int, right_elem: int, diff_elem: int
+                   ) -> RuntimeValue:
+    """Pointer arithmetic slow path; mirrors ``_pointer_arithmetic``."""
+    if isinstance(left, Pointer) and isinstance(right, Pointer):
+        if op == "-" and left.obj is right.obj:
+            return (left.offset - right.offset) // diff_elem
+        return 0
+    if isinstance(left, Pointer):
+        pointer, integer, elem = left, right, left_elem
+    else:
+        pointer, integer, elem = right, left, right_elem
+    delta = int(integer) * elem
+    if op == "-":
+        delta = -delta
+    return Pointer(pointer.obj, pointer.offset + delta)
+
+
+# ---------------------------------------------------------------------------
+# Compiled function format
+# ---------------------------------------------------------------------------
+
+
+class CompiledFunction:
+    """One lowered function: a flat op stream plus its frame layout."""
+
+    __slots__ = ("name", "ops", "end", "nslots", "params", "nparams",
+                 "flat_params", "default_return", "has_atomic")
+
+    def __init__(self, name: str, ops: list[Op], nslots: int,
+                 params: tuple, default_return: Optional[int],
+                 has_atomic: bool):
+        self.name = name
+        self.ops = ops
+        self.end = len(ops)
+        self.nslots = nslots
+        #: Per-parameter plan: (slot, taken, ctype, size, storage_name).
+        self.params = params
+        self.nparams = len(params)
+        #: True when arguments can be sliced straight into the frame: no
+        #: address-taken parameters, and parameter slots are 1..nparams.
+        self.flat_params = all(
+            plan[0] == index + 1 and not plan[1]
+            for index, plan in enumerate(params))
+        self.default_return = default_return
+        self.has_atomic = has_atomic
+
+
+class CompiledEngine:
+    """Executes one program for one node via compiled ops.
+
+    Public API mirrors the tree-walking interpreter: :meth:`call` invokes a
+    program function by name with already-evaluated arguments.  Functions
+    are lowered on first call and cached for the node's lifetime.
+    """
+
+    def __init__(self, node: "Node"):
+        self.node = node
+        self.program: Program = node.program
+        self.memory: MemorySystem = node.memory
+        self.costs = node.costs
+        self.pointer_size = node.costs.platform.pointer_bytes
+        self._compiled: dict[str, CompiledFunction] = {}
+        self._overhead = self.costs.function_overhead_cycles()
+        self._sf = _simulation_finished()
+        #: Mutable cell counting executed statements (cheap to close over).
+        self._stmt_cell = [0]
+
+    @property
+    def statements_executed(self) -> int:
+        return self._stmt_cell[0]
+
+    # -- public API -------------------------------------------------------------
+
+    def call(self, name: str, args: Optional[list[RuntimeValue]] = None
+             ) -> Optional[RuntimeValue]:
+        """Call a program function by name with already-evaluated arguments."""
+        cf = self._compiled.get(name)
+        if cf is None:
+            cf = self._compile_name(name)
+        return self._execute(cf, args or [])
+
+    # -- compilation ------------------------------------------------------------
+
+    def _compile_name(self, name: str) -> CompiledFunction:
+        func = self.program.lookup_function(name)
+        if func is None:
+            raise KeyError(f"call to unknown function {name!r}")
+        cf = _FunctionCompiler(self, func).compile()
+        self._compiled[name] = cf
+        return cf
+
+    # -- execution --------------------------------------------------------------
+
+    def _invoke(self, name: str, args: list[RuntimeValue]) -> RuntimeValue:
+        """Call-expression entry point (coerces a void result to 0)."""
+        cf = self._compiled.get(name)
+        if cf is None:
+            cf = self._compile_name(name)
+        result = self._execute(cf, args)
+        return result if result is not None else 0
+
+    def _execute(self, cf: CompiledFunction,
+                 args: list[RuntimeValue]) -> Optional[RuntimeValue]:
+        nparams = cf.nparams
+        if len(args) != nparams:
+            raise TypeError(
+                f"{cf.name}() takes {nparams} argument(s) "
+                f"but {len(args)} were given")
+        frame = [_UNSET] * cf.nslots
+        frame[_RET] = cf.default_return
+        if cf.flat_params:
+            if nparams:
+                frame[1:1 + nparams] = args
+        else:
+            memory = self.memory
+            for plan, value in zip(cf.params, args):
+                slot, taken, ctype, size, storage_name = plan
+                if taken:
+                    obj = memory.allocate(storage_name, size, kind="local")
+                    memory.write(Pointer(obj, 0), ctype, value)
+                    frame[slot] = obj
+                else:
+                    frame[slot] = value
+        node = self.node
+        overhead = self._overhead
+        t = node.time_cycles + overhead
+        node.time_cycles = t
+        if node.end_cycles and t >= node.end_cycles:
+            raise self._sf()
+        ops = cf.ops
+        end = cf.end
+        pc = 0
+        if cf.has_atomic:
+            depth0 = node.atomic_depth
+            try:
+                while pc < end:
+                    pc = ops[pc](frame)
+            except BaseException:
+                # Mirror the tree-walker's ``finally`` blocks: a terminal
+                # exception (simulation end, halt, safety fault) unwinding
+                # through open atomic sections restores the entry depth.
+                node.atomic_depth = depth0
+                raise
+        else:
+            while pc < end:
+                pc = ops[pc](frame)
+        return frame[_RET]
+
+    # -- lenient memory access (identical to the tree-walker) --------------------
+
+    def _memory_read(self, pointer: Pointer, ctype: ty.CType) -> RuntimeValue:
+        try:
+            return self.memory.read(pointer, ctype)
+        except MemoryError_:
+            if self.node.strict_memory:
+                raise
+            self.node.memory_violations += 1
+            return 0
+
+    def _memory_write(self, pointer: Pointer, ctype: ty.CType,
+                      value: RuntimeValue) -> None:
+        try:
+            self.memory.write(pointer, ctype, value)
+        except MemoryError_:
+            if self.node.strict_memory:
+                raise
+            self.node.memory_violations += 1
+
+    # -- dynamic fallbacks (rare paths kept out of the fast closures) ------------
+
+    def _load_global_like(self, name: str,
+                          expr_ctype: Optional[ty.CType]) -> RuntimeValue:
+        """Identifier read when the frame slot is unset (pre-declaration)."""
+        obj = self.memory.global_object(name)
+        if obj is not None:
+            var = self.program.lookup_global(name)
+            ctype = var.ctype if var is not None else (expr_ctype or ty.UINT8)
+            if isinstance(ctype, (ty.ArrayType, ty.StructType)):
+                return Pointer(obj, 0)
+            return self.memory.read(Pointer(obj, 0), ctype)
+        raise MemoryError_(f"read of unknown variable {name!r}")
+
+    def _locate_name(self, name: str) -> Pointer:
+        """Identifier locate when no memory object sits in the frame slot."""
+        obj = self.memory.global_object(name)
+        if obj is not None:
+            return Pointer(obj, 0)
+        raise MemoryError_(f"no storage for {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# The lowering pass
+# ---------------------------------------------------------------------------
+
+
+class _FunctionCompiler:
+    """Lowers one ``FunctionDef`` into a :class:`CompiledFunction`."""
+
+    def __init__(self, engine: CompiledEngine, func: ast.FunctionDef):
+        self.engine = engine
+        self.func = func
+        self.program = engine.program
+        self.costs = engine.costs
+        self.pointer_size = engine.pointer_size
+        cache = self.program.analysis()
+        self._cache = cache
+        self.locals_ = cache.local_types(func)
+        self.taken = cache.address_taken_locals(func)
+        self.globals_ = self.program.globals
+
+        # Frame layout: slot 0 is the return value; every local name (and
+        # any stray identifier that is neither local nor global, to mirror
+        # the tree-walker's scratch-frame semantics) gets a slot.
+        self.slots: dict[str, int] = {}
+        for name in self.locals_:
+            self.slots[name] = 1 + len(self.slots)
+        for name in self._stray_identifiers():
+            if name not in self.slots:
+                self.slots[name] = 1 + len(self.slots)
+
+        self.ops: list = []
+        self.end_label = _Label()
+        self.loop_stack: list[_LoopCtx] = []
+        self.atomic_depth = 0
+        self.has_atomic = False
+
+        # Hot-path bindings baked into the generated ops.  The event queue
+        # and pending-interrupt lists are mutated in place by the node and
+        # never reassigned, so closing over the list objects is safe; the
+        # inlined accounting and the poll guard replicate ``Node.consume``
+        # and the no-op test at the top of ``Node.poll`` exactly.
+        self.node = engine.node
+        self._sf = _simulation_finished()
+        self._eq = self.node._event_queue
+        self._pending = self.node.pending_interrupts
+        self._cell = engine._stmt_cell
+        self._poll = self.node.poll
+        self._param_names = {p.name for p in func.params}
+
+    def _stray_identifiers(self) -> set[str]:
+        """Identifier names that are neither locals nor globals.
+
+        The tree-walker stores these straight into its frame dict (they can
+        appear after aggressive code motion); give them slots so the
+        compiled engine behaves identically.
+        """
+        from repro.cminor.visitor import walk_statements
+
+        stray: set[str] = set()
+        for stmt in walk_statements(self.func.body):
+            for expr in self._cache.statement_expressions(stmt,
+                                                          self.func.name):
+                for node in walk_expression(expr):
+                    if isinstance(node, ast.Identifier) and \
+                            node.name not in self.locals_ and \
+                            node.name not in self.globals_:
+                        stray.add(node.name)
+        return stray
+
+    # -- emission helpers -------------------------------------------------------
+
+    def _emit(self, op: Op) -> int:
+        index = len(self.ops)
+        self.ops.append(op)
+        return index
+
+    def _emit_pending(self, maker: Callable[..., Op], *labels: _Label) -> int:
+        index = len(self.ops)
+        self.ops.append((maker, labels))
+        return index
+
+    def _bind(self, label: _Label) -> None:
+        label.index = len(self.ops)
+
+    def _finalize(self) -> None:
+        self._bind(self.end_label)
+        for index, entry in enumerate(self.ops):
+            if isinstance(entry, tuple):
+                maker, labels = entry
+                self.ops[index] = maker(*(label.index for label in labels))
+
+    # -- costs ------------------------------------------------------------------
+
+    def _stmt_cost(self, stmt: ast.Stmt) -> int:
+        cycles = self.costs.stmt_cycles(stmt)
+        for expr in self._cache.statement_expressions(stmt, self.func.name):
+            for node in walk_expression(expr):
+                cycles += self.costs.expr_cycles(node)
+        return max(cycles, 1)
+
+    # -- top level --------------------------------------------------------------
+
+    def compile(self) -> CompiledFunction:
+        self._compile_block(self.func.body)
+        self._finalize()
+        params = []
+        for param in self.func.params:
+            taken = param.name in self.taken
+            params.append((
+                self.slots[param.name],
+                taken,
+                param.ctype,
+                param.ctype.sizeof(self.pointer_size),
+                f"{self.func.name}.{param.name}",
+            ))
+        default_return = 0 if not self.func.return_type.is_void() else None
+        return CompiledFunction(self.func.name, self.ops,
+                                1 + len(self.slots), tuple(params),
+                                default_return, self.has_atomic)
+
+    def _compile_block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self._compile_stmt(stmt)
+
+    # -- statements -------------------------------------------------------------
+
+    def _compile_stmt(self, stmt: ast.Stmt, poll_after: bool = True) -> None:
+        """Emit the ops for one statement.
+
+        ``poll_after`` is False only for ``for``-loop init/update statements,
+        which the tree-walker executes via ``_exec_stmt`` without the
+        per-statement poll that ``_exec_block`` performs.
+        """
+        if isinstance(stmt, ast.Block):
+            self._emit_entry(self._stmt_cost(stmt))
+            self._compile_block(stmt)
+            if poll_after:
+                self._emit_poll()
+        elif isinstance(stmt, ast.VarDecl):
+            self._compile_vardecl(stmt, poll_after)
+        elif isinstance(stmt, ast.Assign):
+            self._compile_assign(stmt, poll_after)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._compile_exprstmt(stmt, poll_after)
+        elif isinstance(stmt, ast.If):
+            self._compile_if(stmt, poll_after)
+        elif isinstance(stmt, ast.While):
+            self._compile_while(stmt, poll_after)
+        elif isinstance(stmt, ast.DoWhile):
+            self._compile_dowhile(stmt, poll_after)
+        elif isinstance(stmt, ast.For):
+            self._compile_for(stmt, poll_after)
+        elif isinstance(stmt, ast.Return):
+            self._compile_return(stmt)
+        elif isinstance(stmt, ast.Break):
+            self._compile_break(stmt)
+        elif isinstance(stmt, ast.Continue):
+            self._compile_continue(stmt)
+        elif isinstance(stmt, ast.Atomic):
+            self._compile_atomic(stmt, poll_after)
+        elif isinstance(stmt, ast.Nop):
+            self._compile_nop(stmt, poll_after)
+        else:
+            # ``Post`` (must be lowered before simulation) and any unknown
+            # statement kind: charge the cost, then fail — exactly like the
+            # tree-walker, and only if the statement is actually reached.
+            cost = self._stmt_cost(stmt)
+            if isinstance(stmt, ast.Post):
+                message = "post statements must be lowered before simulation"
+            else:
+                message = f"cannot execute {type(stmt).__name__}"
+            consume = self.engine.node.consume
+            cell = self.engine._stmt_cell
+
+            def op(frame: list, _consume=consume, _cost=cost, _cell=cell,
+                   _message=message) -> int:
+                _cell[0] += 1
+                _consume(_cost)
+                raise RuntimeError(_message)
+
+            self._emit(op)
+
+    def _emit_entry(self, cost: int) -> int:
+        """A bare statement-entry op: count, consume, fall through."""
+        nxt = len(self.ops) + 1
+
+        def op(frame: list, _n=self.node, _cost=cost, _cell=self._cell,
+               _sf=self._sf, _nxt=nxt) -> int:
+            _cell[0] += 1
+            t = _n.time_cycles + _cost
+            _n.time_cycles = t
+            if _n.end_cycles and t >= _n.end_cycles:
+                raise _sf()
+            return _nxt
+
+        return self._emit(op)
+
+    def _emit_poll(self) -> int:
+        nxt = len(self.ops) + 1
+
+        def op(frame: list, _n=self.node, _eq=self._eq, _pi=self._pending,
+               _poll=self._poll, _nxt=nxt) -> int:
+            if (_eq and _eq[0][0] <= _n.time_cycles) or _pi:
+                _poll()
+            return _nxt
+
+        return self._emit(op)
+
+    def _emit_jump(self, target: int) -> int:
+        def op(frame: list, _t=target) -> int:
+            return _t
+
+        return self._emit(op)
+
+    def _emit_jump_pending(self, label: _Label) -> int:
+        def maker(target: int) -> Op:
+            def op(frame: list, _t=target) -> int:
+                return _t
+
+            return op
+
+        return self._emit_pending(maker, label)
+
+    # -- simple statements ------------------------------------------------------
+
+    def _compile_exprstmt(self, stmt: ast.ExprStmt, poll_after: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        value = self._compile_expr(stmt.expr)
+        nxt = len(self.ops) + 1
+        if poll_after:
+            def op(frame: list, _n=self.node, _cost=cost, _v=value,
+                   _cell=self._cell, _sf=self._sf, _eq=self._eq,
+                   _pi=self._pending, _poll=self._poll, _nxt=nxt) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                _v(frame)
+                if (_eq and _eq[0][0] <= _n.time_cycles) or _pi:
+                    _poll()
+                return _nxt
+        else:
+            def op(frame: list, _n=self.node, _cost=cost, _v=value,
+                   _cell=self._cell, _sf=self._sf, _nxt=nxt) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                _v(frame)
+                return _nxt
+        self._emit(op)
+
+    def _compile_nop(self, stmt: ast.Nop, poll_after: bool) -> None:
+        self._emit_entry(self._stmt_cost(stmt))
+        if poll_after:
+            self._emit_poll()
+
+    def _compile_vardecl(self, stmt: ast.VarDecl, poll_after: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        slot = self.slots[stmt.name]
+        nxt = len(self.ops) + 1
+        aggregate = isinstance(stmt.ctype, (ty.ArrayType, ty.StructType))
+        if stmt.name in self.taken or aggregate:
+            memory = self.engine.memory
+            size = stmt.ctype.sizeof(self.pointer_size)
+            storage = f"local.{stmt.name}"
+            init_value: Optional[ExprFn] = None
+            init_bytes: Optional[bytes] = None
+            if stmt.init is not None and stmt.ctype.is_scalar():
+                init_value = self._compile_expr(stmt.init)
+            elif isinstance(stmt.init, ast.StringLiteral) and \
+                    isinstance(stmt.ctype, ty.ArrayType):
+                encoded = stmt.init.value.encode("latin-1", errors="replace")
+                init_bytes = encoded[:stmt.ctype.length]
+            ctype = stmt.ctype
+
+            def op(frame: list, _n=self.node, _cost=cost, _cell=self._cell,
+                   _sf=self._sf, _mem=memory, _storage=storage, _size=size,
+                   _slot=slot, _iv=init_value, _ib=init_bytes, _ct=ctype,
+                   _dp=poll_after, _eq=self._eq, _pi=self._pending,
+                   _poll=self._poll, _nxt=nxt) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                obj = _mem.allocate(_storage, _size, kind="local")
+                frame[_slot] = obj
+                if _iv is not None:
+                    _mem.write(Pointer(obj, 0), _ct, _iv(frame))
+                elif _ib is not None:
+                    obj.data[0:len(_ib)] = _ib
+                if _dp and ((_eq and _eq[0][0] <= _n.time_cycles) or _pi):
+                    _poll()
+                return _nxt
+
+            self._emit(op)
+            return
+
+        init = self._compile_expr(stmt.init) if stmt.init is not None else None
+        wrap = _make_wrap(stmt.ctype) if stmt.ctype.is_integer() else None
+
+        def op(frame: list, _n=self.node, _cost=cost, _cell=self._cell,
+               _sf=self._sf, _slot=slot, _init=init, _wrap=wrap,
+               _dp=poll_after, _eq=self._eq, _pi=self._pending,
+               _poll=self._poll, _nxt=nxt) -> int:
+            _cell[0] += 1
+            t = _n.time_cycles + _cost
+            _n.time_cycles = t
+            if _n.end_cycles and t >= _n.end_cycles:
+                raise _sf()
+            if _init is None:
+                frame[_slot] = 0
+            else:
+                value = _init(frame)
+                if _wrap is not None and isinstance(value, int):
+                    value = _wrap(value)
+                frame[_slot] = value
+            if _dp and ((_eq and _eq[0][0] <= _n.time_cycles) or _pi):
+                _poll()
+            return _nxt
+
+        self._emit(op)
+
+    def _compile_assign(self, stmt: ast.Assign, poll_after: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        rvalue = self._compile_expr(stmt.rvalue)
+        if poll_after and self._try_inline_assign(stmt, cost, rvalue):
+            return
+        store = self._compile_store(stmt.lvalue)
+        nxt = len(self.ops) + 1
+        if poll_after:
+            def op(frame: list, _n=self.node, _cost=cost, _rv=rvalue,
+                   _st=store, _cell=self._cell, _sf=self._sf, _eq=self._eq,
+                   _pi=self._pending, _poll=self._poll, _nxt=nxt) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                _st(frame, _rv(frame))
+                if (_eq and _eq[0][0] <= _n.time_cycles) or _pi:
+                    _poll()
+                return _nxt
+        else:
+            def op(frame: list, _n=self.node, _cost=cost, _rv=rvalue,
+                   _st=store, _cell=self._cell, _sf=self._sf,
+                   _nxt=nxt) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                _st(frame, _rv(frame))
+                return _nxt
+        self._emit(op)
+
+    # -- control flow -----------------------------------------------------------
+
+    def _compile_if(self, stmt: ast.If, poll_after: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        cond = self._compile_expr(stmt.cond)
+        then_index = len(self.ops) + 1
+        else_label = _Label()
+
+        def maker(else_index: int, _n=self.node, _cost=cost, _cond=cond,
+                  _cell=self._cell, _sf=self._sf, _then=then_index) -> Op:
+            def op(frame: list) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                return _then if _cond(frame) != 0 else else_index
+
+            return op
+
+        self._emit_pending(maker, else_label)
+        self._compile_block(stmt.then_body)
+        if stmt.else_body is not None:
+            merge_label = _Label()
+            self._emit_jump_pending(merge_label)
+            self._bind(else_label)
+            self._compile_block(stmt.else_body)
+            self._bind(merge_label)
+        else:
+            self._bind(else_label)
+        if poll_after:
+            self._emit_poll()
+
+    def _compile_while(self, stmt: ast.While, poll_after: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        self._emit_entry(cost)
+        cond = self._compile_expr(stmt.cond)
+        branch_cycles = self.costs.branch_cycles
+        cond_index = len(self.ops)
+        body_index = cond_index + 1
+        exit_label = _Label()
+        cond_label = _Label()
+        self._bind(cond_label)
+
+        def maker(exit_index: int, _cond=cond, _n=self.node,
+                  _bc=branch_cycles, _sf=self._sf, _body=body_index) -> Op:
+            def op(frame: list) -> int:
+                if _cond(frame) != 0:
+                    t = _n.time_cycles + _bc
+                    _n.time_cycles = t
+                    if _n.end_cycles and t >= _n.end_cycles:
+                        raise _sf()
+                    return _body
+                return exit_index
+
+            return op
+
+        self._emit_pending(maker, exit_label)
+        self.loop_stack.append(
+            _LoopCtx(exit_label, cond_label, self.atomic_depth))
+        self._compile_block(stmt.body)
+        self.loop_stack.pop()
+        self._emit_jump(cond_index)
+        self._bind(exit_label)
+        if poll_after:
+            self._emit_poll()
+
+    def _compile_dowhile(self, stmt: ast.DoWhile, poll_after: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        self._emit_entry(cost)
+        body_index = len(self.ops)
+        exit_label = _Label()
+        cond_label = _Label()
+        self.loop_stack.append(
+            _LoopCtx(exit_label, cond_label, self.atomic_depth))
+        self._compile_block(stmt.body)
+        self.loop_stack.pop()
+        self._bind(cond_label)
+        cond = self._compile_expr(stmt.cond)
+        exit_index = len(self.ops) + 1
+
+        def op(frame: list, _cond=cond, _body=body_index,
+               _exit=exit_index) -> int:
+            return _body if _cond(frame) != 0 else _exit
+
+        self._emit(op)
+        self._bind(exit_label)
+        if poll_after:
+            self._emit_poll()
+
+    def _compile_for(self, stmt: ast.For, poll_after: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        self._emit_entry(cost)
+        if stmt.init is not None:
+            self._compile_stmt(stmt.init, poll_after=False)
+        exit_label = _Label()
+        update_label = _Label()
+        cond_index = len(self.ops)
+        if stmt.cond is not None:
+            cond = self._compile_expr(stmt.cond)
+            body_index = cond_index + 1
+
+            def maker(exit_index: int, _cond=cond, _body=body_index) -> Op:
+                def op(frame: list) -> int:
+                    return _body if _cond(frame) != 0 else exit_index
+
+                return op
+
+            self._emit_pending(maker, exit_label)
+        self.loop_stack.append(
+            _LoopCtx(exit_label, update_label, self.atomic_depth))
+        self._compile_block(stmt.body)
+        self.loop_stack.pop()
+        self._bind(update_label)
+        if stmt.update is not None:
+            self._compile_stmt(stmt.update, poll_after=False)
+        self._emit_jump(cond_index)
+        self._bind(exit_label)
+        if poll_after:
+            self._emit_poll()
+
+    def _compile_return(self, stmt: ast.Return) -> None:
+        cost = self._stmt_cost(stmt)
+        value = self._compile_expr(stmt.value) if stmt.value is not None \
+            else None
+        unwind = self.atomic_depth
+
+        def maker(end_index: int, _n=self.node, _cost=cost, _v=value,
+                  _cell=self._cell, _sf=self._sf, _unwind=unwind) -> Op:
+            def op(frame: list) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                frame[_RET] = _v(frame) if _v is not None else None
+                if _unwind:
+                    _n.atomic_depth -= _unwind
+                return end_index
+
+            return op
+
+        self._emit_pending(maker, self.end_label)
+
+    def _compile_break(self, stmt: ast.Break) -> None:
+        self._compile_loop_exit(stmt, continue_=False)
+
+    def _compile_continue(self, stmt: ast.Continue) -> None:
+        self._compile_loop_exit(stmt, continue_=True)
+
+    def _compile_loop_exit(self, stmt: ast.Stmt, continue_: bool) -> None:
+        cost = self._stmt_cost(stmt)
+        consume = self.engine.node.consume
+        cell = self._cell
+        if not self.loop_stack:
+            # The tree-walker would let the signal escape the function and
+            # crash the simulation; fail with a clearer message, and only
+            # when the statement is actually executed.
+            def bad_op(frame: list, _consume=consume, _cost=cost,
+                       _cell=cell) -> int:
+                _cell[0] += 1
+                _consume(_cost)
+                raise RuntimeError("break/continue outside any loop")
+
+            self._emit(bad_op)
+            return
+        ctx = self.loop_stack[-1]
+        label = ctx.continue_label if continue_ else ctx.break_label
+        unwind = self.atomic_depth - ctx.atomic_depth
+
+        def maker(target: int, _n=self.node, _cost=cost, _cell=cell,
+                  _sf=self._sf, _unwind=unwind) -> Op:
+            def op(frame: list) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                if _unwind:
+                    _n.atomic_depth -= _unwind
+                return target
+
+            return op
+
+        self._emit_pending(maker, label)
+
+    def _compile_atomic(self, stmt: ast.Atomic, poll_after: bool) -> None:
+        self.has_atomic = True
+        cost = self._stmt_cost(stmt)
+        nxt = len(self.ops) + 1
+
+        def enter(frame: list, _n=self.node, _cost=cost, _cell=self._cell,
+                  _sf=self._sf, _nxt=nxt) -> int:
+            _cell[0] += 1
+            t = _n.time_cycles + _cost
+            _n.time_cycles = t
+            if _n.end_cycles and t >= _n.end_cycles:
+                raise _sf()
+            _n.atomic_depth += 1
+            return _nxt
+
+        self._emit(enter)
+        self.atomic_depth += 1
+        self._compile_block(stmt.body)
+        self.atomic_depth -= 1
+        exit_nxt = len(self.ops) + 1
+
+        def leave(frame: list, _n=self.node, _nxt=exit_nxt) -> int:
+            _n.atomic_depth -= 1
+            return _nxt
+
+        self._emit(leave)
+        if poll_after:
+            self._emit_poll()
+
+    # -- stores -----------------------------------------------------------------
+
+    def _try_inline_assign(self, stmt: ast.Assign, cost: int,
+                           rvalue: ExprFn) -> bool:
+        """Fuse the two hottest store shapes straight into the assign op.
+
+        Covers (a) scalar locals that do not shadow a global and (b)
+        integer globals whose memory object is already resolvable; both
+        replicate ``_compile_store`` exactly, minus one closure call.
+        """
+        lvalue = stmt.lvalue
+        if not isinstance(lvalue, ast.Identifier):
+            return False
+        name = lvalue.name
+        nxt = len(self.ops) + 1
+        slot = self.slots.get(name)
+        if slot is not None and name not in self.taken and \
+                name not in self.globals_:
+            ctype = lvalue.ctype
+            wrap = _make_wrap(ctype) if ctype is not None and \
+                ctype.is_integer() else None
+
+            def op(frame: list, _n=self.node, _cost=cost, _rv=rvalue,
+                   _slot=slot, _w=wrap, _cell=self._cell, _sf=self._sf,
+                   _eq=self._eq, _pi=self._pending, _poll=self._poll,
+                   _nxt=nxt) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                value = _rv(frame)
+                if frame[_slot] is _UNSET:
+                    frame[_slot] = value
+                elif _w is not None and isinstance(value, int):
+                    frame[_slot] = _w(value)
+                else:
+                    frame[_slot] = value
+                if (_eq and _eq[0][0] <= _n.time_cycles) or _pi:
+                    _poll()
+                return _nxt
+
+            self._emit(op)
+            return True
+        if slot is None and name in self.globals_:
+            ctype = lvalue.ctype or ty.UINT8
+            var = self.program.lookup_global(name)
+            if not isinstance(ctype, (ty.IntType, ty.BoolType, ty.CharType)) \
+                    or var is None:
+                return False
+            size = ctype.sizeof(self.pointer_size)
+            if size > max(var.ctype.sizeof(self.pointer_size), 1):
+                return False
+            obj = self.engine.memory.objects.get(name)
+            if obj is None:
+                return False
+            mask = (1 << (8 * size)) - 1
+            mwrite = self.engine._memory_write
+
+            def op(frame: list, _n=self.node, _cost=cost, _rv=rvalue,
+                   _obj=obj, _size=size, _mask=mask, _ct=ctype, _mw=mwrite,
+                   _cell=self._cell, _sf=self._sf, _eq=self._eq,
+                   _pi=self._pending, _poll=self._poll, _nxt=nxt) -> int:
+                _cell[0] += 1
+                t = _n.time_cycles + _cost
+                _n.time_cycles = t
+                if _n.end_cycles and t >= _n.end_cycles:
+                    raise _sf()
+                value = _rv(frame)
+                if type(value) is int:
+                    if _obj.pointer_slots:
+                        _obj.pointer_slots.pop(0, None)
+                    _obj.data[0:_size] = \
+                        (value & _mask).to_bytes(_size, "little")
+                else:
+                    _mw(Pointer(_obj, 0), _ct, value)
+                if (_eq and _eq[0][0] <= _n.time_cycles) or _pi:
+                    _poll()
+                return _nxt
+
+            self._emit(op)
+            return True
+        return False
+
+    def _compile_store(self, lvalue: ast.Expr
+                       ) -> Callable[[list, RuntimeValue], None]:
+        """A closure ``store(frame, value)`` mirroring ``_store``."""
+        engine = self.engine
+        if isinstance(lvalue, ast.Identifier):
+            name = lvalue.name
+            slot = self.slots.get(name)
+            is_global = name in self.globals_
+            if slot is not None and name not in self.taken:
+                # Scalar local (or stray name): slot store with the
+                # tree-walker's wrap rule; before the declaration executes,
+                # fall back to its slot-miss behaviour.
+                ctype = lvalue.ctype
+                wrap = _make_wrap(ctype) if ctype is not None and \
+                    ctype.is_integer() else None
+                if is_global:
+                    write_fallback = self._compile_global_write(lvalue)
+
+                    def store(frame: list, value: RuntimeValue, _slot=slot,
+                              _wrap=wrap, _fb=write_fallback) -> None:
+                        if frame[_slot] is _UNSET:
+                            _fb(frame, value)
+                            return
+                        if _wrap is not None and isinstance(value, int):
+                            value = _wrap(value)
+                        frame[_slot] = value
+                else:
+                    def store(frame: list, value: RuntimeValue, _slot=slot,
+                              _wrap=wrap) -> None:
+                        if frame[_slot] is _UNSET:
+                            frame[_slot] = value
+                            return
+                        if _wrap is not None and isinstance(value, int):
+                            value = _wrap(value)
+                        frame[_slot] = value
+                return store
+            if slot is not None:
+                # Address-taken local: normally a write through its memory
+                # object, but the slot can also be unset (store before the
+                # declaration executes — the tree-walker absorbs it into
+                # the frame) or hold a scalar from such an earlier store.
+                ctype = lvalue.ctype or ty.UINT8
+                wrap = _make_wrap(lvalue.ctype) if lvalue.ctype is not None \
+                    and lvalue.ctype.is_integer() else None
+                mwrite = engine._memory_write
+                locate_fallback = engine._locate_name
+                shadows_global = name in self.globals_
+
+                def store(frame: list, value: RuntimeValue, _slot=slot,
+                          _ct=ctype, _mw=mwrite, _fb=locate_fallback,
+                          _name=name, _w=wrap,
+                          _g=shadows_global) -> None:
+                    obj = frame[_slot]
+                    if type(obj) is MemoryObject:
+                        _mw(Pointer(obj, 0), _ct, value)
+                    elif obj is _UNSET:
+                        if _g:
+                            _mw(_fb(_name), _ct, value)
+                        else:
+                            frame[_slot] = value
+                    else:
+                        if _w is not None and isinstance(value, int):
+                            value = _w(value)
+                        frame[_slot] = value
+
+                return store
+            if is_global:
+                return self._compile_global_write(lvalue)
+
+            # Neither local nor global nor stray (cannot normally happen —
+            # strays got slots): mirror the tree-walker's error.
+            def store(frame: list, value: RuntimeValue, _name=name) -> None:
+                raise MemoryError_(f"no storage for {_name!r}")
+
+            return store
+
+        locate = self._compile_locate(lvalue)
+        ctype = lvalue.ctype or ty.UINT8
+        mwrite = engine._memory_write
+
+        def store(frame: list, value: RuntimeValue, _loc=locate, _ct=ctype,
+                  _mw=mwrite) -> None:
+            _mw(_loc(frame), _ct, value)
+
+        return store
+
+    def _compile_global_write(self, lvalue: ast.Identifier
+                              ) -> Callable[[list, RuntimeValue], None]:
+        """Store to a global scalar, with an inlined integer fast path."""
+        engine = self.engine
+        name = lvalue.name
+        ctype = lvalue.ctype or ty.UINT8
+        objects_get = engine.memory.objects.get
+        mwrite = engine._memory_write
+        var = self.program.lookup_global(name)
+        size = None
+        if isinstance(ctype, (ty.IntType, ty.BoolType, ty.CharType)) and \
+                var is not None:
+            write_size = ctype.sizeof(self.pointer_size)
+            if write_size <= max(var.ctype.sizeof(self.pointer_size), 1):
+                size = write_size
+        if size is None:
+            def store(frame: list, value: RuntimeValue, _og=objects_get,
+                      _name=name, _ct=ctype, _mw=mwrite) -> None:
+                obj = _og(_name)
+                if obj is None:
+                    raise MemoryError_(f"no storage for {_name!r}")
+                _mw(Pointer(obj, 0), _ct, value)
+
+            return store
+
+        mask = (1 << (8 * size)) - 1
+        # Compiling on first call normally happens after boot(), so the
+        # object can be resolved now and baked into the closure; fall back
+        # to a per-store lookup when the node has not booted yet.
+        known = objects_get(name)
+        if known is not None:
+            def store(frame: list, value: RuntimeValue, _obj=known,
+                      _ct=ctype, _mw=mwrite, _size=size,
+                      _mask=mask) -> None:
+                if type(value) is int:
+                    if _obj.pointer_slots:
+                        _obj.pointer_slots.pop(0, None)
+                    _obj.data[0:_size] = \
+                        (value & _mask).to_bytes(_size, "little")
+                else:
+                    _mw(Pointer(_obj, 0), _ct, value)
+
+            return store
+
+        def store(frame: list, value: RuntimeValue, _og=objects_get,
+                  _name=name, _ct=ctype, _mw=mwrite, _size=size,
+                  _mask=mask) -> None:
+            obj = _og(_name)
+            if obj is None:
+                raise MemoryError_(f"no storage for {_name!r}")
+            if type(value) is int:
+                if obj.pointer_slots:
+                    obj.pointer_slots.pop(0, None)
+                obj.data[0:_size] = (value & _mask).to_bytes(_size, "little")
+            else:
+                _mw(Pointer(obj, 0), _ct, value)
+
+        return store
+
+    # -- lvalue location --------------------------------------------------------
+
+    def _compile_locate(self, lvalue: ast.Expr) -> Callable[[list], Pointer]:
+        """A closure computing an lvalue's location; mirrors ``_locate``."""
+        engine = self.engine
+        if isinstance(lvalue, ast.Identifier):
+            name = lvalue.name
+            slot = self.slots.get(name)
+            fallback = engine._locate_name
+            if slot is not None and name in self.taken:
+                def locate(frame: list, _slot=slot, _fb=fallback,
+                           _name=name) -> Pointer:
+                    obj = frame[_slot]
+                    if type(obj) is MemoryObject:
+                        return Pointer(obj, 0)
+                    return _fb(_name)
+
+                return locate
+
+            def locate(frame: list, _fb=fallback, _name=name) -> Pointer:
+                return _fb(_name)
+
+            return locate
+        if isinstance(lvalue, ast.Deref):
+            pointer = self._compile_expr(lvalue.pointer)
+
+            def locate(frame: list, _p=pointer) -> Pointer:
+                return _as_pointer(_p(frame))
+
+            return locate
+        if isinstance(lvalue, ast.Index):
+            base_type = lvalue.base.ctype
+            index = self._compile_expr(lvalue.index)
+            if isinstance(base_type, ty.ArrayType):
+                base = self._compile_locate(lvalue.base)
+                elem = base_type.element.sizeof(self.pointer_size)
+
+                def locate(frame: list, _i=index, _b=base,
+                           _e=elem) -> Pointer:
+                    offset = _i(frame)
+                    if not isinstance(offset, int):
+                        raise MemoryError_("non-integer array index")
+                    location = _b(frame)
+                    return Pointer(location.obj,
+                                   location.offset + offset * _e)
+
+                return locate
+            base_value = self._compile_expr(lvalue.base)
+            elem = 1
+            if base_type is not None:
+                target = base_type.decay()
+                if isinstance(target, ty.PointerType):
+                    elem = target.target.sizeof(self.pointer_size)
+
+            def locate(frame: list, _i=index, _b=base_value,
+                       _e=elem) -> Pointer:
+                offset = _i(frame)
+                if not isinstance(offset, int):
+                    raise MemoryError_("non-integer array index")
+                location = _as_pointer(_b(frame))
+                return Pointer(location.obj, location.offset + offset * _e)
+
+            return locate
+        if isinstance(lvalue, ast.Member):
+            struct_type = lvalue.base.ctype
+            if lvalue.arrow and isinstance(struct_type, ty.PointerType):
+                struct_type = struct_type.target
+            if not isinstance(struct_type, ty.StructType):
+                def locate(frame: list) -> Pointer:
+                    raise MemoryError_("member access on a non-struct value")
+
+                return locate
+            resolved = self.program.structs.get(struct_type.name) or \
+                struct_type
+            offset = resolved.field_offset(lvalue.fieldname,
+                                           self.pointer_size)
+            if lvalue.arrow:
+                base_value = self._compile_expr(lvalue.base)
+
+                def locate(frame: list, _b=base_value, _o=offset) -> Pointer:
+                    location = _as_pointer(_b(frame))
+                    return Pointer(location.obj, location.offset + _o)
+
+                return locate
+            base = self._compile_locate(lvalue.base)
+
+            def locate(frame: list, _b=base, _o=offset) -> Pointer:
+                location = _b(frame)
+                return Pointer(location.obj, location.offset + _o)
+
+            return locate
+        kind = type(lvalue).__name__
+
+        def locate(frame: list, _kind=kind) -> Pointer:
+            raise MemoryError_(f"not an lvalue: {_kind}")
+
+        return locate
+
+    # -- expressions ------------------------------------------------------------
+
+    def _compile_expr(self, expr: ast.Expr) -> ExprFn:
+        if isinstance(expr, ast.IntLiteral):
+            value = expr.value
+            return lambda frame, _v=value: _v
+        if isinstance(expr, ast.StringLiteral):
+            literal = self.engine.memory.string_literal
+            text = expr.value
+            return lambda frame, _l=literal, _t=text: Pointer(_l(_t), 0)
+        if isinstance(expr, ast.Identifier):
+            return self._compile_identifier(expr)
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self._compile_unary(expr)
+        if isinstance(expr, ast.Deref):
+            pointer = self._compile_expr(expr.pointer)
+            ctype = expr.ctype or ty.UINT8
+            mread = self.engine._memory_read
+
+            def deref(frame: list, _p=pointer, _ct=ctype,
+                      _mr=mread) -> RuntimeValue:
+                return _mr(_as_pointer(_p(frame)), _ct)
+
+            return deref
+        if isinstance(expr, ast.AddressOf):
+            return self._compile_locate(expr.lvalue)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            if isinstance(expr.ctype, ty.ArrayType):
+                return self._compile_locate(expr)
+            locate = self._compile_locate(expr)
+            ctype = expr.ctype or ty.UINT8
+            mread = self.engine._memory_read
+
+            def load(frame: list, _loc=locate, _ct=ctype,
+                     _mr=mread) -> RuntimeValue:
+                return _mr(_loc(frame), _ct)
+
+            return load
+        if isinstance(expr, ast.Call):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.Cast):
+            return self._compile_cast(expr)
+        if isinstance(expr, ast.SizeOf):
+            value = expr.of_type.sizeof(self.pointer_size)
+            return lambda frame, _v=value: _v
+        if isinstance(expr, ast.Ternary):
+            cond = self._compile_expr(expr.cond)
+            then = self._compile_expr(expr.then)
+            otherwise = self._compile_expr(expr.otherwise)
+
+            def ternary(frame: list, _c=cond, _t=then,
+                        _o=otherwise) -> RuntimeValue:
+                return _t(frame) if _c(frame) != 0 else _o(frame)
+
+            return ternary
+        kind = type(expr).__name__
+
+        def unknown(frame: list, _kind=kind) -> RuntimeValue:
+            raise RuntimeError(f"cannot evaluate {_kind}")
+
+        return unknown
+
+    def _compile_identifier(self, expr: ast.Identifier) -> ExprFn:
+        engine = self.engine
+        name = expr.name
+        slot = self.slots.get(name)
+        if slot is not None:
+            fallback_ct = expr.ctype
+            fallback = engine._load_global_like
+            if name in self.taken:
+                # The slot may also hold a scalar stored before the
+                # declaration executed — the tree-walker returns it as-is.
+                is_array = isinstance(expr.ctype, ty.ArrayType)
+                ctype = expr.ctype or ty.UINT8
+                read = engine.memory.read
+                if is_array:
+                    def load(frame: list, _slot=slot, _fb=fallback,
+                             _name=name, _fct=fallback_ct) -> RuntimeValue:
+                        obj = frame[_slot]
+                        if type(obj) is MemoryObject:
+                            return Pointer(obj, 0)
+                        if obj is _UNSET:
+                            return _fb(_name, _fct)
+                        return obj
+                else:
+                    def load(frame: list, _slot=slot, _fb=fallback,
+                             _name=name, _fct=fallback_ct, _ct=ctype,
+                             _rd=read) -> RuntimeValue:
+                        obj = frame[_slot]
+                        if type(obj) is MemoryObject:
+                            return _rd(Pointer(obj, 0), _ct)
+                        if obj is _UNSET:
+                            return _fb(_name, _fct)
+                        return obj
+                return load
+
+            if name in self._param_names:
+                # Parameter slots are always populated at frame build, so
+                # the pre-declaration check can be dropped entirely.
+                return lambda frame, _slot=slot: frame[_slot]
+
+            def load(frame: list, _slot=slot, _fb=fallback, _name=name,
+                     _fct=fallback_ct) -> RuntimeValue:
+                value = frame[_slot]
+                if value is _UNSET:
+                    return _fb(_name, _fct)
+                return value
+
+            return load
+
+        # Global variable: the tree-walker reads with the *declared* type.
+        var = self.program.lookup_global(name)
+        ctype = var.ctype if var is not None else (expr.ctype or ty.UINT8)
+        objects_get = engine.memory.objects.get
+        fallback = engine._load_global_like
+        fallback_ct = expr.ctype
+        if isinstance(ctype, (ty.ArrayType, ty.StructType)):
+            known = objects_get(name)
+            if known is not None:
+                return lambda frame, _obj=known: Pointer(_obj, 0)
+
+            def load(frame: list, _og=objects_get, _name=name, _fb=fallback,
+                     _fct=fallback_ct) -> RuntimeValue:
+                obj = _og(_name)
+                if obj is None:
+                    return _fb(_name, _fct)
+                return Pointer(obj, 0)
+
+            return load
+        if isinstance(ctype, ty.IntType):
+            size = ctype.sizeof(self.pointer_size)
+            # Bake the byte buffer when the node already booted (the normal
+            # compile-on-first-call case); the buffer is mutated in place
+            # and never replaced after boot.
+            known = objects_get(name)
+            if known is not None and not ctype.signed:
+                data = known.data
+
+                def load(frame: list, _data=data,
+                         _size=size) -> RuntimeValue:
+                    return int.from_bytes(_data[0:_size], "little")
+
+                return load
+            if not ctype.signed:
+                def load(frame: list, _og=objects_get, _name=name,
+                         _fb=fallback, _fct=fallback_ct,
+                         _size=size) -> RuntimeValue:
+                    obj = _og(_name)
+                    if obj is None:
+                        return _fb(_name, _fct)
+                    return int.from_bytes(obj.data[0:_size], "little")
+
+                return load
+            maxv = ctype.max_value
+            span = 1 << ctype.bits
+            if known is not None:
+                data = known.data
+
+                def load(frame: list, _data=data, _size=size, _maxv=maxv,
+                         _span=span) -> RuntimeValue:
+                    raw = int.from_bytes(_data[0:_size], "little")
+                    return raw - _span if raw > _maxv else raw
+
+                return load
+
+            def load(frame: list, _og=objects_get, _name=name, _fb=fallback,
+                     _fct=fallback_ct, _size=size, _maxv=maxv,
+                     _span=span) -> RuntimeValue:
+                obj = _og(_name)
+                if obj is None:
+                    return _fb(_name, _fct)
+                raw = int.from_bytes(obj.data[0:_size], "little")
+                return raw - _span if raw > _maxv else raw
+
+            return load
+        if isinstance(ctype, ty.CharType):
+            def load(frame: list, _og=objects_get, _name=name, _fb=fallback,
+                     _fct=fallback_ct) -> RuntimeValue:
+                obj = _og(_name)
+                if obj is None:
+                    return _fb(_name, _fct)
+                raw = obj.data[0]
+                return raw - 0x100 if raw > 0x7F else raw
+
+            return load
+        if isinstance(ctype, ty.PointerType):
+            size = ctype.sizeof(self.pointer_size)
+            known = objects_get(name)
+            if known is not None:
+                def load(frame: list, _obj=known, _size=size) -> RuntimeValue:
+                    stored = _obj.pointer_slots.get(0)
+                    if stored is not None:
+                        return stored
+                    return int.from_bytes(_obj.data[0:_size], "little")
+
+                return load
+
+            def load(frame: list, _og=objects_get, _name=name, _fb=fallback,
+                     _fct=fallback_ct, _size=size) -> RuntimeValue:
+                obj = _og(_name)
+                if obj is None:
+                    return _fb(_name, _fct)
+                stored = obj.pointer_slots.get(0)
+                if stored is not None:
+                    return stored
+                return int.from_bytes(obj.data[0:_size], "little")
+
+            return load
+        read = engine.memory.read
+
+        def load(frame: list, _og=objects_get, _name=name, _fb=fallback,
+                 _fct=fallback_ct, _ct=ctype, _rd=read) -> RuntimeValue:
+            obj = _og(_name)
+            if obj is None:
+                return _fb(_name, _fct)
+            return _rd(Pointer(obj, 0), _ct)
+
+        return load
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> ExprFn:
+        op = expr.op
+        left = self._compile_expr(expr.left)
+        right = self._compile_expr(expr.right)
+        if op == "&&":
+            def and_(frame: list, _l=left, _r=right) -> int:
+                if _l(frame) == 0:
+                    return 0
+                return 1 if _r(frame) != 0 else 0
+
+            return and_
+        if op == "||":
+            def or_(frame: list, _l=left, _r=right) -> int:
+                if _l(frame) != 0:
+                    return 1
+                return 1 if _r(frame) != 0 else 0
+
+            return or_
+        if op in _COMPARISON_OPS:
+            return self._compile_comparison(op, expr, left, right)
+        intf = _INT_OPS.get(op)
+        if intf is None:
+            def bad(frame: list, _op=op) -> RuntimeValue:
+                raise RuntimeError(f"unknown operator {_op!r}")
+
+            return bad
+        ctype = expr.ctype
+        wrap = _make_wrap(ctype) if ctype is not None and \
+            ctype.is_integer() else None
+        left_elem = _elem_size(expr.left.ctype, self.pointer_size)
+        right_elem = _elem_size(expr.right.ctype, self.pointer_size)
+
+        def slow(a: RuntimeValue, b: RuntimeValue, _op=op, _f=intf,
+                 _wrap=wrap, _le=left_elem, _re=right_elem) -> RuntimeValue:
+            if isinstance(a, Pointer) or isinstance(b, Pointer):
+                return _pointer_arith(_op, a, b, _le, _re, _le)
+            result = _f(int(a), int(b))
+            return _wrap(result) if _wrap is not None else result
+
+        # Specialized shapes for the overwhelmingly common cases: unsigned
+        # result types (wrap is a plain mask) and literal right operands.
+        # These fold the operator and the wrap into the closure body,
+        # saving two function calls per evaluation.
+        rconst = expr.right.value if isinstance(expr.right, ast.IntLiteral) \
+            else None
+        unsigned = isinstance(ctype, ty.IntType) and not ctype.signed
+        if unsigned:
+            mask = (1 << ctype.bits) - 1
+            fused = self._fused_masked_binop(op, left, right, rconst, mask,
+                                             slow)
+            if fused is not None:
+                return fused
+        if rconst is not None:
+            if wrap is not None:
+                def binop(frame: list, _l=left, _c=rconst, _f=intf, _w=wrap,
+                          _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return _w(_f(a, _c))
+                    return _s(a, _c)
+            else:
+                def binop(frame: list, _l=left, _c=rconst, _f=intf,
+                          _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return _f(a, _c)
+                    return _s(a, _c)
+            return binop
+        if wrap is not None:
+            def binop(frame: list, _l=left, _r=right, _f=intf, _w=wrap,
+                      _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return _w(_f(a, b))
+                return _s(a, b)
+        else:
+            def binop(frame: list, _l=left, _r=right, _f=intf,
+                      _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return _f(a, b)
+                return _s(a, b)
+        return binop
+
+    def _fused_masked_binop(self, op: str, left: ExprFn, right: ExprFn,
+                            rconst: Optional[int], mask: int,
+                            slow: Callable) -> Optional[ExprFn]:
+        """Inline ``(a <op> b) & mask`` shapes for unsigned results."""
+        if rconst is not None:
+            c = rconst
+            if op == "+":
+                def f(frame: list, _l=left, _c=c, _m=mask,
+                      _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return (a + _c) & _m
+                    return _s(a, _c)
+            elif op == "-":
+                def f(frame: list, _l=left, _c=c, _m=mask,
+                      _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return (a - _c) & _m
+                    return _s(a, _c)
+            elif op == "*":
+                def f(frame: list, _l=left, _c=c, _m=mask,
+                      _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return (a * _c) & _m
+                    return _s(a, _c)
+            elif op == "&":
+                def f(frame: list, _l=left, _c=c, _m=mask,
+                      _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return (a & _c) & _m
+                    return _s(a, _c)
+            elif op == "|":
+                def f(frame: list, _l=left, _c=c, _m=mask,
+                      _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return (a | _c) & _m
+                    return _s(a, _c)
+            elif op == "^":
+                def f(frame: list, _l=left, _c=c, _m=mask,
+                      _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return (a ^ _c) & _m
+                    return _s(a, _c)
+            elif op == "<<":
+                shift = c & 31
+
+                def f(frame: list, _l=left, _c=c, _sh=shift, _m=mask,
+                      _s=slow) -> RuntimeValue:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return (a << _sh) & _m
+                    return _s(a, _c)
+            else:
+                return None
+            return f
+        if op == "+":
+            def f(frame: list, _l=left, _r=right, _m=mask,
+                  _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return (a + b) & _m
+                return _s(a, b)
+        elif op == "-":
+            def f(frame: list, _l=left, _r=right, _m=mask,
+                  _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return (a - b) & _m
+                return _s(a, b)
+        elif op == "*":
+            def f(frame: list, _l=left, _r=right, _m=mask,
+                  _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return (a * b) & _m
+                return _s(a, b)
+        elif op == "&":
+            def f(frame: list, _l=left, _r=right, _m=mask,
+                  _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return (a & b) & _m
+                return _s(a, b)
+        elif op == "|":
+            def f(frame: list, _l=left, _r=right, _m=mask,
+                  _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return (a | b) & _m
+                return _s(a, b)
+        elif op == "^":
+            def f(frame: list, _l=left, _r=right, _m=mask,
+                  _s=slow) -> RuntimeValue:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return (a ^ b) & _m
+                return _s(a, b)
+        else:
+            return None
+        return f
+
+    def _compile_comparison(self, op: str, expr: ast.BinaryOp, left: ExprFn,
+                            right: ExprFn) -> ExprFn:
+        if isinstance(expr.right, ast.IntLiteral):
+            c = expr.right.value
+            if op == "==":
+                def cmp_c(frame: list, _l=left, _c=c) -> int:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return 1 if a == _c else 0
+                    return _compare_rt("==", a, _c)
+            elif op == "!=":
+                def cmp_c(frame: list, _l=left, _c=c) -> int:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return 1 if a != _c else 0
+                    return _compare_rt("!=", a, _c)
+            elif op == "<":
+                def cmp_c(frame: list, _l=left, _c=c) -> int:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return 1 if a < _c else 0
+                    return _compare_rt("<", a, _c)
+            elif op == "<=":
+                def cmp_c(frame: list, _l=left, _c=c) -> int:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return 1 if a <= _c else 0
+                    return _compare_rt("<=", a, _c)
+            elif op == ">":
+                def cmp_c(frame: list, _l=left, _c=c) -> int:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return 1 if a > _c else 0
+                    return _compare_rt(">", a, _c)
+            else:
+                def cmp_c(frame: list, _l=left, _c=c) -> int:
+                    a = _l(frame)
+                    if type(a) is int:
+                        return 1 if a >= _c else 0
+                    return _compare_rt(">=", a, _c)
+            return cmp_c
+        if op == "==":
+            def cmp_(frame: list, _l=left, _r=right) -> int:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return 1 if a == b else 0
+                return _compare_rt("==", a, b)
+        elif op == "!=":
+            def cmp_(frame: list, _l=left, _r=right) -> int:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return 1 if a != b else 0
+                return _compare_rt("!=", a, b)
+        elif op == "<":
+            def cmp_(frame: list, _l=left, _r=right) -> int:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return 1 if a < b else 0
+                return _compare_rt("<", a, b)
+        elif op == "<=":
+            def cmp_(frame: list, _l=left, _r=right) -> int:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return 1 if a <= b else 0
+                return _compare_rt("<=", a, b)
+        elif op == ">":
+            def cmp_(frame: list, _l=left, _r=right) -> int:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return 1 if a > b else 0
+                return _compare_rt(">", a, b)
+        else:
+            def cmp_(frame: list, _l=left, _r=right) -> int:
+                a = _l(frame)
+                b = _r(frame)
+                if type(a) is int and type(b) is int:
+                    return 1 if a >= b else 0
+                return _compare_rt(">=", a, b)
+        return cmp_
+
+    def _compile_unary(self, expr: ast.UnaryOp) -> ExprFn:
+        operand = self._compile_expr(expr.operand)
+        op = expr.op
+        if op == "!":
+            def not_(frame: list, _o=operand) -> int:
+                return 0 if _o(frame) != 0 else 1
+
+            return not_
+        ctype = expr.ctype
+        wrap = _make_wrap(ctype) if ctype is not None and \
+            ctype.is_integer() else None
+        if op == "-":
+            def neg(frame: list, _o=operand, _w=wrap) -> RuntimeValue:
+                value = _o(frame)
+                if isinstance(value, Pointer):
+                    return value
+                result = -int(value)
+                return _w(result) if _w is not None else result
+
+            return neg
+        if op == "~":
+            def inv(frame: list, _o=operand, _w=wrap) -> RuntimeValue:
+                value = _o(frame)
+                if isinstance(value, Pointer):
+                    return value
+                result = ~int(value)
+                return _w(result) if _w is not None else result
+
+            return inv
+
+        def bad(frame: list, _o=operand, _op=op) -> RuntimeValue:
+            _o(frame)
+            raise RuntimeError(f"unknown unary operator {_op!r}")
+
+        return bad
+
+    def _compile_cast(self, expr: ast.Cast) -> ExprFn:
+        operand = self._compile_expr(expr.operand)
+        target = expr.target_type
+        if target.is_integer():
+            wrap = _make_wrap(target)
+
+            def cast_int(frame: list, _o=operand, _w=wrap) -> RuntimeValue:
+                value = _o(frame)
+                if isinstance(value, int):
+                    return _w(value)
+                return value
+
+            return cast_int
+        if target.is_pointer():
+            def cast_ptr(frame: list, _o=operand) -> RuntimeValue:
+                value = _o(frame)
+                if isinstance(value, int) and value == 0:
+                    return 0
+                return value
+
+            return cast_ptr
+        return operand
+
+    def _compile_call(self, expr: ast.Call) -> ExprFn:
+        name = expr.callee
+        args = tuple(self._compile_expr(arg) for arg in expr.args)
+        if name in self.program.builtins:
+            call_builtin = self.engine.node.call_builtin
+
+            def call(frame: list, _cb=call_builtin, _name=name,
+                     _args=args) -> RuntimeValue:
+                return _cb(_name, [a(frame) for a in _args])
+
+            return call
+        engine = self.engine
+        execute = engine._execute
+
+        def call(frame: list, _cf_cell=[None], _eng=engine, _ex=execute,
+                 _name=name, _args=args) -> RuntimeValue:
+            cf = _cf_cell[0]
+            if cf is None:
+                cf = _eng._compiled.get(_name)
+                if cf is None:
+                    cf = _eng._compile_name(_name)
+                _cf_cell[0] = cf
+            result = _ex(cf, [a(frame) for a in _args])
+            return result if result is not None else 0
+
+        return call

@@ -1,11 +1,22 @@
-"""The CMinor interpreter used by the simulator.
+"""The CMinor interpreters used by the simulator.
 
-The interpreter executes the final (optimized, linked) program directly on
-the AST, charging cycles from the backend cost model for every statement it
-executes.  Hardware access builtins are routed to the node's device bus;
-``__sleep`` hands control back to the node so it can advance time to the
-next event; interrupts are polled between statements and delivered by
-calling the registered handler function.
+Two execution engines share one public facade:
+
+* :class:`TreeWalkInterpreter` executes the final (optimized, linked)
+  program directly on the AST, charging cycles from the backend cost model
+  for every statement it executes.  It is the reference semantics.
+* :class:`~repro.avrora.engine.CompiledEngine` lowers each function once
+  into a flat stream of Python closures and runs those — several times
+  faster, with byte-identical results (see ``ARCHITECTURE.md``).
+
+:class:`Interpreter` is the thin facade the :class:`~repro.avrora.node.Node`
+talks to; it selects the engine (compiled by default) and compiles-on-first
+-call, caching per-function compiled code for the node's lifetime.
+
+Hardware access builtins are routed to the node's device bus; ``__sleep``
+hands control back to the node so it can advance time to the next event;
+interrupts are polled between statements and delivered by calling the
+registered handler function.
 
 CCured's runtime support builtins (``__bounds_ok``, ``__error_report`` …)
 are evaluated concretely against the memory-object model, so a program whose
@@ -15,13 +26,13 @@ and really does halt with a diagnostic if one fails.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, TYPE_CHECKING
 
 from repro.cminor import ast_nodes as ast
 from repro.cminor import typesys as ty
 from repro.cminor.program import Program
-from repro.cminor.typecheck import local_types
-from repro.cminor.visitor import statement_expressions, walk_expression, walk_statements
+from repro.cminor.visitor import walk_expression
 from repro.avrora.memory import (
     MemoryError_,
     MemoryObject,
@@ -33,6 +44,10 @@ from repro.avrora.memory import (
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.avrora.node import Node
+
+#: Engine used when a Node does not ask for a specific one.  Override with
+#: ``REPRO_AVRORA_ENGINE=tree`` to fall back to the reference tree-walker.
+DEFAULT_ENGINE = os.environ.get("REPRO_AVRORA_ENGINE", "compiled")
 
 
 class _ReturnSignal(Exception):
@@ -49,7 +64,41 @@ class _ContinueSignal(Exception):
 
 
 class Interpreter:
-    """Executes one program on behalf of one node."""
+    """Facade selecting one of the execution engines for a node.
+
+    ``engine`` is ``"compiled"`` (default) for the compile-to-closures
+    engine or ``"tree"`` for the reference tree-walking interpreter.
+    """
+
+    def __init__(self, node: "Node", engine: Optional[str] = None):
+        self.node = node
+        self.engine_name = engine or DEFAULT_ENGINE
+        if self.engine_name == "tree":
+            self._impl = TreeWalkInterpreter(node)
+        elif self.engine_name == "compiled":
+            from repro.avrora.engine import CompiledEngine
+
+            self._impl = CompiledEngine(node)
+        else:
+            raise ValueError(f"unknown simulator engine {self.engine_name!r}"
+                             " (expected 'compiled' or 'tree')")
+        self.program: Program = node.program
+        self.memory: MemorySystem = node.memory
+        self.costs = node.costs
+
+    def call(self, name: str, args: Optional[list[RuntimeValue]] = None
+             ) -> Optional[RuntimeValue]:
+        """Call a program function by name with already-evaluated arguments."""
+        return self._impl.call(name, args)
+
+    @property
+    def statements_executed(self) -> int:
+        """Statements executed so far (shared metric across engines)."""
+        return self._impl.statements_executed
+
+
+class TreeWalkInterpreter:
+    """Executes one program on behalf of one node by walking the AST."""
 
     def __init__(self, node: "Node"):
         self.node = node
@@ -58,8 +107,8 @@ class Interpreter:
         self.costs = node.costs
         self.pointer_size = node.costs.platform.pointer_bytes
         self._stmt_cycles_cache: dict[int, int] = {}
-        self._address_taken: dict[str, set[str]] = {}
-        self._local_types: dict[str, dict[str, ty.CType]] = {}
+        self._analysis = self.program.analysis()
+        self.statements_executed = 0
 
     # -- function calls --------------------------------------------------------
 
@@ -81,6 +130,10 @@ class Interpreter:
 
     def _build_frame(self, func: ast.FunctionDef,
                      args: list[RuntimeValue]) -> dict[str, object]:
+        if len(args) != len(func.params):
+            raise TypeError(
+                f"{func.name}() takes {len(func.params)} argument(s) "
+                f"but {len(args)} were given")
         frame: dict[str, object] = {}
         taken = self._address_taken_locals(func)
         for param, value in zip(func.params, args):
@@ -94,37 +147,11 @@ class Interpreter:
                 frame[param.name] = value
         return frame
 
-    def _address_taken_locals(self, func: ast.FunctionDef) -> set[str]:
-        cached = self._address_taken.get(func.name)
-        if cached is not None:
-            return cached
-        locals_ = self._locals_of(func)
-        taken: set[str] = set()
-        for stmt in walk_statements(func.body):
-            for expr in statement_expressions(stmt):
-                for node in walk_expression(expr):
-                    if isinstance(node, ast.AddressOf):
-                        root = node.lvalue
-                        while isinstance(root, (ast.Index, ast.Member)):
-                            if isinstance(root, ast.Member) and root.arrow:
-                                root = None
-                                break
-                            root = root.base
-                        if isinstance(root, ast.Identifier) and root.name in locals_:
-                            taken.add(root.name)
-        # Aggregate locals always live in memory.
-        for name, ctype in locals_.items():
-            if isinstance(ctype, (ty.ArrayType, ty.StructType)):
-                taken.add(name)
-        self._address_taken[func.name] = taken
-        return taken
+    def _address_taken_locals(self, func: ast.FunctionDef) -> frozenset[str]:
+        return self._analysis.address_taken_locals(func)
 
     def _locals_of(self, func: ast.FunctionDef) -> dict[str, ty.CType]:
-        cached = self._local_types.get(func.name)
-        if cached is None:
-            cached = local_types(func)
-            self._local_types[func.name] = cached
-        return cached
+        return self._analysis.local_types(func)
 
     # -- statements -------------------------------------------------------------
 
@@ -133,7 +160,7 @@ class Interpreter:
         if cached is not None:
             return cached
         cycles = self.costs.stmt_cycles(stmt)
-        for expr in statement_expressions(stmt):
+        for expr in self._analysis.statement_expressions(stmt):
             for node in walk_expression(expr):
                 cycles += self.costs.expr_cycles(node)
         cycles = max(cycles, 1)
@@ -146,6 +173,7 @@ class Interpreter:
             self.node.poll()
 
     def _exec_stmt(self, stmt: ast.Stmt, frame: dict[str, object]) -> None:
+        self.statements_executed += 1
         self.node.consume(self._stmt_cost(stmt))
         if isinstance(stmt, ast.Block):
             self._exec_block(stmt, frame)
@@ -196,8 +224,6 @@ class Interpreter:
             raise RuntimeError(f"cannot execute {type(stmt).__name__}")
 
     def _exec_vardecl(self, stmt: ast.VarDecl, frame: dict[str, object]) -> None:
-        func_taken = frame.get("__taken__")
-        del func_taken
         taken_names = self._current_taken(frame)
         if stmt.name in taken_names or isinstance(stmt.ctype,
                                                   (ty.ArrayType, ty.StructType)):
@@ -221,11 +247,13 @@ class Interpreter:
                 value = ty.wrap_to(stmt.ctype, value)
         frame[stmt.name] = value
 
-    def _current_taken(self, frame: dict[str, object]) -> set[str]:
+    def _current_taken(self, frame: dict[str, object]) -> frozenset[str]:
         func_name = frame.get("__function__")
         if isinstance(func_name, str):
-            return self._address_taken.get(func_name, set())
-        return set()
+            func = self.program.lookup_function(func_name)
+            if func is not None:
+                return self._analysis.address_taken_locals(func)
+        return frozenset()
 
     def _exec_while(self, stmt: ast.While, frame: dict[str, object]) -> None:
         while self._truthy(self._eval(stmt.cond, frame)):

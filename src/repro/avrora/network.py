@@ -130,15 +130,17 @@ class Network:
 
 
 def simulate(program: Program, seconds: float = 5.0, node_count: int = 1,
-             traffic: Optional[TrafficGenerator] = None) -> list[Node]:
+             traffic: Optional[TrafficGenerator] = None,
+             engine: Optional[str] = None) -> list[Node]:
     """Simulate ``node_count`` nodes running one image.
 
     Returns the simulated nodes; duty cycle, LED history, failure records
-    and device statistics can be read from them.
+    and device statistics can be read from them.  ``engine`` selects the
+    execution engine (``"compiled"``/``"tree"``) for every node.
     """
     network = Network(traffic=traffic)
     for node_id in range(1, node_count + 1):
-        node = Node(program, node_id=node_id)
+        node = Node(program, node_id=node_id, engine=engine)
         node.boot()
         network.add_node(node)
     network.run(seconds)

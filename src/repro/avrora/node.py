@@ -61,7 +61,8 @@ class Node:
     """One mote running one program image."""
 
     def __init__(self, program: Program, node_id: int = 1,
-                 costs: Optional[CostModel] = None):
+                 costs: Optional[CostModel] = None,
+                 engine: Optional[str] = None):
         self.program = program
         self.node_id = node_id
         self.costs = costs or cost_model_for(program.platform)
@@ -73,10 +74,10 @@ class Node:
         for device in standard_devices():
             self.bus.attach(self, device)
 
-        self.interpreter = Interpreter(self)
+        #: ``"compiled"`` (default) or ``"tree"``; see repro.avrora.interp.
+        self.interpreter = Interpreter(self, engine=engine)
 
         self.time_cycles = 0
-        self.busy_cycles = 0
         self.sleep_cycles = 0
         self.end_cycles = 0
         self.atomic_depth = 0
@@ -127,8 +128,19 @@ class Node:
     def current_jiffies(self) -> int:
         return self.time_cycles // self.cycles_per_jiffy
 
+    @property
+    def busy_cycles(self) -> int:
+        """Cycles spent executing code.
+
+        Derived from the invariant ``time = busy + sleep``: execution only
+        advances time through :meth:`consume` (busy) or the sleep paths
+        (sleep), so storing busy separately would just add a counter update
+        to the hottest loop in the simulator.
+        """
+        return self.time_cycles - self.sleep_cycles
+
     def duty_cycle(self) -> float:
-        total = self.busy_cycles + self.sleep_cycles
+        total = self.time_cycles
         if total == 0:
             return 0.0
         return self.busy_cycles / total
@@ -150,7 +162,6 @@ class Node:
     def consume(self, cycles: int) -> None:
         """Charge busy cycles for executing code."""
         self.time_cycles += cycles
-        self.busy_cycles += cycles
         if self.end_cycles and self.time_cycles >= self.end_cycles:
             raise _SimulationFinished()
 

@@ -226,5 +226,6 @@ def gcc_optimize(program: Program) -> GccOptReport:
     _fold_literal_branches(program, report)
     _remove_easy_checks(program, report)
     _remove_uncalled_functions(program, report)
+    program.invalidate_analysis()
     check_program(program)
     return report

@@ -511,6 +511,7 @@ def cure(program: Program, config: Optional[CCuredConfig] = None) -> CCuredResul
     runtime = build_runtime(config)
     runtime.add_to_program(program)
     add_fat_pointer_metadata(program, kinds)
+    program.invalidate_analysis()
     check_program(program)
 
     result = CCuredResult(

@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.cminor import ast_nodes as ast
 from repro.cminor import typesys as ty
 from repro.cminor.errors import LinkError, SourceLocation, TypeCheckError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cminor.analysis_cache import ProgramAnalysisCache
 
 
 class StructTable:
@@ -211,7 +214,36 @@ class Program:
 
     def clone(self) -> "Program":
         """Deep-copy the program so a pipeline variant can transform it freely."""
-        return copy.deepcopy(self)
+        cache = self.__dict__.pop("_analysis_cache", None)
+        try:
+            cloned = copy.deepcopy(self)
+        finally:
+            if cache is not None:
+                self.__dict__["_analysis_cache"] = cache
+        return cloned
+
+    # -- derived-analysis cache ------------------------------------------------
+
+    def analysis(self) -> "ProgramAnalysisCache":
+        """The program-level cache of derived per-function analyses.
+
+        Shared by the simulator and the cXprop analyses; see
+        :mod:`repro.cminor.analysis_cache`.  Passes that mutate function
+        bodies must call :meth:`invalidate_analysis` when done.
+        """
+        cache = self.__dict__.get("_analysis_cache")
+        if cache is None:
+            from repro.cminor.analysis_cache import ProgramAnalysisCache
+
+            cache = ProgramAnalysisCache(self)
+            self.__dict__["_analysis_cache"] = cache
+        return cache
+
+    def invalidate_analysis(self, func_name: Optional[str] = None) -> None:
+        """Drop cached derived analyses after mutating the AST."""
+        cache = self.__dict__.get("_analysis_cache")
+        if cache is not None:
+            cache.invalidate(func_name)
 
     def summary(self) -> dict[str, int]:
         """Coarse size statistics used by reports and tests."""

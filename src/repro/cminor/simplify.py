@@ -28,6 +28,7 @@ def simplify_program(program: Program) -> Program:
     """Normalize every function of ``program`` in place and return it."""
     for func in program.iter_functions():
         simplify_function(func)
+    program.invalidate_analysis()
     return program
 
 

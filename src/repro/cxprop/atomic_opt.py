@@ -127,6 +127,8 @@ def optimize_atomic_sections(program: Program) -> AtomicOptReport:
                 if isinstance(stmt, ast.Atomic) and stmt.save_irq:
                     stmt.save_irq = False
                     report.irq_saves_avoided += 1
+    if report.nested_removed or report.irq_saves_avoided:
+        program.invalidate_analysis()
     return report
 
 

@@ -203,5 +203,6 @@ def propagate_copies(program: Program,
             report.copies_propagated += count
             report.functions_touched += 1
     if report.copies_propagated:
+        program.invalidate_analysis()
         check_program(program)
     return report

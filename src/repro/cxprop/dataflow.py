@@ -21,8 +21,7 @@ from typing import Optional
 from repro.cminor import ast_nodes as ast
 from repro.cminor import typesys as ty
 from repro.cminor.program import Program
-from repro.cminor.typecheck import local_types
-from repro.cminor.visitor import statement_expressions, walk_expression
+from repro.cminor.visitor import walk_expression
 from repro.cxprop.domains.base import AbstractDomain
 from repro.cxprop.domains.interval import IntervalDomain
 from repro.cxprop.evaluate import Evaluator
@@ -53,12 +52,33 @@ class Flow:
 
 def join_states(domain: AbstractDomain, left: Optional[State],
                 right: Optional[State]) -> Optional[State]:
-    """Join two states (None means unreachable)."""
+    """Join two states (None means unreachable).
+
+    Copy-on-write with identity fast paths: interned values make
+    ``lval is rval`` true for every variable that both branches agree on,
+    so the (allocation-heavy) ``domain.join`` only runs for entries that
+    actually differ.
+    """
     if left is None:
         return dict(right) if right is not None else None
     if right is None:
         return dict(left)
+    if left is right:
+        return dict(left)
     joined: State = {}
+    if len(left) == len(right):
+        # Common case in the widening loop: same key set on both sides.
+        get_right = right.get
+        same_keys = True
+        for name, lval in left.items():
+            rval = get_right(name)
+            if rval is None:
+                same_keys = False
+                break
+            joined[name] = lval if lval is rval else domain.join(lval, rval)
+        if same_keys:
+            return joined
+        joined.clear()
     for name in set(left) | set(right):
         lval = left.get(name)
         rval = right.get(name)
@@ -66,7 +86,10 @@ def join_states(domain: AbstractDomain, left: Optional[State],
             # Missing entries fall back to the lazy lookup default; dropping
             # the entry keeps the join conservative.
             continue
-        joined[name] = domain.join(lval, rval)
+        if lval is rval:
+            joined[name] = lval
+        else:
+            joined[name] = domain.join(lval, rval)
     return joined
 
 
@@ -121,7 +144,8 @@ class FunctionAnalysis:
         self.facts = facts
         self.domain = domain or IntervalDomain()
         self.evaluator = Evaluator(program, pointer_size)
-        self.locals_ = local_types(func)
+        self._analysis = program.analysis()
+        self.locals_ = self._analysis.local_types(func)
         self.address_taken = facts.address_taken_locals.get(func.name, set())
         self.result = AnalysisResult()
 
@@ -451,7 +475,8 @@ class FunctionAnalysis:
 
     def _havoc_for_calls(self, stmt: ast.Stmt, state: State) -> None:
         """Invalidate state that a called function may modify."""
-        for expr in statement_expressions(stmt):
+        for expr in self._analysis.statement_expressions(stmt,
+                                                         self.func.name):
             for node in walk_expression(expr):
                 if isinstance(node, ast.Call) and \
                         node.callee in self.program.functions:

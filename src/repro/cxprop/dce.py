@@ -248,4 +248,6 @@ def eliminate_dead_code(program: Program, max_rounds: int = 6) -> DceReport:
         report.rounds += 1
         if not changed:
             break
+    if report.total:
+        program.invalidate_analysis()
     return report

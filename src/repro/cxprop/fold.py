@@ -219,5 +219,6 @@ def fold_program(program: Program, facts: WholeProgramFacts,
         folder = _Folder(program, func, facts, domain)
         report.merge(folder.run())
     if report.total:
+        program.invalidate_analysis()
         check_program(program)
     return report

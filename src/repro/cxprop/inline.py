@@ -372,4 +372,6 @@ def _clone(expr: ast.Expr) -> ast.Expr:
 def inline_program(program: Program,
                    config: Optional[InlineConfig] = None) -> InlineReport:
     """Run the inliner over the whole program."""
-    return Inliner(program, config).run()
+    report = Inliner(program, config).run()
+    program.invalidate_analysis()
+    return report

@@ -24,9 +24,7 @@ from repro.cminor import ast_nodes as ast
 from repro.cminor import typesys as ty
 from repro.cminor.callgraph import CallGraph, build_call_graph
 from repro.cminor.program import Program
-from repro.cminor.typecheck import local_types
 from repro.cminor.visitor import (
-    statement_expressions,
     walk_expression,
     walk_statements,
 )
@@ -90,11 +88,12 @@ def _collect_address_taken(program: Program) -> tuple[set[str], dict[str, set[st
             # treat them as address-taken so stores through pointers are
             # handled conservatively.
             globals_taken.add(var.name)
+    analysis = program.analysis()
     for func in program.iter_functions():
-        locals_ = set(local_types(func))
+        locals_ = set(analysis.local_types(func))
         taken: set[str] = set()
         for stmt in walk_statements(func.body):
-            for expr in statement_expressions(stmt):
+            for expr in analysis.statement_expressions(stmt, func.name):
                 for node in walk_expression(expr):
                     if isinstance(node, ast.AddressOf):
                         root = _lvalue_root(node.lvalue)
@@ -116,8 +115,9 @@ def _collect_mod_sets(program: Program, graph: CallGraph) -> dict[str, set[str]]
     """Globals each function may write, transitively."""
     direct: dict[str, set[str]] = {}
     global_names = set(program.globals)
+    analysis = program.analysis()
     for func in program.iter_functions():
-        locals_ = set(local_types(func))
+        locals_ = set(analysis.local_types(func))
         mods: set[str] = set()
         for stmt in walk_statements(func.body):
             if isinstance(stmt, ast.Assign):
@@ -216,7 +216,9 @@ def _compute_global_invariants(facts: WholeProgramFacts,
                 if root in trackable and isinstance(stmt.lvalue, ast.Identifier):
                     assignments.append((func, stmt))
 
-    local_maps = {func.name: local_types(func) for func in program.iter_functions()}
+    analysis = program.analysis()
+    local_maps = {func.name: analysis.local_types(func)
+                  for func in program.iter_functions()}
 
     for round_number in range(_INVARIANT_ROUNDS):
         changed = False

@@ -102,6 +102,7 @@ def refactor_hardware_accesses(program: Program) -> HwRefactorReport:
         if report.total != before:
             report.functions_touched.add(func.name)
 
+    program.invalidate_analysis()
     check_program(program)
     return report
 
