@@ -50,7 +50,13 @@ UNKNOWN_TARGET = MemoryTarget("unknown", "?", 0)
 
 @dataclass(frozen=True)
 class Value:
-    """One abstract value.  Immutable; operations return new values."""
+    """One abstract value.  Immutable; operations return new values.
+
+    Values are *interned* behind the hash-consed factory :func:`_make`:
+    constructing the same abstract value twice yields the same object, so
+    the widening loop's joins and state comparisons can short-circuit on
+    identity instead of comparing fields (see ``join_states``).
+    """
 
     kind: str  # "bottom", "int", "ptr", "top"
     lo: int = 0
@@ -64,60 +70,62 @@ class Value:
 
     @staticmethod
     def bottom() -> "Value":
-        return Value("bottom")
+        return _BOTTOM
 
     @staticmethod
     def top() -> "Value":
-        return Value("top")
+        return _TOP
 
     @staticmethod
     def of_int(value: int) -> "Value":
-        return Value("int", lo=value, hi=value)
+        return _make("int", value, value)
 
     @staticmethod
     def of_range(lo: int, hi: int) -> "Value":
         if lo > hi:
             lo, hi = hi, lo
-        return Value("int", lo=lo, hi=hi)
+        return _make("int", lo, hi)
 
     @staticmethod
     def of_type(ctype: Optional[ty.CType]) -> "Value":
         """The most general value a variable of ``ctype`` can hold."""
         if ctype is None:
-            return Value.top()
+            return _TOP
+        cached = _OF_TYPE.get(ctype)
+        if cached is not None:
+            return cached
         if ctype.is_integer():
             lo, hi = ty.integer_limits(ctype if not isinstance(ctype, ty.BoolType)
                                        else ty.UINT8)
             if isinstance(ctype, ty.BoolType):
                 lo, hi = 0, 1
-            return Value.of_range(lo, hi)
-        if ctype.is_pointer():
-            return Value.any_pointer()
-        return Value.top()
+            value = Value.of_range(lo, hi)
+        elif ctype.is_pointer():
+            value = Value.any_pointer()
+        else:
+            value = _TOP
+        _OF_TYPE[ctype] = value
+        return value
 
     @staticmethod
     def null_pointer() -> "Value":
-        return Value("ptr", targets=frozenset(), may_be_null=True)
+        return _NULL_POINTER
 
     @staticmethod
     def pointer_to(target: MemoryTarget, offset_lo: int = 0,
                    offset_hi: int = 0) -> "Value":
-        return Value("ptr", targets=frozenset([target]),
-                     offset_lo=offset_lo, offset_hi=offset_hi,
-                     may_be_null=False)
+        return _make("ptr", 0, 0, frozenset([target]), offset_lo, offset_hi,
+                     False)
 
     @staticmethod
     def pointer_to_many(targets: Iterable[MemoryTarget], offset_lo: int,
                         offset_hi: int, may_be_null: bool) -> "Value":
-        return Value("ptr", targets=frozenset(targets),
-                     offset_lo=offset_lo, offset_hi=offset_hi,
-                     may_be_null=may_be_null)
+        return _make("ptr", 0, 0, frozenset(targets), offset_lo, offset_hi,
+                     may_be_null)
 
     @staticmethod
     def any_pointer() -> "Value":
-        return Value("ptr", targets=frozenset([UNKNOWN_TARGET]),
-                     offset_lo=FULL_RANGE[0], offset_hi=FULL_RANGE[1],
-                     may_be_null=True)
+        return _ANY_POINTER
 
     # -- queries ----------------------------------------------------------------
 
@@ -169,6 +177,10 @@ class Value:
 
     def join(self, other: "Value") -> "Value":
         """Least upper bound."""
+        if self is other:
+            # Interning makes equal values identical, so this fast path
+            # covers every already-converged variable in the fixpoint loop.
+            return self
         if self.is_bottom:
             return other
         if other.is_bottom:
@@ -225,6 +237,43 @@ class Value:
         targets = ",".join(sorted(str(t) for t in self.targets)) or "none"
         null = "|null" if self.may_be_null else ""
         return f"ptr<{targets}>@[{self.offset_lo},{self.offset_hi}]{null}"
+
+
+# ---------------------------------------------------------------------------
+# Hash-consing
+# ---------------------------------------------------------------------------
+
+#: Intern table for every constructed value.  Bounded so a pathological
+#: analysis cannot grow it without limit; once full, values are returned
+#: uninterned (correct, just without the identity fast paths).
+_INTERN: dict[tuple, Value] = {}
+_INTERN_LIMIT = 1 << 17
+
+#: ``Value.of_type`` results per declared type (hot in variable lookups).
+_OF_TYPE: dict[ty.CType, Value] = {}
+
+
+def _make(kind: str, lo: int = 0, hi: int = 0,
+          targets: frozenset[MemoryTarget] = frozenset(),
+          offset_lo: int = 0, offset_hi: int = 0,
+          may_be_null: bool = False) -> Value:
+    """The hash-consed :class:`Value` factory."""
+    key = (kind, lo, hi, targets, offset_lo, offset_hi, may_be_null)
+    value = _INTERN.get(key)
+    if value is None:
+        value = Value(kind, lo, hi, targets, offset_lo, offset_hi,
+                      may_be_null)
+        if len(_INTERN) < _INTERN_LIMIT:
+            _INTERN[key] = value
+    return value
+
+
+_BOTTOM = _make("bottom")
+_TOP = _make("top")
+_NULL_POINTER = _make("ptr", may_be_null=True)
+_ANY_POINTER = _make("ptr", targets=frozenset([UNKNOWN_TARGET]),
+                     offset_lo=FULL_RANGE[0], offset_hi=FULL_RANGE[1],
+                     may_be_null=True)
 
 
 # ---------------------------------------------------------------------------
