@@ -1,0 +1,82 @@
+"""The CCured layer's registered pipeline passes."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ccured.config import CCuredConfig
+from repro.ccured.instrument import cure
+from repro.ccured.optimizer import optimize_checks
+from repro.cminor.program import Program
+from repro.toolchain.passes import Pass, PassContext, PassOutcome, register_pass
+
+
+@register_pass("ccured.cure")
+class CurePass(Pass):
+    """Run CCured: kind inference, check insertion, locks, runtime, messages.
+
+    The CCured configuration is either given explicitly or derived from the
+    context's build variant (message strategy, runtime mode, lock
+    insertion); CCured's own optimizer always runs as a separate pass
+    (``ccured.optimize``) so Figure 2 can measure it independently.
+    """
+
+    name = "ccured.cure"
+
+    def __init__(self, config: Optional[CCuredConfig] = None):
+        self.config = config
+
+    def run(self, program: Optional[Program], ctx: PassContext) -> PassOutcome:
+        assert program is not None, "ccured.cure needs a flattened program"
+        config = self.config or self._config_from_context(program, ctx)
+        result = cure(program, config)
+        return PassOutcome(changed=result.checks_inserted, detail=result)
+
+    def cache_key(self, variant=None) -> str:
+        if self.config is not None:
+            config = self.config
+        elif variant is not None:
+            # Mirror _config_from_context: run_optimizer is pinned off and
+            # application_name is the swept application (constant per app).
+            config = CCuredConfig(
+                message_strategy=variant.message_strategy,
+                runtime_mode=variant.runtime_mode,
+                insert_locks=variant.insert_locks,
+                run_optimizer=False,
+                application_name="",
+            )
+        else:
+            # Unknown configuration: an unshareable unique key.
+            return f"{self.name}[{id(self)}]"
+        return f"{self.name}[{config.message_strategy.value}," \
+               f"{config.runtime_mode.value}," \
+               f"locks={int(config.insert_locks)}," \
+               f"opt={int(config.run_optimizer)}," \
+               f"reads={int(config.check_reads)}," \
+               f"app={config.application_name}]"
+
+    @staticmethod
+    def _config_from_context(program: Program, ctx: PassContext) -> CCuredConfig:
+        variant = ctx.variant
+        assert variant is not None, \
+            "ccured.cure needs an explicit CCuredConfig or a build variant"
+        app_name = getattr(ctx.application, "name", "") or program.name
+        return CCuredConfig(
+            message_strategy=variant.message_strategy,
+            runtime_mode=variant.runtime_mode,
+            insert_locks=variant.insert_locks,
+            run_optimizer=False,
+            application_name=app_name,
+        )
+
+
+@register_pass("ccured.optimize")
+class CCuredOptimizerPass(Pass):
+    """CCured's own local redundant-check optimizer."""
+
+    name = "ccured.optimize"
+
+    def run(self, program: Optional[Program], ctx: PassContext) -> PassOutcome:
+        assert program is not None, "ccured.optimize needs a cured program"
+        removed = optimize_checks(program)
+        return PassOutcome(changed=removed, detail=removed)

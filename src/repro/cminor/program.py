@@ -16,7 +16,6 @@ TinyOS-specific metadata the paper's tools rely on:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
@@ -213,14 +212,17 @@ class Program:
         return [h for h in self.interrupt_vectors.values() if h in self.functions]
 
     def clone(self) -> "Program":
-        """Deep-copy the program so a pipeline variant can transform it freely."""
-        cache = self.__dict__.pop("_analysis_cache", None)
-        try:
-            cloned = copy.deepcopy(self)
-        finally:
-            if cache is not None:
-                self.__dict__["_analysis_cache"] = cache
-        return cloned
+        """Deep-copy the program so a pipeline variant can transform it freely.
+
+        Uses the fast structural cloner (:mod:`repro.cminor.clone`): immutable
+        leaves (types, source locations) are shared, every container and AST
+        node is copied, and the clone starts with an empty analysis cache.
+        This is what lets the sweep runner share one front-end program per
+        application across many build variants.
+        """
+        from repro.cminor.clone import clone_program
+
+        return clone_program(self)
 
     # -- derived-analysis cache ------------------------------------------------
 

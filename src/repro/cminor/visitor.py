@@ -8,7 +8,6 @@ in one place so that individual passes stay small and declarative.
 
 from __future__ import annotations
 
-import copy
 from typing import Callable, Iterator, Optional, Union
 
 from repro.cminor import ast_nodes as ast
@@ -87,23 +86,24 @@ def map_expression(expr: ast.Expr, fn: Callable[[ast.Expr], ast.Expr]) -> ast.Ex
 
 
 def clone_expression(expr: ast.Expr) -> ast.Expr:
-    """Deep-copy an expression subtree."""
-    return copy.deepcopy(expr)
+    """Deep-copy an expression subtree (types/locations shared by reference)."""
+    from repro.cminor.clone import clone_expr
+
+    return clone_expr(expr)
 
 
 def clone_statement(stmt: ast.Stmt) -> ast.Stmt:
     """Deep-copy a statement subtree (fresh node identities)."""
-    cloned = copy.deepcopy(stmt)
-    for inner in walk_statements_single(cloned):
-        inner.node_id = ast._next_node_id()
-    return cloned
+    from repro.cminor.clone import clone_stmt
+
+    return clone_stmt(stmt)
 
 
 def clone_block(block: ast.Block) -> ast.Block:
     """Deep-copy a block."""
-    cloned = clone_statement(block)
-    assert isinstance(cloned, ast.Block)
-    return cloned
+    from repro.cminor.clone import clone_block as _clone_block
+
+    return _clone_block(block)
 
 
 # ---------------------------------------------------------------------------

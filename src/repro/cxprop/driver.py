@@ -7,6 +7,12 @@ eliminates dead code, stopping when a round changes nothing.  The inliner is
 *not* part of this driver — it is a separate pipeline stage, exactly as in
 the paper, so the toolchain can measure its contribution independently
 (Figure 2's third vs. fourth bars).
+
+The fixpoint loop itself is expressed as a pass-manager combinator: this
+module defines the configuration and the aggregate report, and
+:func:`optimize_program` delegates to ``repro.cxprop.passes.CxpropPass`` (a
+``FixpointPass`` over the facts/fold/copyprop/atomic/dce passes), which is
+also what the build pipeline's pass lists use directly.
 """
 
 from __future__ import annotations
@@ -15,13 +21,10 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cminor.program import Program
-from repro.cminor.typecheck import check_program
-from repro.cxprop.atomic_opt import AtomicOptReport, optimize_atomic_sections
-from repro.cxprop.copyprop import CopyPropReport, propagate_copies
-from repro.cxprop.dce import DceReport, eliminate_dead_code
-from repro.cxprop.domains import make_domain
-from repro.cxprop.fold import FoldReport, fold_program
-from repro.cxprop.interproc import compute_whole_program_facts
+from repro.cxprop.atomic_opt import AtomicOptReport
+from repro.cxprop.copyprop import CopyPropReport
+from repro.cxprop.dce import DceReport
+from repro.cxprop.fold import FoldReport
 
 
 @dataclass
@@ -36,7 +39,10 @@ class CxpropConfig:
         enable_copyprop: Run copy propagation.
         enable_dce: Run dead code/data elimination.
         enable_atomic_opt: Run atomic-section optimization.
-        pointer_size: Target pointer width in bytes.
+        pointer_size: Target pointer width in bytes.  ``None`` (the default)
+            derives it from the program's target platform, so non-AVR cost
+            models analyze with the right width; set it explicitly to pin a
+            width regardless of platform.
     """
 
     domain: str = "interval"
@@ -45,7 +51,23 @@ class CxpropConfig:
     enable_copyprop: bool = True
     enable_dce: bool = True
     enable_atomic_opt: bool = True
-    pointer_size: int = 2
+    pointer_size: Optional[int] = None
+
+
+def resolve_pointer_size(program: Program, config: CxpropConfig) -> int:
+    """The pointer width cXprop analyzes ``program`` with.
+
+    An explicit ``config.pointer_size`` wins; otherwise the width comes from
+    the program's target platform (2 bytes on both the Mica2's AVR and the
+    TelosB's MSP430), falling back to 2 for programs built outside the
+    TinyOS suite with an unregistered platform name.
+    """
+    if config.pointer_size is not None:
+        return config.pointer_size
+    from repro.tinyos.hardware import PLATFORMS
+
+    platform = PLATFORMS.get(program.platform)
+    return platform.pointer_bytes if platform is not None else 2
 
 
 @dataclass
@@ -75,45 +97,11 @@ class CxpropReport:
 def optimize_program(program: Program,
                      config: Optional[CxpropConfig] = None) -> CxpropReport:
     """Run cXprop over ``program`` in place and return the aggregate report."""
-    config = config or CxpropConfig()
-    domain = make_domain(config.domain)
-    report = CxpropReport()
+    from repro.cxprop.passes import CxpropPass
+    from repro.toolchain.passes import PassContext
 
-    for _round in range(config.max_rounds):
-        changed = 0
-        facts = compute_whole_program_facts(program, config.pointer_size)
-
-        if config.enable_fold:
-            fold_report = fold_program(program, facts, domain)
-            report.fold.merge(fold_report)
-            changed += fold_report.total
-
-        if config.enable_copyprop:
-            copy_report = propagate_copies(program, facts.address_taken_locals)
-            report.copyprop.copies_propagated += copy_report.copies_propagated
-            report.copyprop.functions_touched += copy_report.functions_touched
-            changed += copy_report.copies_propagated
-
-        if config.enable_atomic_opt:
-            atomic_report = optimize_atomic_sections(program)
-            report.atomic.nested_removed += atomic_report.nested_removed
-            report.atomic.irq_saves_avoided += atomic_report.irq_saves_avoided
-            report.atomic.always_atomic_functions |= \
-                atomic_report.always_atomic_functions
-            changed += atomic_report.nested_removed
-
-        if config.enable_dce:
-            dce_report = eliminate_dead_code(program)
-            report.dce.functions_removed += dce_report.functions_removed
-            report.dce.globals_removed += dce_report.globals_removed
-            report.dce.dead_stores_removed += dce_report.dead_stores_removed
-            report.dce.locals_removed += dce_report.locals_removed
-            report.dce.statements_removed += dce_report.statements_removed
-            changed += dce_report.total
-
-        report.rounds += 1
-        if changed == 0:
-            break
-
-    check_program(program)
+    ctx = PassContext(program=program)
+    outcome = CxpropPass(config or CxpropConfig()).run(program, ctx)
+    report = outcome.detail
+    assert isinstance(report, CxpropReport)
     return report

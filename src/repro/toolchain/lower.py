@@ -1,0 +1,55 @@
+"""Lowering a :class:`BuildVariant` to a declarative pass list.
+
+A variant is *data*; this module compiles it into the pass objects the
+:class:`~repro.toolchain.passes.PassManager` executes.  The split between
+:func:`front_end_passes` (the nesC compiler + hardware-register refactoring)
+and :func:`back_end_passes` (everything from CCured to the image) is what
+lets the sweep runner share one front-end program per application across
+variants: the front end depends only on ``variant.suppress_norace``, so
+variants agreeing on that flag can build from clones of the same program.
+"""
+
+from __future__ import annotations
+
+# Importing the layer modules populates the pass registry.
+from repro.backend.passes import BuildImagePass, GccOptimizePass
+from repro.ccured.passes import CCuredOptimizerPass, CurePass
+from repro.cxprop.driver import CxpropConfig
+from repro.cxprop.passes import CxpropPass, InlinePass
+from repro.nesc.passes import FlattenPass, HwRefactorPass
+from repro.toolchain.config import BuildVariant
+from repro.toolchain.passes import Pass
+
+
+def front_end_passes(variant: BuildVariant) -> list[Pass]:
+    """The variant's front end: nesC flattening + hardware refactoring."""
+    return [
+        FlattenPass(suppress_norace=variant.suppress_norace),
+        HwRefactorPass(),
+    ]
+
+
+def back_end_passes(variant: BuildVariant) -> list[Pass]:
+    """Everything after the front end, in the paper's Figure 1 order."""
+    passes: list[Pass] = []
+    if variant.safe:
+        passes.append(CurePass())
+        if variant.run_ccured_optimizer:
+            passes.append(CCuredOptimizerPass())
+    if variant.run_inliner:
+        passes.append(InlinePass())
+    if variant.run_cxprop:
+        passes.append(CxpropPass(CxpropConfig(domain=variant.cxprop_domain)))
+    passes.append(GccOptimizePass())
+    passes.append(BuildImagePass())
+    return passes
+
+
+def variant_passes(variant: BuildVariant) -> list[Pass]:
+    """The variant's complete pass list (front end + back end)."""
+    return front_end_passes(variant) + back_end_passes(variant)
+
+
+def variant_pass_names(variant: BuildVariant) -> list[str]:
+    """The pass names a variant lowers to (for reports and tests)."""
+    return [pass_.name for pass_ in variant_passes(variant)]

@@ -1,0 +1,376 @@
+"""The pass-manager layer: Figure 1 as declarative pass lists.
+
+The paper's evaluation is dozens of builds — every figure is an N-app ×
+M-variant sweep through the toolchain — so the stages are organized the way
+LLVM-style compilers organize transformations: each stage is a :class:`Pass`
+with a name and declared analysis-invalidation behaviour, and a
+:class:`PassManager` executes a pass list with uniform per-pass
+instrumentation (wall time, change counts, before/after program size)
+collected into a structured :class:`BuildTrace`.
+
+Layer modules register their passes here:
+
+* ``repro.nesc.passes`` — ``nesc.flatten``, ``nesc.hwrefactor``
+* ``repro.ccured.passes`` — ``ccured.cure``, ``ccured.optimize``
+* ``repro.cxprop.passes`` — ``inline``, ``cxprop`` (a :class:`FixpointPass`
+  over ``cxprop.facts``/``cxprop.fold``/``cxprop.copyprop``/
+  ``cxprop.atomic``/``cxprop.dce``)
+* ``repro.backend.passes`` — ``gcc``, ``image``
+
+``repro.toolchain.lower`` compiles a :class:`BuildVariant` into a pass list;
+``repro.toolchain.pipeline`` is a thin facade over the manager and
+``repro.toolchain.sweep`` batches N×M builds over shared front-end programs.
+
+Analysis invalidation is *declaration driven*: a pass declares
+``invalidates_analysis`` (and optionally the analyses it ``preserves``), and
+the manager calls ``program.invalidate_analysis()`` after every pass that
+reported changes — pass authors never sprinkle manual invalidation calls.
+(The legacy stage functions the passes wrap still self-invalidate so that
+calling them directly, outside any manager, stays safe; the manager's
+declaration-driven call is idempotent on top.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.cminor.program import Program
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.backend.image import MemoryImage
+    from repro.toolchain.config import BuildVariant
+
+#: Conventional name for the whole derived-analysis cache in ``preserves``
+#: declarations: a pass that mutates the AST but declares
+#: ``preserves = frozenset({ANALYSIS})`` keeps ``Program.analysis()`` valid.
+ANALYSIS = "analysis"
+
+
+# ---------------------------------------------------------------------------
+# Pass protocol and outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PassOutcome:
+    """What one pass execution produced.
+
+    Attributes:
+        changed: Number of changes the pass made (0 = program untouched).
+        detail: The pass's own report object (stage-specific, stored in the
+            context's ``reports`` and in the :class:`BuildTrace`).
+        program: Set when the pass *produced* a program (the nesC front end)
+            rather than transforming the context's current one.
+    """
+
+    changed: int = 0
+    detail: object = None
+    program: Optional[Program] = None
+
+
+class Pass:
+    """One stage of the build pipeline.
+
+    Subclasses set :attr:`name` (the registry/report identifier), declare
+    their analysis behaviour, and implement :meth:`run`.
+
+    Attributes:
+        name: Stable identifier used in traces, reports and the registry.
+        invalidates_analysis: Whether a change made by this pass invalidates
+            the program's derived-analysis cache.  The manager calls
+            ``program.invalidate_analysis()`` after the pass iff it reported
+            changes and this flag is set (and ``preserves`` does not cover
+            the whole cache).
+        preserves: Names of derived analyses this pass keeps valid even when
+            it changes the program (``{ANALYSIS}`` preserves everything).
+    """
+
+    name: str = "pass"
+    invalidates_analysis: bool = True
+    preserves: frozenset[str] = frozenset()
+
+    def run(self, program: Optional[Program], ctx: "PassContext") -> PassOutcome:
+        raise NotImplementedError
+
+    def cache_key(self, variant: Optional["BuildVariant"] = None) -> str:
+        """Identity of this pass's effect for prefix sharing.
+
+        Two pass-list prefixes with equal key sequences produce identical
+        programs from the same input, so the sweep runner may build one and
+        clone it for the others.  Passes whose behaviour depends on their
+        configuration (or on the build variant) must fold those knobs into
+        the key; the default is the bare pass name.
+        """
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# Pass registry
+# ---------------------------------------------------------------------------
+
+#: Registered pass factories by name.  Layer modules populate this via
+#: :func:`register_pass`; ``repro.toolchain.lower`` imports the layer modules
+#: so looking at ``registered_passes()`` after importing it shows the full
+#: toolchain.
+PASS_REGISTRY: dict[str, Callable[..., Pass]] = {}
+
+
+def register_pass(name: str):
+    """Class decorator registering a pass factory under ``name``."""
+
+    def decorate(factory: Callable[..., Pass]) -> Callable[..., Pass]:
+        if name in PASS_REGISTRY:
+            raise ValueError(f"pass {name!r} registered twice")
+        PASS_REGISTRY[name] = factory
+        return factory
+
+    return decorate
+
+
+def create_pass(name: str, **kwargs) -> Pass:
+    """Instantiate a registered pass by name."""
+    try:
+        factory = PASS_REGISTRY[name]
+    except KeyError:
+        raise KeyError(f"unknown pass {name!r}; known: {registered_passes()}") \
+            from None
+    return factory(**kwargs)
+
+
+def registered_passes() -> list[str]:
+    return sorted(PASS_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Context and trace
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PassContext:
+    """Shared state threaded through one build's pass list.
+
+    Attributes:
+        variant: The build variant being lowered (None for ad-hoc runs).
+        application: The wired nesC application (input of the front end).
+        label: Figure label for reports (defaults to the application name).
+        program: The current whole program (None until the front end ran).
+        image: The memory image (set by the ``image`` pass).
+        reports: Per-pass detail reports keyed by pass name.
+        artifacts: Scratch space for passes that communicate within a pass
+            list (e.g. the cXprop round facts).
+    """
+
+    variant: Optional["BuildVariant"] = None
+    application: Optional[object] = None
+    label: str = ""
+    program: Optional[Program] = None
+    image: Optional["MemoryImage"] = None
+    reports: dict[str, object] = field(default_factory=dict)
+    artifacts: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SizeSnapshot:
+    """Coarse program size at a pass boundary."""
+
+    functions: int
+    statements: int
+    code_bytes: Optional[int] = None
+    ram_bytes: Optional[int] = None
+
+
+@dataclass
+class PassReport:
+    """Uniform instrumentation record for one executed pass."""
+
+    name: str
+    changed: int
+    wall_time_s: float
+    before: Optional[SizeSnapshot] = None
+    after: Optional[SizeSnapshot] = None
+    detail: object = None
+
+
+@dataclass
+class BuildTrace:
+    """Structured record of one trip through a pass list."""
+
+    passes: list[PassReport] = field(default_factory=list)
+    wall_time_s: float = 0.0
+
+    def report(self, name: str) -> Optional[PassReport]:
+        """The (last) report of the named pass, or None if it did not run."""
+        found = None
+        for entry in self.passes:
+            if entry.name == name:
+                found = entry
+        return found
+
+    def pass_names(self) -> list[str]:
+        return [entry.name for entry in self.passes]
+
+    def changed_total(self) -> int:
+        return sum(entry.changed for entry in self.passes)
+
+    def merged_with(self, other: "BuildTrace") -> "BuildTrace":
+        """Concatenate two traces (shared front end + per-variant back end)."""
+        return BuildTrace(passes=list(self.passes) + list(other.passes),
+                          wall_time_s=self.wall_time_s + other.wall_time_s)
+
+    def summary(self) -> list[dict[str, object]]:
+        rows: list[dict[str, object]] = []
+        for entry in self.passes:
+            row: dict[str, object] = {
+                "pass": entry.name,
+                "changed": entry.changed,
+                "wall_time_s": round(entry.wall_time_s, 6),
+            }
+            if entry.before is not None and entry.after is not None:
+                row["statements"] = (entry.before.statements,
+                                     entry.after.statements)
+                if entry.after.code_bytes is not None:
+                    row["code_bytes"] = (entry.before.code_bytes,
+                                         entry.after.code_bytes)
+                    row["ram_bytes"] = (entry.before.ram_bytes,
+                                        entry.after.ram_bytes)
+            rows.append(row)
+        return rows
+
+    def format(self) -> str:
+        lines = [f"{'pass':<18} {'changed':>8} {'ms':>8} {'stmts':>14}"]
+        for entry in self.passes:
+            stmts = ""
+            if entry.before is not None and entry.after is not None:
+                stmts = f"{entry.before.statements}->{entry.after.statements}"
+            lines.append(f"{entry.name:<18} {entry.changed:>8} "
+                         f"{entry.wall_time_s * 1000:>8.2f} {stmts:>14}")
+        lines.append(f"total {self.wall_time_s * 1000:.2f} ms")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The manager
+# ---------------------------------------------------------------------------
+
+
+#: Optional per-pass observer: called with (pass, report, ctx) after each
+#: executed pass.  Used by tests and ad-hoc tracing.
+PassObserver = Callable[[Pass, PassReport, PassContext], None]
+
+
+class PassManager:
+    """Executes a pass list over a :class:`PassContext`.
+
+    Args:
+        passes: The pass list, in execution order.
+        measure_sizes: Also record code/RAM bytes in every snapshot (builds
+            a throwaway memory image per pass boundary — useful for traces
+            and ablations, too slow for batched sweeps; off by default).
+        observer: Optional callback invoked after every pass.
+    """
+
+    def __init__(self, passes: Sequence[Pass], measure_sizes: bool = False,
+                 observer: Optional[PassObserver] = None):
+        self.passes = list(passes)
+        self.measure_sizes = measure_sizes
+        self.observer = observer
+
+    def run(self, ctx: PassContext) -> BuildTrace:
+        trace = BuildTrace()
+        started = time.perf_counter()
+        for pass_ in self.passes:
+            before = self._snapshot(ctx.program)
+            t0 = time.perf_counter()
+            outcome = pass_.run(ctx.program, ctx)
+            if outcome.program is not None:
+                ctx.program = outcome.program
+            self._apply_invalidation(pass_, outcome, ctx.program)
+            wall = time.perf_counter() - t0
+            after = self._snapshot(ctx.program)
+            report = PassReport(name=pass_.name, changed=outcome.changed,
+                                wall_time_s=wall, before=before, after=after,
+                                detail=outcome.detail)
+            trace.passes.append(report)
+            ctx.reports[pass_.name] = outcome.detail
+            if self.observer is not None:
+                self.observer(pass_, report, ctx)
+        trace.wall_time_s = time.perf_counter() - started
+        return trace
+
+    @staticmethod
+    def _apply_invalidation(pass_: Pass, outcome: PassOutcome,
+                            program: Optional[Program]) -> None:
+        if program is None or not outcome.changed:
+            return
+        if not pass_.invalidates_analysis or ANALYSIS in pass_.preserves:
+            return
+        program.invalidate_analysis()
+
+    def _snapshot(self, program: Optional[Program]) -> Optional[SizeSnapshot]:
+        if program is None:
+            return None
+        stats = program.summary()
+        snapshot = SizeSnapshot(functions=stats["functions"],
+                                statements=stats["statements"])
+        if self.measure_sizes:
+            from repro.backend.image import build_image
+
+            image = build_image(program)
+            snapshot.code_bytes = image.code_bytes
+            snapshot.ram_bytes = image.ram_bytes
+        return snapshot
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint combinator
+# ---------------------------------------------------------------------------
+
+
+class FixpointPass(Pass):
+    """Iterates a body of passes until a round changes nothing.
+
+    This is the cXprop driver loop expressed as a combinator: each round
+    runs the body passes in order, summing their change counts; iteration
+    stops when a round reports zero changes or ``max_rounds`` is reached.
+    Analysis invalidation inside the loop is declaration driven, exactly as
+    in the top-level manager.
+
+    Subclasses override :meth:`summarize` to aggregate the per-round details
+    into a stage report (see ``repro.cxprop.passes.CxpropPass``).
+    """
+
+    def __init__(self, name: str, body: Sequence[Pass], max_rounds: int = 3):
+        self.name = name
+        self.body = list(body)
+        self.max_rounds = max_rounds
+
+    def run(self, program: Optional[Program], ctx: PassContext) -> PassOutcome:
+        assert program is not None, f"{self.name}: no program to iterate on"
+        rounds = 0
+        total_changed = 0
+        round_details: list[dict[str, object]] = []
+        while rounds < self.max_rounds:
+            changed = 0
+            details: dict[str, object] = {}
+            for pass_ in self.body:
+                outcome = pass_.run(program, ctx)
+                PassManager._apply_invalidation(pass_, outcome, program)
+                changed += outcome.changed
+                details[pass_.name] = outcome.detail
+            rounds += 1
+            total_changed += changed
+            round_details.append(details)
+            if changed == 0:
+                break
+        return PassOutcome(changed=total_changed,
+                           detail=self.summarize(rounds, round_details))
+
+    def summarize(self, rounds: int,
+                  round_details: list[dict[str, object]]) -> object:
+        return {"rounds": rounds, "round_details": round_details}

@@ -1,39 +1,43 @@
 """The build pipeline (Figure 1 of the paper).
 
-``BuildPipeline.build`` runs the stages in the paper's order:
+``BuildPipeline`` is a thin compatibility facade over the pass-manager
+layer: a :class:`~repro.toolchain.config.BuildVariant` is lowered to a pass
+list (:mod:`repro.toolchain.lower`), a
+:class:`~repro.toolchain.passes.PassManager` executes it, and the per-stage
+reports are repackaged into the :class:`BuildResult` the benchmark
+harnesses consume.  The stages run in the paper's order:
 
 1. the nesC compiler (flattening + concurrency analysis),
 2. hardware-register access refactoring,
 3. CCured (kind inference, check insertion, locks, runtime, messages/FLIDs),
 4. CCured's own check optimizer,
 5. the source-to-source inliner,
-6. cXprop,
+6. cXprop (a fixpoint pass over facts/fold/copyprop/atomic/dce),
 7. the GCC-strength backend and image accounting.
 
-Every stage's report is captured in the returned :class:`BuildResult`, which
-is also what the benchmark harnesses consume.
+For batched N-app × M-variant builds, use
+:class:`~repro.toolchain.sweep.SweepRunner`, which shares one front-end
+program per application across variants.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.backend.gcc_opt import GccOptReport, gcc_optimize
-from repro.backend.image import MemoryImage, build_image
-from repro.backend.target import cost_model_for
-from repro.ccured.config import CCuredConfig
-from repro.ccured.instrument import CCuredResult, cure, surviving_check_ids
-from repro.ccured.optimizer import optimize_checks
+from repro.backend.gcc_opt import GccOptReport
+from repro.backend.image import MemoryImage
+from repro.ccured.instrument import CCuredResult
 from repro.ccured.runtime import RUNTIME_UNIT
 from repro.cminor.program import Program
-from repro.cxprop.driver import CxpropConfig, CxpropReport, optimize_program
-from repro.cxprop.inline import InlineReport, inline_program
+from repro.cxprop.driver import CxpropReport
+from repro.cxprop.inline import InlineReport
 from repro.nesc.application import Application
-from repro.nesc.flatten import flatten_application
-from repro.nesc.hwrefactor import HwRefactorReport, refactor_hardware_accesses
+from repro.nesc.hwrefactor import HwRefactorReport
 from repro.tinyos import suite
 from repro.toolchain.config import BuildVariant
+from repro.toolchain.lower import front_end_passes, variant_passes
+from repro.toolchain.passes import BuildTrace, PassContext, PassManager
 from repro.toolchain.variants import BASELINE
 
 
@@ -51,6 +55,7 @@ class BuildResult:
     inline: Optional[InlineReport] = None
     cxprop: Optional[CxpropReport] = None
     gcc: Optional[GccOptReport] = None
+    trace: Optional[BuildTrace] = None
 
     @property
     def checks_inserted(self) -> int:
@@ -87,73 +92,76 @@ class BuildResult:
         }
 
 
-class BuildPipeline:
-    """Builds applications according to a :class:`BuildVariant`."""
+def result_from_context(ctx: PassContext,
+                        trace: Optional[BuildTrace] = None) -> BuildResult:
+    """Assemble a :class:`BuildResult` from an executed pass context."""
+    assert ctx.program is not None and ctx.image is not None, \
+        "the pass list did not produce a program and an image"
+    assert ctx.variant is not None
+    ccured = ctx.reports.get("ccured.cure")
+    if ccured is not None and ccured.program is not ctx.program:
+        # The CCured stage ran on a shared prefix program (sweep runner):
+        # re-point the report at this build's own program so the historical
+        # ``result.ccured.program is result.program`` invariant holds.
+        ccured = replace(ccured, program=ctx.program)
+    return BuildResult(
+        application=ctx.label or ctx.program.name,
+        variant=ctx.variant,
+        program=ctx.program,
+        image=ctx.image,
+        hw_refactor=ctx.reports.get("nesc.hwrefactor"),
+        ccured=ccured,
+        ccured_optimizer_removed=ctx.reports.get("ccured.optimize", 0),
+        inline=ctx.reports.get("inline"),
+        cxprop=ctx.reports.get("cxprop"),
+        gcc=ctx.reports.get("gcc"),
+        trace=trace,
+    )
 
-    def __init__(self, variant: Optional[BuildVariant] = None):
+
+class BuildPipeline:
+    """Builds applications according to a :class:`BuildVariant`.
+
+    Args:
+        variant: The build variant (defaults to the unsafe baseline).
+        measure_sizes: Record code/RAM bytes at every pass boundary in the
+            result's :class:`~repro.toolchain.passes.BuildTrace` (slower;
+            meant for tracing and ablations, not sweeps).
+    """
+
+    def __init__(self, variant: Optional[BuildVariant] = None,
+                 measure_sizes: bool = False):
         self.variant = variant or BASELINE
+        self.measure_sizes = measure_sizes
 
     # -- stage 1+2: front end ------------------------------------------------------
 
     def front_end(self, app: Application) -> tuple[Program, HwRefactorReport]:
         """Run the nesC compiler and the hardware-register refactoring."""
-        program = flatten_application(app,
-                                      suppress_norace=self.variant.suppress_norace)
-        report = refactor_hardware_accesses(program)
-        return program, report
+        ctx = PassContext(variant=self.variant, application=app, label=app.name)
+        PassManager(front_end_passes(self.variant)).run(ctx)
+        return ctx.program, ctx.reports["nesc.hwrefactor"]
 
     # -- full build ------------------------------------------------------------------
 
-    def build(self, app: Application) -> BuildResult:
-        """Build ``app`` with this pipeline's variant."""
-        variant = self.variant
-        program, hw_report = self.front_end(app)
+    def build(self, app: Application, label: Optional[str] = None) -> BuildResult:
+        """Build ``app`` with this pipeline's variant.
 
-        ccured_result: Optional[CCuredResult] = None
-        ccured_opt_removed = 0
-        if variant.safe:
-            config = CCuredConfig(
-                message_strategy=variant.message_strategy,
-                runtime_mode=variant.runtime_mode,
-                insert_locks=variant.insert_locks,
-                run_optimizer=False,
-                application_name=app.name,
-            )
-            ccured_result = cure(program, config)
-            if variant.run_ccured_optimizer:
-                ccured_opt_removed = optimize_checks(program)
-
-        inline_report: Optional[InlineReport] = None
-        if variant.run_inliner:
-            inline_report = inline_program(program)
-
-        cxprop_report: Optional[CxpropReport] = None
-        if variant.run_cxprop:
-            cxprop_report = optimize_program(
-                program, CxpropConfig(domain=variant.cxprop_domain))
-
-        gcc_report = gcc_optimize(program)
-        image = build_image(program, cost_model_for(program.platform))
-
-        return BuildResult(
-            application=app.name,
-            variant=variant,
-            program=program,
-            image=image,
-            hw_refactor=hw_report,
-            ccured=ccured_result,
-            ccured_optimizer_removed=ccured_opt_removed,
-            inline=inline_report,
-            cxprop=cxprop_report,
-            gcc=gcc_report,
-        )
+        Args:
+            app: The wired application.
+            label: Figure label recorded as ``result.application`` (defaults
+                to the application's own name).
+        """
+        ctx = PassContext(variant=self.variant, application=app,
+                          label=label or app.name)
+        trace = PassManager(variant_passes(self.variant),
+                            measure_sizes=self.measure_sizes).run(ctx)
+        return result_from_context(ctx, trace)
 
     def build_named(self, figure_app_name: str) -> BuildResult:
         """Build one of the registered benchmark applications by figure label."""
         app = suite.build_application(figure_app_name)
-        result = self.build(app)
-        result.application = figure_app_name
-        return result
+        return self.build(app, label=figure_app_name)
 
 
 def build_application(figure_app_name: str,

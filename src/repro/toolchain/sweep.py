@@ -1,0 +1,243 @@
+"""Batched N-app × M-variant builds over shared pass-list prefixes.
+
+Every figure of the paper is a sweep: each of the twelve applications built
+under each of several variants.  Building them independently re-runs the
+nesC front end (parse, flatten, simplify, type check, race analysis) once
+per variant — and, for variants that also agree on their CCured
+configuration, the whole instrumentation stage — even though those prefixes
+of the pass list are deterministic functions of the application and the
+pass configurations.
+
+:class:`SweepRunner` exploits that: every pass declares a
+:meth:`~repro.toolchain.passes.Pass.cache_key`, and variants whose pass
+lists share a key prefix build from a fast
+:meth:`~repro.cminor.program.Program.clone` of a snapshot taken at the
+divergence point.  The front end (``nesc.flatten`` + ``nesc.hwrefactor``)
+is the universal shared prefix; the three FLID-cured Figure 3 variants
+additionally share the CCured stage.  Shared and unshared sweeps must
+produce identical build summaries — ``benchmarks/bench_pipeline_sweep.py``
+asserts this and records the speedup.
+
+An opt-in process-pool mode (``processes=N``) distributes whole
+applications across worker processes; since programs and images do not
+cross process boundaries, process-pool builds carry summaries only
+(``SweepBuild.result`` is ``None``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.cminor.program import Program
+from repro.tinyos import suite
+from repro.toolchain.config import BuildVariant
+from repro.toolchain.lower import variant_passes
+from repro.toolchain.passes import (
+    BuildTrace,
+    Pass,
+    PassContext,
+    PassManager,
+    PassReport,
+)
+from repro.toolchain.pipeline import BuildPipeline, BuildResult, \
+    result_from_context
+
+
+@dataclass
+class SweepBuild:
+    """One (application, variant) build of a sweep.
+
+    ``result`` carries the full :class:`BuildResult` for in-process sweeps
+    and is ``None`` in process-pool mode (programs do not cross process
+    boundaries); ``summary`` is always present and identical to
+    ``BuildResult.summary()``.
+    """
+
+    application: str
+    variant_name: str
+    summary: dict[str, object]
+    result: Optional[BuildResult] = None
+
+
+@dataclass
+class SweepResult:
+    """All builds of one sweep, in (application, variant) order."""
+
+    builds: list[SweepBuild] = field(default_factory=list)
+
+    def get(self, application: str, variant_name: str) -> SweepBuild:
+        for build in self.builds:
+            if build.application == application and \
+                    build.variant_name == variant_name:
+                return build
+        raise KeyError(f"no build for {application!r} / {variant_name!r}")
+
+    def summaries(self) -> list[dict[str, object]]:
+        return [build.summary for build in self.builds]
+
+    def __len__(self) -> int:
+        return len(self.builds)
+
+    def __iter__(self):
+        return iter(self.builds)
+
+
+@dataclass
+class _Snapshot:
+    """A program state at a shared pass-list prefix, plus its reports."""
+
+    program: Program
+    reports: dict[str, object]
+    trace_passes: list[PassReport]
+
+
+@dataclass
+class _Plan:
+    """One variant's lowered pass list with its prefix-sharing keys."""
+
+    variant: BuildVariant
+    passes: list[Pass]
+    keys: tuple[str, ...]
+
+
+def _resume_points(plans: Sequence[_Plan]) -> set[tuple[str, ...]]:
+    """The prefixes builds will actually resume from: divergence points.
+
+    Resuming always picks the *longest* snapshotted prefix of a plan's key
+    list, so only each plan's maximal prefix shared with any other plan is
+    worth snapshotting; snapshots at shorter shared prefixes would never be
+    read back, wasting a full program clone each.
+    """
+    points: set[tuple[str, ...]] = set()
+    for index, plan in enumerate(plans):
+        best = 0
+        for other_index, other in enumerate(plans):
+            if other_index == index:
+                continue
+            common = 0
+            for left, right in zip(plan.keys, other.keys):
+                if left != right:
+                    break
+                common += 1
+            best = max(best, common)
+        if best:
+            points.add(plan.keys[:best])
+    return points
+
+
+def _build_one_app(app_name: str, variants: Sequence[BuildVariant],
+                   share_front_end: bool, keep_results: bool,
+                   measure_sizes: bool = False) -> list[SweepBuild]:
+    """Build one application under every variant (worker-safe helper)."""
+    builds: list[SweepBuild] = []
+    if not share_front_end:
+        for variant in variants:
+            result = BuildPipeline(variant, measure_sizes).build_named(app_name)
+            builds.append(SweepBuild(app_name, variant.name, result.summary(),
+                                     result if keep_results else None))
+        return builds
+
+    app = suite.build_application(app_name)
+    plans = []
+    for variant in variants:
+        passes = variant_passes(variant)
+        keys = tuple(pass_.cache_key(variant) for pass_ in passes)
+        plans.append(_Plan(variant, passes, keys))
+    wanted = _resume_points(plans)
+
+    snapshots: dict[tuple[str, ...], _Snapshot] = {}
+    for plan in plans:
+        # Resume from the longest already-built shared prefix, if any.
+        start = 0
+        for length in range(len(plan.keys), 0, -1):
+            snapshot = snapshots.get(plan.keys[:length])
+            if snapshot is not None:
+                start = length
+                break
+
+        ctx = PassContext(variant=plan.variant, application=app,
+                          label=app_name)
+        trace_passes: list[PassReport] = []
+        if start:
+            ctx.program = snapshot.program.clone()
+            ctx.reports.update(snapshot.reports)
+            trace_passes.extend(snapshot.trace_passes)
+
+        manager = PassManager([], measure_sizes=measure_sizes)
+        for index in range(start, len(plan.passes)):
+            manager.passes = [plan.passes[index]]
+            trace_passes.extend(manager.run(ctx).passes)
+            prefix = plan.keys[:index + 1]
+            if prefix in wanted and prefix not in snapshots and \
+                    index + 1 < len(plan.passes) and ctx.program is not None:
+                snapshots[prefix] = _Snapshot(ctx.program.clone(),
+                                              dict(ctx.reports),
+                                              list(trace_passes))
+
+        trace = BuildTrace(
+            passes=trace_passes,
+            wall_time_s=sum(entry.wall_time_s for entry in trace_passes))
+        result = result_from_context(ctx, trace)
+        builds.append(SweepBuild(app_name, plan.variant.name, result.summary(),
+                                 result if keep_results else None))
+    return builds
+
+
+def _build_one_app_summaries(app_name: str, variants: Sequence[BuildVariant],
+                             share_front_end: bool) -> list[SweepBuild]:
+    """Process-pool entry point: summaries only (results stay in the worker)."""
+    return _build_one_app(app_name, variants, share_front_end,
+                          keep_results=False)
+
+
+class SweepRunner:
+    """Builds N applications × M variants through the pass-manager layer.
+
+    Args:
+        apps: Figure application names (see ``repro.tinyos.suite``).
+        variants: Build variants, applied to every application in order.
+        share_front_end: Build variants of an application from clones of
+            shared pass-list-prefix snapshots — the nesC front end for every
+            variant (grouped by ``suppress_norace``), and deeper prefixes
+            (e.g. a common CCured stage) where variants agree.  With
+            ``False`` every build runs the full pipeline independently —
+            useful as the comparison baseline.
+        processes: Opt-in process-pool mode: distribute applications over
+            this many worker processes.  Builds then carry summaries only.
+        measure_sizes: Record code/RAM sizes at pass boundaries in traces
+            (slows the sweep down).
+    """
+
+    def __init__(self, apps: Sequence[str], variants: Sequence[BuildVariant],
+                 *, share_front_end: bool = True,
+                 processes: Optional[int] = None,
+                 measure_sizes: bool = False):
+        self.apps = list(apps)
+        self.variants = list(variants)
+        self.share_front_end = share_front_end
+        self.processes = processes
+        self.measure_sizes = measure_sizes
+
+    def run(self) -> SweepResult:
+        if self.processes:
+            return self._run_process_pool()
+        builds: list[SweepBuild] = []
+        for app_name in self.apps:
+            builds.extend(_build_one_app(app_name, self.variants,
+                                         self.share_front_end,
+                                         keep_results=True,
+                                         measure_sizes=self.measure_sizes))
+        return SweepResult(builds)
+
+    def _run_process_pool(self) -> SweepResult:
+        from concurrent.futures import ProcessPoolExecutor
+
+        builds: list[SweepBuild] = []
+        with ProcessPoolExecutor(max_workers=self.processes) as pool:
+            futures = [pool.submit(_build_one_app_summaries, app_name,
+                                   self.variants, self.share_front_end)
+                       for app_name in self.apps]
+            for future in futures:
+                builds.extend(future.result())
+        return SweepResult(builds)

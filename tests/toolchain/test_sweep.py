@@ -1,0 +1,86 @@
+"""Tests for the batched sweep runner and its front-end sharing."""
+
+import pytest
+
+from repro.toolchain.pipeline import BuildPipeline
+from repro.toolchain.sweep import SweepRunner
+from repro.toolchain.variants import (
+    BASELINE,
+    SAFE_FLID,
+    SAFE_FLID_CXPROP,
+    SAFE_OPTIMIZED,
+)
+
+APPS = ["BlinkTask_Mica2", "Oscilloscope_Mica2"]
+# safe-flid / safe-flid-cxprop / safe-optimized share their CCured stage,
+# so this set exercises both front-end and deeper prefix sharing.
+VARIANTS = [BASELINE, SAFE_FLID, SAFE_FLID_CXPROP, SAFE_OPTIMIZED]
+
+
+@pytest.fixture(scope="module")
+def shared_sweep():
+    return SweepRunner(APPS, VARIANTS, share_front_end=True).run()
+
+
+class TestSweepEquivalence:
+    def test_shared_sweep_matches_per_variant_builds(self, shared_sweep):
+        """Front-end sharing must not change any build summary."""
+        for app in APPS:
+            for variant in VARIANTS:
+                expected = BuildPipeline(variant).build_named(app).summary()
+                assert shared_sweep.get(app, variant.name).summary == expected
+
+    def test_unshared_sweep_matches_shared_sweep(self, shared_sweep):
+        unshared = SweepRunner(APPS, VARIANTS, share_front_end=False).run()
+        assert unshared.summaries() == shared_sweep.summaries()
+
+    def test_builds_preserve_app_then_variant_order(self, shared_sweep):
+        order = [(b.application, b.variant_name) for b in shared_sweep]
+        assert order == [(a, v.name) for a in APPS for v in VARIANTS]
+
+    def test_results_carry_full_build_results(self, shared_sweep):
+        build = shared_sweep.get("BlinkTask_Mica2", "safe-optimized")
+        assert build.result is not None
+        assert build.result.cxprop is not None
+        assert build.result.trace is not None
+        # The merged trace has the shared front end prepended.
+        assert build.result.trace.pass_names()[:2] == \
+            ["nesc.flatten", "nesc.hwrefactor"]
+
+    def test_shared_ccured_stage_is_repointed_per_build(self, shared_sweep):
+        """Even when the CCured stage ran on a shared prefix, each result's
+        ccured report must reference that build's own program."""
+        for variant_name in ("safe-flid", "safe-flid-cxprop", "safe-optimized"):
+            result = shared_sweep.get("BlinkTask_Mica2", variant_name).result
+            assert result.ccured is not None
+            assert result.ccured.program is result.program
+
+    def test_unknown_build_raises(self, shared_sweep):
+        with pytest.raises(KeyError):
+            shared_sweep.get("BlinkTask_Mica2", "no-such-variant")
+
+
+class TestSweepIsolation:
+    def test_variants_of_one_app_do_not_interfere(self, shared_sweep):
+        """Mutations of one variant's clone never leak into another's."""
+        baseline = shared_sweep.get("BlinkTask_Mica2", BASELINE.name).result
+        optimized = shared_sweep.get("BlinkTask_Mica2",
+                                     SAFE_OPTIMIZED.name).result
+        assert baseline.program is not optimized.program
+        assert baseline.checks_inserted == 0
+        assert optimized.checks_inserted > 0
+        # The baseline program must not contain CCured runtime functions.
+        assert all(not f.is_runtime for f in baseline.program.iter_functions())
+
+
+class TestProcessPool:
+    def test_process_pool_reproduces_in_process_summaries(self, shared_sweep):
+        pooled = SweepRunner(APPS, VARIANTS, processes=2).run()
+        assert pooled.summaries() == shared_sweep.summaries()
+
+    def test_process_pool_builds_carry_summaries_only(self):
+        pooled = SweepRunner(["BlinkTask_Mica2"], [BASELINE],
+                             processes=1).run()
+        assert len(pooled) == 1
+        assert pooled.builds[0].result is None
+        assert pooled.builds[0].summary["code_bytes"] > 0
