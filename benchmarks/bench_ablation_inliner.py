@@ -17,11 +17,11 @@ from repro.toolchain.report import percent_change
 from repro.toolchain.variants import SAFE_FLID_CXPROP, SAFE_OPTIMIZED
 
 
-def _ablation(build_cache, apps):
+def _ablation(workbench, apps):
     rows = []
     for app in apps:
-        without = build_cache.build(app, SAFE_FLID_CXPROP)
-        with_inline = build_cache.build(app, SAFE_OPTIMIZED)
+        without = workbench.build_result(app, SAFE_FLID_CXPROP)
+        with_inline = workbench.build_result(app, SAFE_OPTIMIZED)
         rows.append({
             "application": app,
             "code_without": without.image.code_bytes,
@@ -35,8 +35,8 @@ def _ablation(build_cache, apps):
     return rows
 
 
-def test_inliner_ablation(benchmark, build_cache, selected_apps):
-    rows = benchmark.pedantic(_ablation, args=(build_cache, selected_apps),
+def test_inliner_ablation(benchmark, workbench, selected_apps):
+    rows = benchmark.pedantic(_ablation, args=(workbench, selected_apps),
                               rounds=1, iterations=1)
 
     print()

@@ -21,40 +21,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.toolchain.report import FigureTable
-from repro.toolchain.variants import FIGURE2_STRATEGIES
+from repro.api.figures import FIGURE2_LABELS, figure2_table
 
 
-def _strategy_label(index: int) -> str:
-    return ["gcc", "ccured+gcc", "ccured+cxprop+gcc",
-            "ccured+inline+cxprop+gcc"][index]
-
-
-def _figure2_table(build_cache, apps: list[str]) -> FigureTable:
-    table = FigureTable(
-        title="Figure 2: checks removed (percent of checks inserted by CCured)",
-        metric="checks removed (%)",
-        applications=list(apps),
-    )
-    series = [table.add_series(_strategy_label(i))
-              for i in range(len(FIGURE2_STRATEGIES))]
-    for app in apps:
-        for index, variant in enumerate(FIGURE2_STRATEGIES):
-            result = build_cache.build(app, variant)
-            table.baselines[app] = float(result.checks_inserted)
-            series[index].values[app] = 100.0 * result.checks_removed_fraction
-    return table
-
-
-def test_figure2_check_elimination(benchmark, build_cache, selected_apps):
+def test_figure2_check_elimination(benchmark, workbench, selected_apps):
     table = benchmark.pedantic(
-        _figure2_table, args=(build_cache, selected_apps), rounds=1, iterations=1)
+        figure2_table, args=(workbench, selected_apps), rounds=1, iterations=1)
 
     print()
     print(table.format(value_format="{:5.1f}%"))
 
-    best_label = _strategy_label(3)
-    gcc_label = _strategy_label(0)
+    best_label = FIGURE2_LABELS[3]
     best = table.series[-1].values
     gcc_only = table.series[0].values
 

@@ -23,31 +23,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.toolchain.report import FigureTable, percent_change
-from repro.toolchain.variants import BASELINE, FIGURE3_VARIANTS
+from repro.api.figures import figure3a_table
 
 
-def _figure3a_table(build_cache, apps: list[str]) -> FigureTable:
-    table = FigureTable(
-        title="Figure 3(a): change in code size vs unsafe/unoptimized baseline",
-        metric="code size change (%)",
-        applications=list(apps),
-    )
-    series = {variant.name: table.add_series(variant.name)
-              for variant in FIGURE3_VARIANTS}
-    for app in apps:
-        baseline = build_cache.build(app, BASELINE)
-        table.baselines[app] = float(baseline.image.code_bytes)
-        for variant in FIGURE3_VARIANTS:
-            result = build_cache.build(app, variant)
-            series[variant.name].values[app] = percent_change(
-                result.image.code_bytes, baseline.image.code_bytes)
-    return table
-
-
-def test_figure3a_code_size(benchmark, build_cache, selected_apps):
+def test_figure3a_code_size(benchmark, workbench, selected_apps):
     table = benchmark.pedantic(
-        _figure3a_table, args=(build_cache, selected_apps), rounds=1, iterations=1)
+        figure3a_table, args=(workbench, selected_apps), rounds=1, iterations=1)
 
     print()
     print(table.format())

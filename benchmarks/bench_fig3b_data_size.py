@@ -15,31 +15,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.toolchain.report import FigureTable, clip, percent_change
-from repro.toolchain.variants import BASELINE, FIGURE3_VARIANTS
+from repro.api.figures import figure3b_table
+from repro.toolchain.report import clip
 
 
-def _figure3b_table(build_cache, apps: list[str]) -> FigureTable:
-    table = FigureTable(
-        title="Figure 3(b): change in static data size vs baseline (unclipped)",
-        metric="static data change (%)",
-        applications=list(apps),
-    )
-    series = {variant.name: table.add_series(variant.name)
-              for variant in FIGURE3_VARIANTS}
-    for app in apps:
-        baseline = build_cache.build(app, BASELINE)
-        table.baselines[app] = float(baseline.image.ram_bytes)
-        for variant in FIGURE3_VARIANTS:
-            result = build_cache.build(app, variant)
-            series[variant.name].values[app] = percent_change(
-                result.image.ram_bytes, baseline.image.ram_bytes)
-    return table
-
-
-def test_figure3b_data_size(benchmark, build_cache, selected_apps):
+def test_figure3b_data_size(benchmark, workbench, selected_apps):
     table = benchmark.pedantic(
-        _figure3b_table, args=(build_cache, selected_apps), rounds=1, iterations=1)
+        figure3b_table, args=(workbench, selected_apps), rounds=1, iterations=1)
 
     print()
     print(table.format())

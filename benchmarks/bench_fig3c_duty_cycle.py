@@ -21,58 +21,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.avrora.network import Network
-from repro.avrora.node import Node
+from repro.api.figures import figure3c_table
 from repro.tinyos.suite import MICA2_APPS
-from repro.toolchain.contexts import duty_cycle_context
-from repro.toolchain.report import FigureTable, percent_change
-from repro.toolchain.variants import (
-    BASELINE,
-    SAFE_FLID,
-    SAFE_FLID_CXPROP,
-    SAFE_OPTIMIZED,
-    UNSAFE_OPTIMIZED,
-)
-
-#: Simulated seconds per measurement (the paper uses 180 s; these workloads
-#: are periodic, so a shorter window converges to the same duty cycle).
-SIM_SECONDS = 3.0
-
-_VARIANTS = [SAFE_FLID, SAFE_FLID_CXPROP, SAFE_OPTIMIZED, UNSAFE_OPTIMIZED]
+from repro.toolchain.variants import SAFE_FLID, SAFE_OPTIMIZED, UNSAFE_OPTIMIZED
 
 
-def _duty_cycle(build, app_name: str) -> float:
-    network = Network(traffic=duty_cycle_context(app_name))
-    node = Node(build.program, node_id=1)
-    node.boot()
-    network.add_node(node)
-    network.run(SIM_SECONDS)
-    return node.duty_cycle() * 100.0
-
-
-def _figure3c_table(build_cache, apps: list[str]) -> FigureTable:
-    table = FigureTable(
-        title="Figure 3(c): change in duty cycle vs unsafe/unoptimized baseline",
-        metric="duty cycle change (%)",
-        applications=list(apps),
-    )
-    series = {variant.name: table.add_series(variant.name)
-              for variant in _VARIANTS}
-    for app in apps:
-        baseline_build = build_cache.build(app, BASELINE)
-        baseline_duty = _duty_cycle(baseline_build, app)
-        table.baselines[app] = baseline_duty
-        for variant in _VARIANTS:
-            result = build_cache.build(app, variant)
-            duty = _duty_cycle(result, app)
-            series[variant.name].values[app] = percent_change(duty, baseline_duty)
-    return table
-
-
-def test_figure3c_duty_cycle(benchmark, build_cache, selected_apps):
+def test_figure3c_duty_cycle(benchmark, workbench, selected_apps):
     apps = [app for app in selected_apps if app in MICA2_APPS]
     table = benchmark.pedantic(
-        _figure3c_table, args=(build_cache, apps), rounds=1, iterations=1)
+        figure3c_table, args=(workbench, apps), rounds=1, iterations=1)
 
     print()
     print(table.format())

@@ -22,9 +22,9 @@ from repro.toolchain.variants import SAFE_FULL_RUNTIME, SAFE_OPTIMIZED
 APP = "BlinkTask_Mica2"
 
 
-def _runtime_footprints(build_cache):
-    naive = build_cache.build(APP, SAFE_FULL_RUNTIME)
-    trimmed = build_cache.build(APP, SAFE_OPTIMIZED)
+def _runtime_footprints(workbench):
+    naive = workbench.build_result(APP, SAFE_FULL_RUNTIME)
+    trimmed = workbench.build_result(APP, SAFE_OPTIMIZED)
     return {
         "naive": naive.runtime_footprint(),
         "trimmed": trimmed.runtime_footprint(),
@@ -33,8 +33,8 @@ def _runtime_footprints(build_cache):
     }
 
 
-def test_runtime_footprint(benchmark, build_cache):
-    data = benchmark.pedantic(_runtime_footprints, args=(build_cache,),
+def test_runtime_footprint(benchmark, workbench):
+    data = benchmark.pedantic(_runtime_footprints, args=(workbench,),
                               rounds=1, iterations=1)
     naive_rom, naive_ram = data["naive"]
     trimmed_rom, trimmed_ram = data["trimmed"]

@@ -1,38 +1,24 @@
 """Shared fixtures for the evaluation benchmarks.
 
-Building an application is deterministic, so builds are cached per
-(application, variant) for the whole benchmark session; the per-figure
-benchmarks then assemble their tables from the cache.  This mirrors how the
-paper's evaluation reuses one build per configuration across measurements.
+Building an application is deterministic, so one
+:class:`repro.api.Workbench` serves the whole benchmark session: builds are
+memoized by spec content key, and different variants of one application
+resume from the session's shared front-end (and CCured) snapshots instead
+of re-running the nesC compiler.  This mirrors how the paper's evaluation
+reuses one build per configuration across measurements — and it is the same
+engine the ``python -m repro`` CLI and the ``SafeTinyOS`` facade use.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.toolchain.config import BuildVariant
-from repro.toolchain.pipeline import BuildPipeline, BuildResult
-
-
-class BuildCache:
-    """Memoized application builds keyed by (application, variant name)."""
-
-    def __init__(self) -> None:
-        self._results: dict[tuple[str, str], BuildResult] = {}
-
-    def build(self, app_name: str, variant: BuildVariant) -> BuildResult:
-        key = (app_name, variant.name)
-        if key not in self._results:
-            self._results[key] = BuildPipeline(variant).build_named(app_name)
-        return self._results[key]
-
-    def __len__(self) -> int:
-        return len(self._results)
+from repro.api.workbench import Workbench
 
 
 @pytest.fixture(scope="session")
-def build_cache() -> BuildCache:
-    return BuildCache()
+def workbench() -> Workbench:
+    return Workbench()
 
 
 def pytest_addoption(parser):

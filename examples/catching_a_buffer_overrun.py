@@ -7,9 +7,15 @@ bound allows the index to reach 4, silently corrupting the adjacent counter
 on the unsafe build.  The safe build traps the out-of-bounds store, reports
 a FLID, and the host-side table decompresses it into a precise diagnostic —
 the workflow of Figure 1's "error message decompression" step.
+
+Custom applications have no registry name, so they go through the
+``SafeTinyOS`` facade rather than a :class:`~repro.api.BuildSpec`; the
+facade still routes every build through a shared
+:class:`~repro.api.Workbench`, so the three variants below build from one
+flattened front-end program.
 """
 
-from repro import SafeTinyOS
+from repro import SafeTinyOS, Workbench
 from repro.nesc.component import Component
 from repro.tinyos.apps import _base
 from repro.toolchain import BASELINE, variant_by_name
@@ -84,7 +90,7 @@ def build_application():
 
 
 def main() -> None:
-    system = SafeTinyOS()
+    system = SafeTinyOS(workbench=Workbench())
     app = build_application()
 
     print("=== Unsafe build: the bug corrupts memory silently ===")

@@ -3,36 +3,42 @@
 
 Surge is the paper's largest benchmark: periodic sensing delivered to a base
 station over a beacon-based multihop routing layer.  This example builds the
-safe, optimized image, runs a three-mote network (one base station and two
-sensing motes) and prints per-node statistics, plus the check-elimination
+safe, optimized image through the :class:`~repro.api.Workbench` (both builds
+share one nesC front end), runs a three-mote network (one base station and
+two sensing motes) and prints per-node statistics, plus the check-elimination
 summary for the routing-heavy code.
 """
 
-from repro import SafeTinyOS
+from repro.api import BuildSpec, Workbench
 from repro.avrora.network import Network
 from repro.avrora.node import Node
-from repro.toolchain import BASELINE
 
+APP = "Surge_Mica2"
 SIM_SECONDS = 8.0
 
 
 def main() -> None:
-    system = SafeTinyOS()
+    bench = Workbench()
 
     print("Building Surge (safe, FLIDs, inlined, cXprop-optimized)...")
-    safe = system.build("Surge_Mica2", "safe-optimized")
-    baseline = system.build("Surge_Mica2", BASELINE)
+    safe = bench.build(BuildSpec(app=APP, variant="safe-optimized"))
+    baseline = bench.build(BuildSpec(app=APP, variant="baseline"))
     print(f"  unsafe baseline : {baseline.code_bytes} B code, "
           f"{baseline.ram_bytes} B RAM")
     print(f"  safe, optimized : {safe.code_bytes} B code, "
           f"{safe.ram_bytes} B RAM, "
           f"{safe.checks_surviving}/{safe.checks_inserted} checks survive\n")
 
+    # Multi-node topologies need the live program, not just the record; the
+    # Workbench memoized the full build, so this does not rebuild anything.
+    program = bench.build_result(BuildSpec(app=APP,
+                                           variant="safe-optimized")).program
+
     print(f"Simulating a 3-mote network for {SIM_SECONDS:.0f} virtual seconds...")
     network = Network()
     # Node ids: 0 is the base station (the routing root), 1 and 2 are sensors.
     for node_id in (0, 1, 2):
-        node = Node(safe.program, node_id=node_id)
+        node = Node(program, node_id=node_id)
         node.boot()
         network.add_node(node)
     network.run(SIM_SECONDS)

@@ -8,11 +8,32 @@ transformer, the cXprop whole-program optimizer with pluggable abstract
 domains, a GCC-strength backend with AVR/MSP430 cost models, and an
 Avrora-style sensor-network simulator.
 
-Start with :class:`repro.core.SafeTinyOS`.
+Start with :class:`repro.api.Workbench` (the declarative spec/record API
+and the ``python -m repro`` CLI) or the :class:`repro.core.SafeTinyOS`
+facade built on top of it.
 """
 
+from repro.api import (
+    BuildRecord,
+    BuildSpec,
+    SimRecord,
+    SimSpec,
+    SweepSpec,
+    Workbench,
+)
 from repro.core import BuildOutcome, SafeTinyOS, SimulationOutcome
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["SafeTinyOS", "BuildOutcome", "SimulationOutcome", "__version__"]
+__all__ = [
+    "SafeTinyOS",
+    "BuildOutcome",
+    "SimulationOutcome",
+    "Workbench",
+    "BuildSpec",
+    "SweepSpec",
+    "SimSpec",
+    "BuildRecord",
+    "SimRecord",
+    "__version__",
+]

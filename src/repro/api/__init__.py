@@ -1,0 +1,45 @@
+"""``repro.api`` v1 — the declarative, cache-routed Workbench API.
+
+The paper's whole evaluation is "N apps × M variants, build, then measure";
+this package makes that the shape of the public surface:
+
+* **Specs** (:mod:`repro.api.specs`) — frozen, JSON-round-trippable request
+  dataclasses (:class:`BuildSpec`, :class:`SweepSpec`, :class:`SimSpec`)
+  with stable content keys derived from the pass list's cache keys.
+* **Workbench** (:mod:`repro.api.workbench`) — the single execution engine:
+  every build routes through the sweep runner's prefix-sharing front-end
+  cache, results are memoized by content key for the session, and
+  ``submit()`` runs sweeps concurrently on the process pool.
+* **Records** (:mod:`repro.api.records`) — typed results
+  (:class:`BuildRecord`, :class:`SimRecord`) with ``to_dict``/``from_dict``
+  so they survive process boundaries and can be written to disk.
+* **CLI** (:mod:`repro.api.cli`) — ``python -m repro`` with ``list``,
+  ``build``, ``sweep``, ``simulate`` and ``figures`` subcommands emitting
+  JSON or aligned tables.
+
+Example::
+
+    from repro.api import BuildSpec, SweepSpec, Workbench
+
+    with Workbench() as bench:
+        record = bench.build(BuildSpec(app="BlinkTask_Mica2",
+                                       variant="safe-optimized"))
+        print(record.code_bytes, record.checks_removed)
+        sweep = bench.sweep(SweepSpec(apps=("Surge_Mica2", "Ident_Mica2"),
+                                      variants=("baseline", "safe-optimized")))
+"""
+
+from repro.api.records import BuildRecord, SimRecord
+from repro.api.specs import SCHEMA_VERSION, BuildSpec, SimSpec, SweepSpec
+from repro.api.workbench import Workbench, run_network
+
+__all__ = [
+    "BuildSpec",
+    "SweepSpec",
+    "SimSpec",
+    "BuildRecord",
+    "SimRecord",
+    "Workbench",
+    "run_network",
+    "SCHEMA_VERSION",
+]

@@ -1,0 +1,298 @@
+"""``python -m repro`` — the command-line face of the Workbench API.
+
+Usage::
+
+    python -m repro list [--json]
+    python -m repro build APP [--variant NAME] [--json]
+    python -m repro sweep [--apps all|mica2|A,B,...]
+                          [--variants figure3|figure2|all|V,W,...]
+                          [--processes N] [--json]
+    python -m repro simulate APP [--variant NAME] [--seconds S]
+                          [--nodes N] [--no-traffic] [--json]
+    python -m repro figures [--figure 2|3a|3b|3c] [--apps ...] [--json]
+
+Every command speaks the ``repro.api`` schemas: ``--json`` emits the
+``to_dict()`` form of the spec's records (round-trippable through
+``BuildRecord.from_dict`` / ``SimRecord.from_dict``); without it, aligned
+tables are printed.  ``sweep --variants figure3`` is the paper's full
+Figure-3 configuration set (the unsafe baseline plus the seven figure
+bars), matching ``benchmarks/bench_pipeline_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.api.figures import (
+    FIGURE3C_SIM_SECONDS,
+    figure2_table,
+    figure3a_table,
+    figure3b_table,
+    figure3c_table,
+)
+from repro.api.records import BuildRecord, SimRecord
+from repro.api.specs import (
+    TRAFFIC_DEFAULT,
+    TRAFFIC_NONE,
+    BuildSpec,
+    SimSpec,
+    SweepSpec,
+)
+from repro.api.workbench import Workbench
+from repro.tinyos.suite import FIGURE_APPS, MICA2_APPS
+from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS
+from repro.toolchain.report import FigureTable
+from repro.toolchain.variants import (
+    BASELINE,
+    FIGURE2_STRATEGIES,
+    FIGURE3_VARIANTS,
+    SAFE_OPTIMIZED,
+    all_variant_names,
+)
+
+#: Named variant sets accepted by ``--variants`` (``all`` is handled in
+#: :func:`resolve_variants`, resolving to every registered variant).
+VARIANT_SETS = {
+    "figure3": [BASELINE.name] + [v.name for v in FIGURE3_VARIANTS],
+    "figure2": [v.name for v in FIGURE2_STRATEGIES],
+}
+
+#: Named application sets accepted by ``--apps``.
+APP_SETS = {"all": FIGURE_APPS, "mica2": MICA2_APPS}
+
+
+def resolve_apps(token: str) -> list[str]:
+    """``all``, ``mica2``, or a comma-separated list of figure labels."""
+    if token in APP_SETS:
+        return list(APP_SETS[token])
+    return [name.strip() for name in token.split(",") if name.strip()]
+
+
+def resolve_variants(token: str) -> list[str]:
+    """``figure3``, ``figure2``, ``all``, or a comma-separated name list."""
+    if token == "all":
+        return all_variant_names()
+    if token in VARIANT_SETS:
+        return list(VARIANT_SETS[token])
+    return [name.strip() for name in token.split(",") if name.strip()]
+
+
+class UsageError(Exception):
+    """Invalid command-line input (unknown name, malformed spec)."""
+
+
+def validated(factory):
+    """Build a spec, mapping validation errors to a clean usage error.
+
+    Spec construction is the documented validation boundary (unknown names
+    raise ``KeyError``, malformed parameters ``ValueError``); errors raised
+    later, during execution, are genuine defects and propagate with a
+    traceback instead of being disguised as usage errors.
+    """
+    try:
+        return factory()
+    except (KeyError, ValueError) as error:
+        # str() of a KeyError is the repr of its argument (extra quotes);
+        # unwrap it for a clean message.
+        message = error.args[0] if isinstance(error, KeyError) and error.args \
+            else str(error)
+        raise UsageError(message) from error
+
+
+# ---------------------------------------------------------------------------
+# Output formatting
+# ---------------------------------------------------------------------------
+
+
+def _emit_json(payload: object, out) -> None:
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def format_build_records(records: Sequence[BuildRecord]) -> str:
+    app_width = max([len("application")] + [len(r.app) for r in records])
+    var_width = max([len("variant")] + [len(r.variant) for r in records])
+    header = (f"{'application'.ljust(app_width)}  {'variant'.ljust(var_width)}"
+              f"  {'code (B)':>9}  {'RAM (B)':>8}  {'checks':>11}"
+              f"  {'key':>16}")
+    lines = [header, "-" * len(header)]
+    for record in records:
+        checks = (f"{record.checks_surviving}/{record.checks_inserted}"
+                  if record.checks_inserted else "-")
+        lines.append(
+            f"{record.app.ljust(app_width)}  {record.variant.ljust(var_width)}"
+            f"  {record.code_bytes:>9}  {record.ram_bytes:>8}  {checks:>11}"
+            f"  {record.content_key:>16}")
+    return "\n".join(lines)
+
+
+def format_sim_record(record: SimRecord) -> str:
+    lines = [
+        f"{record.app} × {record.variant}: {record.node_count} node(s), "
+        f"{record.seconds}s simulated",
+        f"  duty cycle : " + ", ".join(f"{cycle * 100:.3f}%"
+                                       for cycle in record.duty_cycles),
+        f"  failures   : {record.failures}  halted: {record.halted}  "
+        f"LED changes: {record.led_changes}",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_list(args, workbench: Workbench, out) -> int:
+    apps = workbench.applications()
+    variants = workbench.variant_names()
+    if args.json:
+        _emit_json({"applications": apps, "variants": variants,
+                    "variant_sets": {"figure3": VARIANT_SETS["figure3"],
+                                     "figure2": VARIANT_SETS["figure2"]}}, out)
+        return 0
+    out.write("applications:\n")
+    for app in apps:
+        out.write(f"  {app}\n")
+    out.write("variants:\n")
+    for variant in variants:
+        out.write(f"  {variant}\n")
+    return 0
+
+
+def cmd_build(args, workbench: Workbench, out) -> int:
+    spec = validated(lambda: BuildSpec(app=args.app, variant=args.variant))
+    record = workbench.build(spec)
+    if args.json:
+        _emit_json(record.to_dict(), out)
+    else:
+        out.write(format_build_records([record]) + "\n")
+    return 0
+
+
+def cmd_sweep(args, workbench: Workbench, out) -> int:
+    spec = validated(lambda: SweepSpec(
+        apps=tuple(resolve_apps(args.apps)),
+        variants=tuple(resolve_variants(args.variants))))
+    if args.processes:
+        records = workbench.submit(spec, processes=args.processes).result()
+    else:
+        records = workbench.sweep(spec)
+    if args.json:
+        _emit_json({"spec": spec.to_dict(),
+                    "records": [record.to_dict() for record in records]}, out)
+    else:
+        out.write(format_build_records(records) + "\n")
+    return 0
+
+
+def cmd_simulate(args, workbench: Workbench, out) -> int:
+    spec = validated(lambda: SimSpec(
+        app=args.app, variant=args.variant,
+        node_count=args.nodes, seconds=args.seconds,
+        traffic=TRAFFIC_NONE if args.no_traffic else TRAFFIC_DEFAULT))
+    record = workbench.simulate(spec)
+    if args.json:
+        _emit_json(record.to_dict(), out)
+    else:
+        out.write(format_sim_record(record) + "\n")
+    return 0
+
+
+# -- figures ----------------------------------------------------------------
+
+
+def cmd_figures(args, workbench: Workbench, out) -> int:
+    apps = resolve_apps(args.apps)
+    # Validates both the application names and the simulation seconds.
+    validated(lambda: [SimSpec(app=app, seconds=args.seconds)
+                       for app in apps])
+    tables: list[FigureTable] = []
+    which = args.figure
+    if which in ("2", "all"):
+        tables.append(figure2_table(workbench, apps))
+    if which in ("3a", "all"):
+        tables.append(figure3a_table(workbench, apps))
+    if which in ("3b", "all"):
+        tables.append(figure3b_table(workbench, apps))
+    if which in ("3c", "all"):
+        tables.append(figure3c_table(workbench, apps, args.seconds))
+    if args.json:
+        _emit_json([{"title": table.title, "metric": table.metric,
+                     "rows": table.rows()} for table in tables], out)
+    else:
+        out.write("\n\n".join(table.format() for table in tables) + "\n")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Build, sweep and simulate Safe TinyOS applications.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_json(p):
+        p.add_argument("--json", action="store_true",
+                       help="emit JSON records instead of a table")
+
+    p_list = sub.add_parser("list", help="registered applications and variants")
+    add_json(p_list)
+    p_list.set_defaults(func=cmd_list)
+
+    p_build = sub.add_parser("build", help="build one application")
+    p_build.add_argument("app", help="figure label, e.g. BlinkTask_Mica2")
+    p_build.add_argument("--variant", default=SAFE_OPTIMIZED.name,
+                         help=f"build variant (default: {SAFE_OPTIMIZED.name})")
+    add_json(p_build)
+    p_build.set_defaults(func=cmd_build)
+
+    p_sweep = sub.add_parser("sweep", help="build an N-app × M-variant sweep")
+    p_sweep.add_argument("--apps", default="all",
+                         help="all | mica2 | comma-separated labels")
+    p_sweep.add_argument("--variants", default="figure3",
+                         help="figure3 | figure2 | all | comma-separated names")
+    p_sweep.add_argument("--processes", type=int, default=0,
+                         help="run on a process pool with N workers")
+    add_json(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
+
+    p_sim = sub.add_parser("simulate", help="build and simulate one application")
+    p_sim.add_argument("app", help="figure label, e.g. BlinkTask_Mica2")
+    p_sim.add_argument("--variant", default=SAFE_OPTIMIZED.name)
+    p_sim.add_argument("--seconds", type=float,
+                       default=DEFAULT_DUTY_CYCLE_SECONDS)
+    p_sim.add_argument("--nodes", type=int, default=1)
+    p_sim.add_argument("--no-traffic", action="store_true",
+                       help="disable the default duty-cycle traffic context")
+    add_json(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_fig = sub.add_parser("figures", help="reproduce the paper's figure tables")
+    p_fig.add_argument("--figure", default="all",
+                       choices=["2", "3a", "3b", "3c", "all"])
+    p_fig.add_argument("--apps", default="all",
+                       help="all | mica2 | comma-separated labels")
+    p_fig.add_argument("--seconds", type=float, default=FIGURE3C_SIM_SECONDS,
+                       help="simulated seconds per duty-cycle measurement (3c)")
+    add_json(p_fig)
+    p_fig.set_defaults(func=cmd_figures)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    out = out if out is not None else sys.stdout
+    with Workbench() as workbench:
+        try:
+            return args.func(args, workbench, out)
+        except UsageError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2

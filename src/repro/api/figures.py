@@ -1,0 +1,114 @@
+"""The paper's figures, reconstructed from Workbench records.
+
+One definition of each figure — its variant set, metric and percent-change
+math — shared by the figure benchmarks (``benchmarks/bench_fig2...``,
+``bench_fig3a/3b/3c``) and ``python -m repro figures``, so the two surfaces
+can never drift apart.  Each builder takes a
+:class:`~repro.api.workbench.Workbench` and assembles a
+:class:`~repro.toolchain.report.FigureTable` purely from records; builds
+and simulations are memoized by the session, so assembling several figures
+reuses one build per configuration, exactly like the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.api.specs import SimSpec
+from repro.api.workbench import Workbench
+from repro.tinyos.suite import MICA2_APPS
+from repro.toolchain.report import FigureTable, percent_change
+from repro.toolchain.variants import (
+    BASELINE,
+    FIGURE2_STRATEGIES,
+    FIGURE3_VARIANTS,
+    SAFE_FLID,
+    SAFE_FLID_CXPROP,
+    SAFE_OPTIMIZED,
+    UNSAFE_OPTIMIZED,
+)
+
+#: Bar labels of Figure 2, in ``FIGURE2_STRATEGIES`` order.
+FIGURE2_LABELS = ["gcc", "ccured+gcc", "ccured+cxprop+gcc",
+                  "ccured+inline+cxprop+gcc"]
+
+#: The four build variants measured in Figure 3(c), in figure order.
+FIGURE3C_VARIANTS = [SAFE_FLID, SAFE_FLID_CXPROP, SAFE_OPTIMIZED,
+                     UNSAFE_OPTIMIZED]
+
+#: Simulated seconds per Figure 3(c) measurement (the paper uses 180 s;
+#: these workloads are periodic, so a shorter window converges to the same
+#: duty cycle).
+FIGURE3C_SIM_SECONDS = 3.0
+
+
+def figure2_table(workbench: Workbench, apps: list[str]) -> FigureTable:
+    """Figure 2: checks removed, as a percentage of checks CCured inserted."""
+    table = FigureTable(
+        title="Figure 2: checks removed (percent of checks inserted by CCured)",
+        metric="checks removed (%)",
+        applications=list(apps),
+    )
+    series = [table.add_series(label) for label in FIGURE2_LABELS]
+    for app in apps:
+        for index, variant in enumerate(FIGURE2_STRATEGIES):
+            record = workbench.build(app, variant)
+            table.baselines[app] = float(record.checks_inserted)
+            series[index].values[app] = 100.0 * record.checks_removed_fraction
+    return table
+
+
+def _figure3_size_table(workbench: Workbench, apps: list[str], metric: str,
+                        title: str) -> FigureTable:
+    table = FigureTable(title=title, metric=metric, applications=list(apps))
+    series = {variant.name: table.add_series(variant.name)
+              for variant in FIGURE3_VARIANTS}
+    for app in apps:
+        baseline = workbench.build(app, BASELINE)
+        base_value = getattr(baseline, metric)
+        table.baselines[app] = float(base_value)
+        for variant in FIGURE3_VARIANTS:
+            record = workbench.build(app, variant)
+            series[variant.name].values[app] = percent_change(
+                getattr(record, metric), base_value)
+    return table
+
+
+def figure3a_table(workbench: Workbench, apps: list[str]) -> FigureTable:
+    """Figure 3(a): change in code (flash) size vs the unsafe baseline."""
+    return _figure3_size_table(
+        workbench, apps, "code_bytes",
+        "Figure 3(a): change in code size vs unsafe/unoptimized baseline")
+
+
+def figure3b_table(workbench: Workbench, apps: list[str]) -> FigureTable:
+    """Figure 3(b): change in static data size vs the unsafe baseline."""
+    return _figure3_size_table(
+        workbench, apps, "ram_bytes",
+        "Figure 3(b): change in static data size vs baseline (unclipped)")
+
+
+def figure3c_table(workbench: Workbench, apps: list[str],
+                   seconds: float = FIGURE3C_SIM_SECONDS) -> FigureTable:
+    """Figure 3(c): change in processor duty cycle vs the unsafe baseline.
+
+    Mica2 applications only (Avrora models the Mica2); each is simulated in
+    its duty-cycle traffic context for ``seconds`` virtual seconds.
+    """
+    mica2 = [app for app in apps if app in MICA2_APPS]
+    table = FigureTable(
+        title="Figure 3(c): change in duty cycle vs unsafe/unoptimized baseline",
+        metric="duty cycle change (%)",
+        applications=mica2,
+    )
+    series = {variant.name: table.add_series(variant.name)
+              for variant in FIGURE3C_VARIANTS}
+    for app in mica2:
+        baseline = workbench.simulate(
+            SimSpec(app=app, variant=BASELINE.name, seconds=seconds))
+        baseline_duty = baseline.duty_cycle * 100.0
+        table.baselines[app] = baseline_duty
+        for variant in FIGURE3C_VARIANTS:
+            run = workbench.simulate(
+                SimSpec(app=app, variant=variant.name, seconds=seconds))
+            series[variant.name].values[app] = percent_change(
+                run.duty_cycle * 100.0, baseline_duty)
+    return table

@@ -1,0 +1,183 @@
+"""Typed, JSON-round-trippable result records.
+
+Records are the serializable projection of a build or simulation: plain
+frozen dataclasses of numbers and strings that survive process boundaries
+(the process-pool sweep mode returns exactly these), can be written to disk,
+and reload with ``from_dict(to_dict(record)) == record``.  The live objects
+— programs, memory images, FLID tables — stay inside the
+:class:`~repro.api.workbench.Workbench` session that produced them; ask it
+for the full :class:`~repro.toolchain.pipeline.BuildResult` when you need
+them.
+
+``BuildRecord.summary()`` reproduces ``BuildResult.summary()`` field for
+field, so records and the sweep benchmarks
+(``benchmarks/bench_pipeline_sweep.py``) speak the same schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.api.specs import SCHEMA_VERSION
+
+
+@dataclass(frozen=True)
+class BuildRecord:
+    """One finished build: the numbers the paper's figures report.
+
+    Attributes:
+        app: Figure label of the application.
+        variant: Build variant name.
+        content_key: The producing :class:`~repro.api.specs.BuildSpec`'s
+            content key (memoization identity).
+        code_bytes: Flash footprint of the final image.
+        ram_bytes: Static RAM footprint (data + bss + RAM strings).
+        checks_inserted: Safety checks CCured inserted (0 for unsafe builds).
+        checks_surviving: Checks remaining in the final image.
+        passes: Names of the executed passes, in order (empty when the
+            producing sweep carried summaries only).
+        wall_time_s: Build wall time attributed to this build's pass list.
+    """
+
+    app: str
+    variant: str
+    content_key: str
+    code_bytes: int
+    ram_bytes: int
+    checks_inserted: int
+    checks_surviving: int
+    passes: tuple[str, ...] = ()
+    wall_time_s: float = 0.0
+
+    @property
+    def checks_removed(self) -> int:
+        return self.checks_inserted - self.checks_surviving
+
+    @property
+    def checks_removed_fraction(self) -> float:
+        if self.checks_inserted == 0:
+            return 0.0
+        return self.checks_removed / self.checks_inserted
+
+    def summary(self) -> dict[str, object]:
+        """The exact ``BuildResult.summary()`` dictionary for this build."""
+        return {
+            "application": self.app,
+            "variant": self.variant,
+            "code_bytes": self.code_bytes,
+            "ram_bytes": self.ram_bytes,
+            "checks_inserted": self.checks_inserted,
+            "checks_surviving": self.checks_surviving,
+        }
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "build-record",
+            "schema": SCHEMA_VERSION,
+            "app": self.app,
+            "variant": self.variant,
+            "content_key": self.content_key,
+            "code_bytes": self.code_bytes,
+            "ram_bytes": self.ram_bytes,
+            "checks_inserted": self.checks_inserted,
+            "checks_surviving": self.checks_surviving,
+            "passes": list(self.passes),
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BuildRecord":
+        return cls(
+            app=data["app"],
+            variant=data["variant"],
+            content_key=data["content_key"],
+            code_bytes=data["code_bytes"],
+            ram_bytes=data["ram_bytes"],
+            checks_inserted=data["checks_inserted"],
+            checks_surviving=data["checks_surviving"],
+            passes=tuple(data.get("passes", ())),
+            wall_time_s=data.get("wall_time_s", 0.0),
+        )
+
+    @classmethod
+    def from_summary(cls, summary: dict, content_key: str,
+                     passes: tuple[str, ...] = (),
+                     wall_time_s: float = 0.0) -> "BuildRecord":
+        """Build a record from a ``BuildResult.summary()`` dictionary."""
+        return cls(
+            app=summary["application"],
+            variant=summary["variant"],
+            content_key=content_key,
+            code_bytes=summary["code_bytes"],
+            ram_bytes=summary["ram_bytes"],
+            checks_inserted=summary["checks_inserted"],
+            checks_surviving=summary["checks_surviving"],
+            passes=passes,
+            wall_time_s=wall_time_s,
+        )
+
+
+@dataclass(frozen=True)
+class SimRecord:
+    """One finished simulation: per-node duty cycles and failure counts.
+
+    Attributes:
+        app: Figure label of the simulated application.
+        variant: Build variant that produced the simulated image.
+        content_key: The producing :class:`~repro.api.specs.SimSpec`'s
+            content key.
+        node_count: Number of simulated motes.
+        seconds: Simulated virtual seconds.
+        duty_cycles: Per-node duty cycle, in node-id order.
+        failures: Total safety failures reported across all nodes.
+        halted: Whether any node halted.
+        led_changes: Total LED state changes across all nodes (the cheap
+            behavioural fingerprint the examples compare).
+    """
+
+    app: str
+    variant: str
+    content_key: str
+    node_count: int
+    seconds: float
+    duty_cycles: tuple[float, ...]
+    failures: int
+    halted: bool
+    led_changes: int
+
+    @property
+    def duty_cycle(self) -> float:
+        """Duty cycle of the first node (the paper's single-mote metric)."""
+        if not self.duty_cycles:
+            raise ValueError(f"simulation of {self.app} × {self.variant} "
+                             f"recorded no nodes")
+        return self.duty_cycles[0]
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "sim-record",
+            "schema": SCHEMA_VERSION,
+            "app": self.app,
+            "variant": self.variant,
+            "content_key": self.content_key,
+            "node_count": self.node_count,
+            "seconds": self.seconds,
+            "duty_cycles": list(self.duty_cycles),
+            "failures": self.failures,
+            "halted": self.halted,
+            "led_changes": self.led_changes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimRecord":
+        return cls(
+            app=data["app"],
+            variant=data["variant"],
+            content_key=data["content_key"],
+            node_count=data["node_count"],
+            seconds=data["seconds"],
+            duty_cycles=tuple(data["duty_cycles"]),
+            failures=data["failures"],
+            halted=data["halted"],
+            led_changes=data["led_changes"],
+        )

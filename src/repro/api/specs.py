@@ -1,0 +1,202 @@
+"""Declarative request specs: what to build, sweep or simulate.
+
+A spec is *data*: a frozen dataclass naming registered applications and
+build variants, with no references to live programs or pass objects.  Every
+spec round-trips through JSON (``from_dict(to_dict(spec)) == spec``) and has
+a stable :meth:`content_key` — a digest of the pass list the spec lowers to,
+derived from each pass's
+:meth:`~repro.toolchain.passes.Pass.cache_key` — so two equal specs name the
+same deterministic build output across sessions and processes.  The
+:class:`~repro.api.workbench.Workbench` memoizes on exactly that key.
+
+Validation happens at construction time: unknown applications and variants
+raise :class:`KeyError` (matching the suite and variant registries), and
+malformed simulation parameters (``node_count < 1``, non-positive
+``seconds``) raise :class:`ValueError` immediately instead of failing deep
+inside the simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.tinyos import suite
+from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS
+from repro.toolchain.lower import variant_passes
+from repro.toolchain.variants import SAFE_OPTIMIZED, variant_by_name
+
+#: Version stamped into every serialized spec and record; bump when the
+#: dictionary layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: ``SimSpec.traffic`` values: simulate inside the application's default
+#: duty-cycle context (Section 3.4) or with no synthetic traffic at all.
+TRAFFIC_DEFAULT = "default"
+TRAFFIC_NONE = "none"
+
+
+@lru_cache(maxsize=None)
+def variant_pass_keys(variant_name: str) -> tuple[str, ...]:
+    """The cache-key sequence a registered variant's pass list lowers to."""
+    variant = variant_by_name(variant_name)
+    return tuple(pass_.cache_key(variant) for pass_ in variant_passes(variant))
+
+
+def _digest(material: dict) -> str:
+    canonical = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _check_app(app: str) -> None:
+    if app not in suite.FIGURE_APPS:
+        raise KeyError(f"unknown application {app!r}; known: "
+                       f"{suite.FIGURE_APPS}")
+
+
+@dataclass(frozen=True)
+class BuildSpec:
+    """Build one registered application with one registered variant."""
+
+    app: str
+    variant: str = SAFE_OPTIMIZED.name
+
+    def __post_init__(self):
+        _check_app(self.app)
+        variant_by_name(self.variant)
+
+    def content_key(self) -> str:
+        """Stable identity of this build: app × variant × pass cache keys.
+
+        The variant name is part of the material: a few registered variants
+        lower to identical pass lists (e.g. ``safe-optimized`` and
+        ``fig2-ccured-inline-cxprop-gcc``) and would otherwise collide,
+        returning records labelled with the other variant's name.
+        """
+        return _digest({
+            "schema": SCHEMA_VERSION,
+            "kind": "build",
+            "app": self.app,
+            "variant": self.variant,
+            "passes": list(variant_pass_keys(self.variant)),
+        })
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": "build", "schema": SCHEMA_VERSION,
+                "app": self.app, "variant": self.variant}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BuildSpec":
+        return cls(app=data["app"], variant=data["variant"])
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Build the cross product of N applications × M variants, in order."""
+
+    apps: tuple[str, ...]
+    variants: tuple[str, ...]
+
+    def __post_init__(self):
+        # Tolerate lists (the natural JSON shape) by coercing to tuples so
+        # equality and hashing behave; frozen dataclasses need object.__setattr__.
+        object.__setattr__(self, "apps", tuple(self.apps))
+        object.__setattr__(self, "variants", tuple(self.variants))
+        if not self.apps:
+            raise ValueError("SweepSpec needs at least one application")
+        if not self.variants:
+            raise ValueError("SweepSpec needs at least one variant")
+        for app in self.apps:
+            _check_app(app)
+        for variant in self.variants:
+            variant_by_name(variant)
+
+    def build_specs(self) -> list[BuildSpec]:
+        """The sweep's builds in (application, variant) order."""
+        return [BuildSpec(app=app, variant=variant)
+                for app in self.apps for variant in self.variants]
+
+    def content_key(self) -> str:
+        return _digest({
+            "schema": SCHEMA_VERSION,
+            "kind": "sweep",
+            "builds": [spec.content_key() for spec in self.build_specs()],
+        })
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": "sweep", "schema": SCHEMA_VERSION,
+                "apps": list(self.apps), "variants": list(self.variants)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        return cls(apps=tuple(data["apps"]), variants=tuple(data["variants"]))
+
+
+@dataclass(frozen=True)
+class SimSpec:
+    """Simulate one build for a number of virtual seconds.
+
+    Attributes:
+        app: Registered application (its build is resolved via
+            :class:`BuildSpec`).
+        variant: Registered build variant.
+        node_count: Number of motes in the simulated network (>= 1).
+        seconds: Virtual seconds to simulate (> 0).
+        traffic: ``"default"`` runs the application inside its duty-cycle
+            traffic context (Section 3.4); ``"none"`` disables synthetic
+            traffic.
+    """
+
+    app: str
+    variant: str = SAFE_OPTIMIZED.name
+    node_count: int = 1
+    seconds: float = DEFAULT_DUTY_CYCLE_SECONDS
+    traffic: str = TRAFFIC_DEFAULT
+
+    def __post_init__(self):
+        _check_app(self.app)
+        variant_by_name(self.variant)
+        if self.node_count < 1:
+            raise ValueError(
+                f"{self.describe()}: node_count must be >= 1, "
+                f"got {self.node_count}")
+        if not self.seconds > 0:
+            raise ValueError(
+                f"{self.describe()}: seconds must be positive, "
+                f"got {self.seconds}")
+        if self.traffic not in (TRAFFIC_DEFAULT, TRAFFIC_NONE):
+            raise ValueError(
+                f"{self.describe()}: traffic must be "
+                f"{TRAFFIC_DEFAULT!r} or {TRAFFIC_NONE!r}, "
+                f"got {self.traffic!r}")
+
+    def describe(self) -> str:
+        return (f"SimSpec({self.app} × {self.variant}, "
+                f"{self.node_count} node(s), {self.seconds}s)")
+
+    def build_spec(self) -> BuildSpec:
+        return BuildSpec(app=self.app, variant=self.variant)
+
+    def content_key(self) -> str:
+        return _digest({
+            "schema": SCHEMA_VERSION,
+            "kind": "sim",
+            "build": self.build_spec().content_key(),
+            "node_count": self.node_count,
+            "seconds": self.seconds,
+            "traffic": self.traffic,
+        })
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": "sim", "schema": SCHEMA_VERSION,
+                "app": self.app, "variant": self.variant,
+                "node_count": self.node_count, "seconds": self.seconds,
+                "traffic": self.traffic}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimSpec":
+        return cls(app=data["app"], variant=data["variant"],
+                   node_count=data["node_count"], seconds=data["seconds"],
+                   traffic=data.get("traffic", TRAFFIC_DEFAULT))

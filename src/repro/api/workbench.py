@@ -1,0 +1,354 @@
+"""The Workbench: one session object, one execution engine.
+
+Every build — interactive or batched, facade or CLI — funnels through a
+:class:`Workbench`, which routes it through
+:class:`~repro.toolchain.sweep.SweepRunner` with a session-persistent
+prefix-snapshot store.  That gives three properties for free:
+
+* **Prefix sharing everywhere.**  Even two single ``build()`` calls made
+  minutes apart share the nesC front end (and, where their variants agree,
+  the CCured stage): the first call leaves snapshots in the store, the
+  second resumes from them.
+* **Memoization by content key.**  Results are cached on the spec's
+  :meth:`~repro.api.specs.BuildSpec.content_key`, so an identical request
+  never re-runs a pass.
+* **One record schema.**  Every build yields a
+  :class:`~repro.api.records.BuildRecord`, whether it ran in-process (full
+  :class:`~repro.toolchain.pipeline.BuildResult` retained and available via
+  :meth:`Workbench.build_result`) or on the process pool
+  (:meth:`Workbench.submit`, summaries only).
+
+The session caches assume applications and variants are not mutated after
+their first build, and cached results are *shared*: a second identical
+request returns the same :class:`~repro.toolchain.pipeline.BuildResult`
+(and its live program) as the first, so treat returned results as
+read-only — run further ad-hoc passes on a
+:meth:`~repro.cminor.program.Program.clone`, or call :meth:`clear` to drop
+the session caches.  In-process methods are intended for one driving
+thread, while :meth:`submit` futures admit their records under a lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional, Union
+
+from repro.api.records import BuildRecord, SimRecord
+from repro.api.specs import TRAFFIC_DEFAULT, BuildSpec, SimSpec, SweepSpec
+from repro.avrora.network import Network, TrafficGenerator
+from repro.avrora.node import Node
+from repro.nesc.application import Application
+from repro.tinyos import suite
+from repro.toolchain.config import BuildVariant
+from repro.toolchain.contexts import duty_cycle_context
+from repro.toolchain.pipeline import BuildResult
+from repro.toolchain.sweep import SweepRunner
+from repro.toolchain.variants import all_variant_names, variant_by_name
+
+
+def run_network(program, *, seconds: float, node_count: int = 1,
+                traffic: Optional[TrafficGenerator] = None) -> Network:
+    """Boot ``node_count`` motes running ``program`` and simulate them."""
+    if node_count < 1:
+        raise ValueError(f"node_count must be >= 1, got {node_count}")
+    network = Network(traffic=traffic)
+    for node_id in range(1, node_count + 1):
+        node = Node(program, node_id=node_id)
+        node.boot()
+        network.add_node(node)
+    network.run(seconds)
+    return network
+
+
+def is_registered_variant(variant: BuildVariant) -> bool:
+    """Whether ``variant`` is (equal to) a predefined registry variant."""
+    try:
+        return variant_by_name(variant.name) == variant
+    except KeyError:
+        return False
+
+
+class Workbench:
+    """Cache-routed execution engine for builds, sweeps and simulations.
+
+    Args:
+        share_front_end: Route builds over shared pass-list-prefix
+            snapshots (disable only to benchmark the unshared baseline).
+        processes: Default worker-process count for :meth:`submit`
+            (defaults to ``min(4, cpu_count)`` at submit time).
+    """
+
+    def __init__(self, *, share_front_end: bool = True,
+                 processes: Optional[int] = None):
+        self.share_front_end = share_front_end
+        self.processes = processes
+        self._records: dict[str, BuildRecord] = {}
+        self._results: dict[str, BuildResult] = {}
+        self._sim_records: dict[str, SimRecord] = {}
+        self._snapshots: dict[str, dict] = {}
+        # Unregistered builds (custom Application objects / ad-hoc variants)
+        # have no content key; they are memoized by identity for the session,
+        # pinning the application object so ``id`` stays unambiguous.
+        self._unregistered: dict[tuple, tuple[object, BuildResult]] = {}
+        self._object_snapshots: dict[int, dict[str, dict]] = {}
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # -- introspection ---------------------------------------------------------
+
+    def applications(self) -> list[str]:
+        """Names of the registered benchmark applications."""
+        return suite.all_application_names()
+
+    def variant_names(self) -> list[str]:
+        """Names of the registered build variants."""
+        return all_variant_names()
+
+    def cached_builds(self) -> int:
+        """Number of memoized build records in this session."""
+        with self._lock:
+            return len(self._records) + len(self._unregistered)
+
+    # -- building --------------------------------------------------------------
+
+    @staticmethod
+    def _as_build_spec(spec: Union[BuildSpec, str],
+                       variant: Union[str, BuildVariant, None]) -> BuildSpec:
+        if isinstance(spec, BuildSpec):
+            if variant is not None:
+                raise TypeError("pass the variant inside the BuildSpec")
+            return spec
+        if variant is None:
+            return BuildSpec(app=spec)
+        name = variant.name if isinstance(variant, BuildVariant) else variant
+        return BuildSpec(app=spec, variant=name)
+
+    def build(self, spec: Union[BuildSpec, str],
+              variant: Union[str, BuildVariant, None] = None) -> BuildRecord:
+        """Build one registered application; memoized by content key.
+
+        Accepts a :class:`BuildSpec` or an application name plus optional
+        variant (default: the paper's headline ``safe-optimized``).
+        """
+        spec = self._as_build_spec(spec, variant)
+        key = spec.content_key()
+        with self._lock:
+            record = self._records.get(key)
+        if record is not None:
+            return record
+        self._execute([spec])
+        with self._lock:
+            return self._records[key]
+
+    def build_result(self, spec: Union[BuildSpec, str],
+                     variant: Union[str, BuildVariant, None] = None,
+                     ) -> BuildResult:
+        """Like :meth:`build`, but returns the full in-process result.
+
+        If the record was admitted by a process-pool sweep (summary only),
+        the build is re-run in-process — programs do not cross process
+        boundaries.
+        """
+        spec = self._as_build_spec(spec, variant)
+        key = spec.content_key()
+        with self._lock:
+            result = self._results.get(key)
+        if result is not None:
+            return result
+        self._execute([spec])
+        with self._lock:
+            return self._results[key]
+
+    def sweep(self, spec: Union[SweepSpec, None] = None, *,
+              apps: Optional[list[str]] = None,
+              variants: Optional[list[str]] = None) -> list[BuildRecord]:
+        """Build an N-app × M-variant cross product, in (app, variant) order.
+
+        Builds already memoized are not re-run; the rest are batched through
+        :class:`~repro.toolchain.sweep.SweepRunner` with prefix sharing.
+        """
+        if spec is None:
+            spec = SweepSpec(apps=tuple(apps or ()),
+                             variants=tuple(variants or ()))
+        specs = spec.build_specs()
+        with self._lock:
+            missing = [s for s in specs
+                       if s.content_key() not in self._records]
+        if missing:
+            self._execute(missing)
+        with self._lock:
+            return [self._records[s.content_key()] for s in specs]
+
+    def submit(self, spec: SweepSpec, *,
+               processes: Optional[int] = None) -> "Future[list[BuildRecord]]":
+        """Run a sweep concurrently on the process pool; returns a future.
+
+        The future resolves to the sweep's records in (app, variant) order.
+        Pooled builds carry summaries only — use :meth:`build_result` when a
+        program or image is needed (it rebuilds in-process).
+        """
+        workers = processes or self.processes or min(4, os.cpu_count() or 1)
+
+        def run_pooled() -> list[BuildRecord]:
+            specs = spec.build_specs()
+            with self._lock:
+                missing = [s for s in specs
+                           if s.content_key() not in self._records]
+            for variant_names, apps in self._grouped(missing):
+                runner = SweepRunner(
+                    apps, [variant_by_name(name) for name in variant_names],
+                    share_front_end=self.share_front_end, processes=workers)
+                for build in runner.run():
+                    self._admit(build)
+            with self._lock:
+                return [self._records[s.content_key()] for s in specs]
+
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=2, thread_name_prefix="workbench")
+            return self._executor.submit(run_pooled)
+
+    def build_unregistered(self, app: Union[str, Application],
+                           variant: BuildVariant) -> BuildResult:
+        """Build a custom application and/or an unregistered variant.
+
+        This is the compatibility path behind
+        :meth:`repro.core.SafeTinyOS.build`: the build still routes through
+        the sweep runner (sharing front-end snapshots where possible) but is
+        memoized by identity instead of content key, since ad-hoc
+        applications and variants have no stable serialized name.
+        """
+        if isinstance(app, str):
+            ident: tuple = ("app", app)
+            store = self._snapshots  # keyed by pass cache keys: shareable
+        else:
+            ident = ("object", id(app))
+            store = self._object_snapshots.get(id(app), {})
+        key = (ident, variant)
+        with self._lock:
+            cached = self._unregistered.get(key)
+        if cached is not None:
+            return cached[1]
+        runner = SweepRunner([app], [variant],
+                             share_front_end=self.share_front_end,
+                             snapshot_store=store)
+        build = runner.run().builds[0]
+        with self._lock:
+            self._unregistered[key] = (app, build.result)
+            if not isinstance(app, str):
+                # Commit the object's snapshot store only after a successful
+                # build: the pin above keeps ``id(app)`` unambiguous, and a
+                # failed build leaves no stale snapshots behind for a later
+                # object that happens to reuse the id.
+                self._object_snapshots[id(app)] = store
+        return build.result
+
+    # -- simulation ------------------------------------------------------------
+
+    def simulate(self, spec: SimSpec) -> SimRecord:
+        """Build (memoized) and simulate one application; returns a record."""
+        key = spec.content_key()
+        with self._lock:
+            cached = self._sim_records.get(key)
+        if cached is not None:
+            return cached
+        result = self.build_result(spec.build_spec())
+        traffic = duty_cycle_context(spec.app) \
+            if spec.traffic == TRAFFIC_DEFAULT else None
+        network = run_network(result.program, seconds=spec.seconds,
+                              node_count=spec.node_count, traffic=traffic)
+        record = SimRecord(
+            app=spec.app,
+            variant=spec.variant,
+            content_key=key,
+            node_count=spec.node_count,
+            seconds=spec.seconds,
+            duty_cycles=tuple(node.duty_cycle() for node in network.nodes),
+            failures=sum(len(node.failures) for node in network.nodes),
+            halted=any(node.halted for node in network.nodes),
+            led_changes=sum(node.leds.state.changes for node in network.nodes),
+        )
+        with self._lock:
+            return self._sim_records.setdefault(key, record)
+
+    # -- engine ----------------------------------------------------------------
+
+    @staticmethod
+    def _grouped(specs: list[BuildSpec]) -> list[tuple[tuple[str, ...],
+                                                       list[str]]]:
+        """Group build specs so applications requesting the same variant set
+        batch into one runner call (maximal prefix sharing)."""
+        by_app: dict[str, list[str]] = {}
+        for spec in specs:
+            variants = by_app.setdefault(spec.app, [])
+            if spec.variant not in variants:
+                variants.append(spec.variant)
+        groups: dict[tuple[str, ...], list[str]] = {}
+        for app, variant_names in by_app.items():
+            groups.setdefault(tuple(variant_names), []).append(app)
+        return list(groups.items())
+
+    def _execute(self, specs: list[BuildSpec]) -> None:
+        """Run builds in-process via the sweep runner and admit the results."""
+        for variant_names, apps in self._grouped(specs):
+            runner = SweepRunner(
+                apps, [variant_by_name(name) for name in variant_names],
+                share_front_end=self.share_front_end,
+                snapshot_store=self._snapshots)
+            for build in runner.run():
+                self._admit(build)
+
+    def _admit(self, build) -> None:
+        """Merge one :class:`~repro.toolchain.sweep.SweepBuild` into the caches."""
+        key = BuildSpec(app=build.application,
+                        variant=build.variant_name).content_key()
+        passes: tuple[str, ...] = ()
+        wall_time_s = 0.0
+        if build.result is not None and build.result.trace is not None:
+            passes = tuple(build.result.trace.pass_names())
+            wall_time_s = build.result.trace.wall_time_s
+        record = BuildRecord.from_summary(build.summary, key,
+                                          passes=passes,
+                                          wall_time_s=wall_time_s)
+        with self._lock:
+            existing = self._records.get(key)
+            if existing is None or (not existing.passes and passes):
+                # First admission wins, except that an in-process rebuild
+                # upgrades a summary-only record from a pooled sweep with
+                # its pass trace.
+                self._records[key] = record
+            if build.result is not None and key not in self._results:
+                self._results[key] = build.result
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every session cache (records, results, snapshots, sims).
+
+        Long-lived sessions retain full build results and per-application
+        prefix snapshots indefinitely; call this to release them without
+        discarding the Workbench itself.
+        """
+        with self._lock:
+            self._records.clear()
+            self._results.clear()
+            self._sim_records.clear()
+            self._snapshots.clear()
+            self._unregistered.clear()
+            self._object_snapshots.clear()
+
+    def shutdown(self) -> None:
+        """Stop the background executor (pending futures still complete)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "Workbench":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,18 +1,31 @@
-"""High-level facade over the toolchain, simulator and benchmark suite."""
+"""High-level facade over the toolchain, simulator and benchmark suite.
+
+:class:`SafeTinyOS` is a thin back-compat shim over
+:class:`repro.api.Workbench`: every build routes through the Workbench's
+cache-routed sweep machinery (shared front-end snapshots, content-key
+memoization) while the historical signatures — ``build`` returning a
+:class:`BuildOutcome` with a live program, ``simulate`` returning a
+:class:`SimulationOutcome` — stay intact.  One semantic refinement rides
+along: identical builds are memoized for the session, so repeated
+``build`` calls share one result object — treat outcomes as read-only
+(clone the program before mutating it).  New code should prefer the
+:mod:`repro.api` specs and records directly.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
-from repro.avrora.network import Network, TrafficGenerator
+from repro.api.specs import BuildSpec
+from repro.api.workbench import Workbench, is_registered_variant, run_network
+from repro.avrora.network import TrafficGenerator
 from repro.avrora.node import Node
 from repro.ccured.flid import FlidTable, decompress_failure
 from repro.nesc.application import Application
-from repro.tinyos import suite
 from repro.toolchain.config import BuildVariant
 from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS, duty_cycle_context
-from repro.toolchain.pipeline import BuildPipeline, BuildResult
+from repro.toolchain.pipeline import BuildResult
 from repro.toolchain.variants import BASELINE, SAFE_OPTIMIZED, variant_by_name
 
 
@@ -81,13 +94,22 @@ class SimulationOutcome:
 
     nodes: list[Node] = field(default_factory=list)
     seconds: float = 0.0
+    label: str = ""
+
+    def _require_nodes(self) -> None:
+        if not self.nodes:
+            what = self.label or "this simulation"
+            raise ValueError(f"{what} has no nodes; simulate with "
+                             f"node_count >= 1 to read per-node statistics")
 
     @property
     def node(self) -> Node:
+        self._require_nodes()
         return self.nodes[0]
 
     @property
     def duty_cycle(self) -> float:
+        self._require_nodes()
         return self.node.duty_cycle()
 
     @property
@@ -113,15 +135,24 @@ class SafeTinyOS:
         default_variant: Variant used when ``build`` is called without one;
             defaults to the paper's headline configuration (safe, FLIDs,
             inlined, optimized by cXprop).
+        workbench: Session engine to route builds through; a private one is
+            created when omitted.  Passing a shared
+            :class:`~repro.api.Workbench` lets several facades (or a facade
+            plus direct API callers) reuse one build cache.
     """
 
-    def __init__(self, default_variant: Union[str, BuildVariant] = SAFE_OPTIMIZED):
+    def __init__(self, default_variant: Union[str, BuildVariant] = SAFE_OPTIMIZED,
+                 workbench: Optional[Workbench] = None):
+        if default_variant is None:
+            default_variant = SAFE_OPTIMIZED
         self.default_variant = self._resolve_variant(default_variant)
+        self.workbench = workbench if workbench is not None else Workbench()
 
-    @staticmethod
-    def _resolve_variant(variant: Union[str, BuildVariant, None]) -> BuildVariant:
+    def _resolve_variant(self, variant: Union[str, BuildVariant, None],
+                         ) -> BuildVariant:
+        """Resolve a variant argument; ``None`` means the facade's default."""
         if variant is None:
-            return SAFE_OPTIMIZED
+            return self.default_variant
         if isinstance(variant, BuildVariant):
             return variant
         return variant_by_name(variant)
@@ -130,7 +161,7 @@ class SafeTinyOS:
 
     def applications(self) -> list[str]:
         """Names of the registered benchmark applications."""
-        return suite.all_application_names()
+        return self.workbench.applications()
 
     def build(self, app: Union[str, Application],
               variant: Union[str, BuildVariant, None] = None) -> BuildOutcome:
@@ -142,13 +173,12 @@ class SafeTinyOS:
             variant: Build variant name or object; defaults to the facade's
                 default variant.
         """
-        chosen = self._resolve_variant(variant) if variant is not None \
-            else self.default_variant
-        pipeline = BuildPipeline(chosen)
-        if isinstance(app, str):
-            result = pipeline.build_named(app)
+        chosen = self._resolve_variant(variant)
+        if isinstance(app, str) and is_registered_variant(chosen):
+            result = self.workbench.build_result(
+                BuildSpec(app=app, variant=chosen.name))
         else:
-            result = pipeline.build(app)
+            result = self.workbench.build_unregistered(app, chosen)
         return BuildOutcome(result)
 
     def build_baseline(self, app: Union[str, Application]) -> BuildOutcome:
@@ -163,12 +193,21 @@ class SafeTinyOS:
                  traffic: Optional[TrafficGenerator] = None,
                  use_default_context: bool = True) -> SimulationOutcome:
         """Simulate a built image and return duty-cycle and device statistics."""
+        if outcome.result is None or outcome.result.program is None:
+            what = ""
+            if outcome.result is not None:
+                what = f" {outcome.application} × {outcome.variant}"
+            raise ValueError(
+                f"cannot simulate build{what}: it carries a summary only "
+                f"(process-pool sweeps do not keep programs); rebuild it "
+                f"in-process, e.g. via Workbench.build_result or "
+                f"SafeTinyOS.build")
+        if node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {node_count}")
         if traffic is None and use_default_context:
             traffic = duty_cycle_context(outcome.application)
-        network = Network(traffic=traffic)
-        for node_id in range(1, node_count + 1):
-            node = Node(outcome.program, node_id=node_id)
-            node.boot()
-            network.add_node(node)
-        network.run(seconds)
-        return SimulationOutcome(nodes=network.nodes, seconds=seconds)
+        network = run_network(outcome.result.program, seconds=seconds,
+                              node_count=node_count, traffic=traffic)
+        return SimulationOutcome(
+            nodes=network.nodes, seconds=seconds,
+            label=f"simulation of {outcome.application} × {outcome.variant}")

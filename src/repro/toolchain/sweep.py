@@ -22,14 +22,22 @@ An opt-in process-pool mode (``processes=N``) distributes whole
 applications across worker processes; since programs and images do not
 cross process boundaries, process-pool builds carry summaries only
 (``SweepBuild.result`` is ``None``).
+
+Snapshots normally live for one :meth:`SweepRunner.run` call.  A caller
+that issues many small sweeps over time — :class:`repro.api.Workbench`
+routes every interactive ``build()`` through a one-build sweep — can pass a
+``snapshot_store`` to persist them across calls, so the second build of an
+application resumes from the first build's front end even though the two
+builds arrived in separate calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 from repro.cminor.program import Program
+from repro.nesc.application import Application
 from repro.tinyos import suite
 from repro.toolchain.config import BuildVariant
 from repro.toolchain.lower import variant_passes
@@ -126,19 +134,56 @@ def _resume_points(plans: Sequence[_Plan]) -> set[tuple[str, ...]]:
     return points
 
 
+#: Passes whose output is worth snapshotting for *future* sweeps: the nesC
+#: front end and the CCured stage are the expensive deterministic prefixes
+#: variants actually share.  Cheaper tail passes (inline, cxprop, gcc) are
+#: never a shared resume point across variants, so persisting them would
+#: just pile up program clones.
+_PERSISTENT_PREFIX_STAGES = ("nesc.", "ccured.")
+
+
+def _persistent_points(plans: Sequence[_Plan]) -> set[tuple[str, ...]]:
+    """Prefixes to keep alive in a cross-call snapshot store."""
+    points: set[tuple[str, ...]] = set()
+    for plan in plans:
+        for index, pass_ in enumerate(plan.passes):
+            if index + 1 >= len(plan.keys):
+                break
+            if pass_.name.startswith(_PERSISTENT_PREFIX_STAGES):
+                points.add(plan.keys[:index + 1])
+    return points
+
+
 def _build_one_app(app_name: str, variants: Sequence[BuildVariant],
                    share_front_end: bool, keep_results: bool,
-                   measure_sizes: bool = False) -> list[SweepBuild]:
-    """Build one application under every variant (worker-safe helper)."""
+                   measure_sizes: bool = False,
+                   app: Optional[Application] = None,
+                   snapshots: Optional[dict[tuple[str, ...], _Snapshot]] = None,
+                   ) -> list[SweepBuild]:
+    """Build one application under every variant (worker-safe helper).
+
+    Args:
+        app: Prebuilt application object; looked up in the suite registry by
+            ``app_name`` when omitted.
+        snapshots: Cross-call snapshot store for this application.  When
+            given, prefix snapshots from earlier calls are resumed from and
+            the store is extended at the persistent stage boundaries
+            (:data:`_PERSISTENT_PREFIX_STAGES`) for later calls.
+    """
     builds: list[SweepBuild] = []
     if not share_front_end:
         for variant in variants:
-            result = BuildPipeline(variant, measure_sizes).build_named(app_name)
+            pipeline = BuildPipeline(variant, measure_sizes)
+            if app is not None:
+                result = pipeline.build(app, label=app_name)
+            else:
+                result = pipeline.build_named(app_name)
             builds.append(SweepBuild(app_name, variant.name, result.summary(),
                                      result if keep_results else None))
         return builds
 
-    app = suite.build_application(app_name)
+    if app is None:
+        app = suite.build_application(app_name)
     plans = []
     for variant in variants:
         passes = variant_passes(variant)
@@ -146,7 +191,10 @@ def _build_one_app(app_name: str, variants: Sequence[BuildVariant],
         plans.append(_Plan(variant, passes, keys))
     wanted = _resume_points(plans)
 
-    snapshots: dict[tuple[str, ...], _Snapshot] = {}
+    if snapshots is None:
+        snapshots = {}
+    else:
+        wanted |= _persistent_points(plans)
     for plan in plans:
         # Resume from the longest already-built shared prefix, if any.
         start = 0
@@ -195,7 +243,9 @@ class SweepRunner:
     """Builds N applications × M variants through the pass-manager layer.
 
     Args:
-        apps: Figure application names (see ``repro.tinyos.suite``).
+        apps: Figure application names (see ``repro.tinyos.suite``) or
+            prebuilt :class:`~repro.nesc.application.Application` objects
+            (labelled by their ``name``; in-process modes only).
         variants: Build variants, applied to every application in order.
         share_front_end: Build variants of an application from clones of
             shared pass-list-prefix snapshots — the nesC front end for every
@@ -207,37 +257,62 @@ class SweepRunner:
             this many worker processes.  Builds then carry summaries only.
         measure_sizes: Record code/RAM sizes at pass boundaries in traces
             (slows the sweep down).
+        snapshot_store: Cross-call prefix-snapshot cache keyed by
+            application label.  Pass the same dict to successive runners and
+            later sweeps resume from earlier sweeps' front-end (and CCured)
+            snapshots instead of rebuilding them.  In-process modes only.
     """
 
-    def __init__(self, apps: Sequence[str], variants: Sequence[BuildVariant],
+    def __init__(self, apps: Sequence[Union[str, Application]],
+                 variants: Sequence[BuildVariant],
                  *, share_front_end: bool = True,
                  processes: Optional[int] = None,
-                 measure_sizes: bool = False):
+                 measure_sizes: bool = False,
+                 snapshot_store: Optional[
+                     dict[str, dict[tuple[str, ...], _Snapshot]]] = None):
         self.apps = list(apps)
         self.variants = list(variants)
         self.share_front_end = share_front_end
         self.processes = processes
         self.measure_sizes = measure_sizes
+        self.snapshot_store = snapshot_store
+
+    @staticmethod
+    def _label_of(app: Union[str, Application]) -> str:
+        return app if isinstance(app, str) else app.name
 
     def run(self) -> SweepResult:
         if self.processes:
             return self._run_process_pool()
         builds: list[SweepBuild] = []
-        for app_name in self.apps:
-            builds.extend(_build_one_app(app_name, self.variants,
-                                         self.share_front_end,
-                                         keep_results=True,
-                                         measure_sizes=self.measure_sizes))
+        for app in self.apps:
+            label = self._label_of(app)
+            snapshots = None
+            if self.snapshot_store is not None:
+                snapshots = self.snapshot_store.setdefault(label, {})
+            builds.extend(_build_one_app(
+                label, self.variants, self.share_front_end,
+                keep_results=True, measure_sizes=self.measure_sizes,
+                app=None if isinstance(app, str) else app,
+                snapshots=snapshots))
         return SweepResult(builds)
 
     def _run_process_pool(self) -> SweepResult:
         from concurrent.futures import ProcessPoolExecutor
 
+        names = []
+        for app in self.apps:
+            if not isinstance(app, str):
+                raise ValueError(
+                    f"process-pool sweeps accept registered application "
+                    f"names only, not Application objects ({app.name!r}); "
+                    f"run it in-process instead")
+            names.append(app)
         builds: list[SweepBuild] = []
         with ProcessPoolExecutor(max_workers=self.processes) as pool:
             futures = [pool.submit(_build_one_app_summaries, app_name,
                                    self.variants, self.share_front_end)
-                       for app_name in self.apps]
+                       for app_name in names]
             for future in futures:
                 builds.extend(future.result())
         return SweepResult(builds)

@@ -1,0 +1,116 @@
+"""The ``python -m repro`` command line: JSON and table output."""
+
+import io
+import json
+
+from repro.api.cli import main, resolve_apps, resolve_variants
+from repro.api.records import BuildRecord, SimRecord
+from repro.tinyos.suite import FIGURE_APPS, MICA2_APPS
+from repro.toolchain.pipeline import BuildPipeline
+from repro.toolchain.variants import variant_by_name
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    status = main(list(argv), out=out)
+    return status, out.getvalue()
+
+
+class TestTokenResolution:
+    def test_app_sets(self):
+        assert resolve_apps("all") == FIGURE_APPS
+        assert resolve_apps("mica2") == MICA2_APPS
+        assert resolve_apps("A_Mica2, B_Mica2") == ["A_Mica2", "B_Mica2"]
+
+    def test_variant_sets(self):
+        figure3 = resolve_variants("figure3")
+        assert figure3[0] == "baseline" and len(figure3) == 8
+        assert len(resolve_variants("figure2")) == 4
+        assert "safe-optimized" in resolve_variants("all")
+        assert resolve_variants("baseline,safe-flid") == \
+            ["baseline", "safe-flid"]
+
+
+class TestListCommand:
+    def test_json_listing(self):
+        status, output = run_cli("list", "--json")
+        assert status == 0
+        data = json.loads(output)
+        assert data["applications"] == FIGURE_APPS
+        assert "safe-optimized" in data["variants"]
+        assert data["variant_sets"]["figure3"][0] == "baseline"
+
+    def test_table_listing(self):
+        status, output = run_cli("list")
+        assert status == 0
+        assert "BlinkTask_Mica2" in output and "safe-optimized" in output
+
+
+class TestBuildCommand:
+    def test_json_record_round_trips(self):
+        status, output = run_cli("build", "BlinkTask_Mica2",
+                                 "--variant", "safe-flid", "--json")
+        assert status == 0
+        record = BuildRecord.from_dict(json.loads(output))
+        expected = BuildPipeline(variant_by_name("safe-flid")) \
+            .build_named("BlinkTask_Mica2").summary()
+        assert record.summary() == expected
+
+    def test_table_output(self):
+        status, output = run_cli("build", "BlinkTask_Mica2",
+                                 "--variant", "baseline")
+        assert status == 0
+        assert "BlinkTask_Mica2" in output and "baseline" in output
+
+    def test_unknown_app_fails_cleanly(self):
+        status, _output = run_cli("build", "NoSuchApp")
+        assert status == 2
+
+    def test_unknown_variant_fails_cleanly(self):
+        status, _output = run_cli("build", "BlinkTask_Mica2",
+                                  "--variant", "bogus")
+        assert status == 2
+
+
+class TestSweepCommand:
+    def test_json_records_round_trip_and_match_the_pipeline(self):
+        status, output = run_cli(
+            "sweep", "--apps", "BlinkTask_Mica2",
+            "--variants", "baseline,safe-optimized", "--json")
+        assert status == 0
+        data = json.loads(output)
+        assert data["spec"]["apps"] == ["BlinkTask_Mica2"]
+        records = [BuildRecord.from_dict(entry) for entry in data["records"]]
+        for record in records:
+            expected = BuildPipeline(variant_by_name(record.variant)) \
+                .build_named(record.app).summary()
+            assert record.summary() == expected
+
+
+class TestSimulateCommand:
+    def test_json_record_round_trips(self):
+        status, output = run_cli("simulate", "BlinkTask_Mica2",
+                                 "--variant", "baseline",
+                                 "--seconds", "1", "--json")
+        assert status == 0
+        record = SimRecord.from_dict(json.loads(output))
+        assert record.node_count == 1
+        assert 0.0 < record.duty_cycle < 0.1
+
+    def test_zero_nodes_is_a_spec_error(self):
+        status, _output = run_cli("simulate", "BlinkTask_Mica2",
+                                  "--nodes", "0")
+        assert status == 2
+
+
+class TestFiguresCommand:
+    def test_figure3a_json(self):
+        status, output = run_cli("figures", "--figure", "3a",
+                                 "--apps", "BlinkTask_Mica2", "--json")
+        assert status == 0
+        (table,) = json.loads(output)
+        assert "3(a)" in table["title"]
+        (row,) = table["rows"]
+        assert row["application"] == "BlinkTask_Mica2"
+        assert row["baseline"] > 0
+        assert row["safe-optimized"] is not None

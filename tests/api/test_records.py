@@ -1,0 +1,68 @@
+"""Record schemas: JSON round-trips and summary compatibility."""
+
+import json
+
+import pytest
+
+from repro.api.records import BuildRecord, SimRecord
+
+BUILD = BuildRecord(app="BlinkTask_Mica2", variant="safe-flid",
+                    content_key="abc123", code_bytes=2948, ram_bytes=35,
+                    checks_inserted=12, checks_surviving=11,
+                    passes=("nesc.flatten", "gcc"), wall_time_s=0.125)
+
+SIM = SimRecord(app="Surge_Mica2", variant="safe-optimized",
+                content_key="def456", node_count=2, seconds=3.0,
+                duty_cycles=(0.01, 0.02), failures=0, halted=False,
+                led_changes=14)
+
+
+class TestBuildRecord:
+    def test_json_round_trip(self):
+        wire = json.dumps(BUILD.to_dict())
+        assert BuildRecord.from_dict(json.loads(wire)) == BUILD
+
+    def test_summary_matches_build_result_schema(self):
+        assert BUILD.summary() == {
+            "application": "BlinkTask_Mica2",
+            "variant": "safe-flid",
+            "code_bytes": 2948,
+            "ram_bytes": 35,
+            "checks_inserted": 12,
+            "checks_surviving": 11,
+        }
+
+    def test_check_accounting(self):
+        assert BUILD.checks_removed == 1
+        assert BUILD.checks_removed_fraction == pytest.approx(1 / 12)
+        unsafe = BuildRecord(app="a", variant="baseline", content_key="k",
+                             code_bytes=1, ram_bytes=1, checks_inserted=0,
+                             checks_surviving=0)
+        assert unsafe.checks_removed_fraction == 0.0
+
+    def test_from_summary_round_trips_the_summary(self):
+        record = BuildRecord.from_summary(BUILD.summary(), "abc123",
+                                          passes=BUILD.passes,
+                                          wall_time_s=BUILD.wall_time_s)
+        assert record == BUILD
+
+    def test_records_are_frozen(self):
+        with pytest.raises(AttributeError):
+            BUILD.code_bytes = 0
+
+
+class TestSimRecord:
+    def test_json_round_trip(self):
+        wire = json.dumps(SIM.to_dict())
+        assert SimRecord.from_dict(json.loads(wire)) == SIM
+
+    def test_duty_cycle_is_the_first_node(self):
+        assert SIM.duty_cycle == pytest.approx(0.01)
+
+    def test_duty_cycle_with_no_nodes_raises_a_clear_error(self):
+        empty = SimRecord(app="Surge_Mica2", variant="baseline",
+                          content_key="k", node_count=1, seconds=1.0,
+                          duty_cycles=(), failures=0, halted=False,
+                          led_changes=0)
+        with pytest.raises(ValueError, match="Surge_Mica2"):
+            empty.duty_cycle

@@ -1,0 +1,126 @@
+"""Spec validation, JSON round-trips and content-key stability."""
+
+import json
+
+import pytest
+
+from repro.api.specs import BuildSpec, SimSpec, SweepSpec, variant_pass_keys
+from repro.tinyos.suite import FIGURE_APPS
+
+
+class TestBuildSpec:
+    def test_json_round_trip(self):
+        spec = BuildSpec(app="BlinkTask_Mica2", variant="safe-flid")
+        wire = json.dumps(spec.to_dict())
+        assert BuildSpec.from_dict(json.loads(wire)) == spec
+
+    def test_default_variant_is_the_headline_configuration(self):
+        assert BuildSpec(app="BlinkTask_Mica2").variant == "safe-optimized"
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            BuildSpec(app="NoSuchApp_Mica2")
+
+    def test_unknown_variant_raises(self):
+        with pytest.raises(KeyError):
+            BuildSpec(app="BlinkTask_Mica2", variant="no-such-variant")
+
+    def test_content_key_is_stable_across_equal_specs(self):
+        first = BuildSpec(app="Surge_Mica2", variant="safe-optimized")
+        second = BuildSpec(app="Surge_Mica2", variant="safe-optimized")
+        assert first == second
+        assert first.content_key() == second.content_key()
+
+    def test_content_key_distinguishes_apps_and_variants(self):
+        keys = {BuildSpec(app=app, variant=variant).content_key()
+                for app in FIGURE_APPS[:3]
+                for variant in ("baseline", "safe-flid", "safe-optimized")}
+        assert len(keys) == 9
+
+    def test_aliased_variants_do_not_collide(self):
+        """Some registered variants lower to identical pass lists; their
+        specs must still produce distinctly-labelled records."""
+        assert variant_pass_keys("safe-optimized") == \
+            variant_pass_keys("fig2-ccured-inline-cxprop-gcc")
+        optimized = BuildSpec(app="BlinkTask_Mica2",
+                              variant="safe-optimized")
+        fig2 = BuildSpec(app="BlinkTask_Mica2",
+                         variant="fig2-ccured-inline-cxprop-gcc")
+        assert optimized.content_key() != fig2.content_key()
+
+    def test_content_key_derives_from_pass_cache_keys(self):
+        """Variants lowering to identical pass lists share a content key."""
+        keys = variant_pass_keys("safe-flid")
+        assert any("flid" in key or "ccured" in key for key in keys)
+        # Same app, same pass-key sequence => same content key by digest.
+        spec = BuildSpec(app="BlinkTask_Mica2", variant="safe-flid")
+        again = BuildSpec(app="BlinkTask_Mica2", variant="safe-flid")
+        assert spec.content_key() == again.content_key()
+
+
+class TestSweepSpec:
+    def test_json_round_trip(self):
+        spec = SweepSpec(apps=("BlinkTask_Mica2", "Surge_Mica2"),
+                         variants=("baseline", "safe-optimized"))
+        wire = json.dumps(spec.to_dict())
+        assert SweepSpec.from_dict(json.loads(wire)) == spec
+
+    def test_lists_are_coerced_to_tuples(self):
+        spec = SweepSpec(apps=["BlinkTask_Mica2"], variants=["baseline"])
+        assert spec == SweepSpec(apps=("BlinkTask_Mica2",),
+                                 variants=("baseline",))
+
+    def test_build_specs_enumerate_in_app_then_variant_order(self):
+        spec = SweepSpec(apps=("BlinkTask_Mica2", "Surge_Mica2"),
+                         variants=("baseline", "safe-flid"))
+        pairs = [(s.app, s.variant) for s in spec.build_specs()]
+        assert pairs == [("BlinkTask_Mica2", "baseline"),
+                        ("BlinkTask_Mica2", "safe-flid"),
+                        ("Surge_Mica2", "baseline"),
+                        ("Surge_Mica2", "safe-flid")]
+
+    def test_empty_sweeps_are_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(apps=(), variants=("baseline",))
+        with pytest.raises(ValueError):
+            SweepSpec(apps=("BlinkTask_Mica2",), variants=())
+
+    def test_content_key_covers_every_build(self):
+        small = SweepSpec(apps=("BlinkTask_Mica2",), variants=("baseline",))
+        large = SweepSpec(apps=("BlinkTask_Mica2",),
+                          variants=("baseline", "safe-flid"))
+        assert small.content_key() != large.content_key()
+
+
+class TestSimSpec:
+    def test_json_round_trip(self):
+        spec = SimSpec(app="Surge_Mica2", variant="safe-optimized",
+                       node_count=3, seconds=2.5, traffic="none")
+        wire = json.dumps(spec.to_dict())
+        assert SimSpec.from_dict(json.loads(wire)) == spec
+
+    def test_zero_nodes_rejected_at_spec_validation_time(self):
+        with pytest.raises(ValueError, match="node_count must be >= 1"):
+            SimSpec(app="BlinkTask_Mica2", node_count=0)
+
+    def test_validation_error_names_the_spec(self):
+        with pytest.raises(ValueError, match="BlinkTask_Mica2"):
+            SimSpec(app="BlinkTask_Mica2", node_count=-2)
+
+    def test_non_positive_seconds_rejected(self):
+        with pytest.raises(ValueError, match="seconds must be positive"):
+            SimSpec(app="BlinkTask_Mica2", seconds=0.0)
+
+    def test_unknown_traffic_mode_rejected(self):
+        with pytest.raises(ValueError, match="traffic"):
+            SimSpec(app="BlinkTask_Mica2", traffic="storm")
+
+    def test_content_key_includes_simulation_parameters(self):
+        base = SimSpec(app="BlinkTask_Mica2", seconds=1.0)
+        assert base.content_key() != \
+            SimSpec(app="BlinkTask_Mica2", seconds=2.0).content_key()
+        assert base.content_key() != \
+            SimSpec(app="BlinkTask_Mica2", seconds=1.0,
+                    node_count=2).content_key()
+        assert base.content_key() == \
+            SimSpec(app="BlinkTask_Mica2", seconds=1.0).content_key()

@@ -72,3 +72,66 @@ class TestFacade:
         outcome = BuildOutcome(blink_baseline_build)
         run = system.simulate(outcome, seconds=0.5, node_count=3)
         assert len(run.duty_cycles) == 3
+
+
+class TestFacadeDefaults:
+    def test_none_variant_means_the_facade_default(self):
+        """``build(app)`` must honour a non-headline default variant."""
+        system = SafeTinyOS(default_variant=BASELINE)
+        outcome = system.build("BlinkTask_Mica2")
+        assert outcome.variant == "baseline"
+        assert outcome.checks_inserted == 0
+
+    def test_resolve_variant_none_returns_the_default(self):
+        system = SafeTinyOS(default_variant="safe-flid")
+        assert system._resolve_variant(None).name == "safe-flid"
+
+    def test_facades_can_share_one_workbench(self):
+        from repro.api import Workbench
+
+        bench = Workbench()
+        first = SafeTinyOS(workbench=bench)
+        second = SafeTinyOS(workbench=bench)
+        a = first.build("BlinkTask_Mica2", "baseline")
+        b = second.build("BlinkTask_Mica2", "baseline")
+        assert a.result is b.result
+
+
+class TestSimulationErrors:
+    def test_empty_simulation_outcome_raises_a_clear_error(self):
+        from repro.core.api import SimulationOutcome
+
+        empty = SimulationOutcome(label="simulation of X × baseline")
+        with pytest.raises(ValueError, match="X × baseline"):
+            empty.node
+        with pytest.raises(ValueError, match="no nodes"):
+            empty.duty_cycle
+        # Aggregate views stay usable on an empty outcome.
+        assert empty.duty_cycles == []
+        assert empty.failures == []
+        assert not empty.halted
+
+    def test_zero_node_simulation_is_rejected_up_front(self, system,
+                                                       blink_baseline_build):
+        from repro.core.api import BuildOutcome
+
+        outcome = BuildOutcome(blink_baseline_build)
+        with pytest.raises(ValueError, match="node_count must be >= 1"):
+            system.simulate(outcome, seconds=0.5, node_count=0)
+
+    def test_summary_only_builds_cannot_be_simulated(self, system,
+                                                     blink_baseline_build):
+        from dataclasses import replace
+
+        from repro.core.api import BuildOutcome
+
+        summary_only = BuildOutcome(replace(blink_baseline_build,
+                                            program=None))
+        with pytest.raises(ValueError, match="summary only"):
+            system.simulate(summary_only)
+
+    def test_missing_result_cannot_be_simulated(self, system):
+        from repro.core.api import BuildOutcome
+
+        with pytest.raises(ValueError, match="process-pool"):
+            system.simulate(BuildOutcome(None))

@@ -73,6 +73,50 @@ class TestSweepIsolation:
         assert all(not f.is_runtime for f in baseline.program.iter_functions())
 
 
+class TestSnapshotStore:
+    def test_snapshots_persist_across_runner_calls(self, monkeypatch):
+        """A shared store lets a later sweep resume from an earlier sweep's
+        front end instead of re-flattening."""
+        from repro.nesc.passes import FlattenPass
+
+        flattens = []
+        original = FlattenPass.run
+
+        def counted(self, program, ctx):
+            flattens.append(ctx.label)
+            return original(self, program, ctx)
+
+        monkeypatch.setattr(FlattenPass, "run", counted)
+
+        store: dict = {}
+        first = SweepRunner(["BlinkTask_Mica2"], [SAFE_FLID],
+                            snapshot_store=store).run()
+        second = SweepRunner(["BlinkTask_Mica2"], [SAFE_OPTIMIZED],
+                             snapshot_store=store).run()
+        assert flattens == ["BlinkTask_Mica2"]
+        assert "BlinkTask_Mica2" in store
+        # Resumed builds still match independent ones byte for byte.
+        expected = BuildPipeline(SAFE_OPTIMIZED) \
+            .build_named("BlinkTask_Mica2").summary()
+        assert second.builds[0].summary == expected
+        assert first.builds[0].summary != expected
+
+    def test_application_objects_build_in_process(self):
+        from helpers import tiny_application
+
+        app = tiny_application()
+        result = SweepRunner([app], [SAFE_FLID]).run()
+        assert result.builds[0].application == app.name
+        assert result.builds[0].summary["checks_inserted"] > 0
+
+    def test_process_pool_rejects_application_objects(self):
+        from helpers import tiny_application
+
+        runner = SweepRunner([tiny_application()], [BASELINE], processes=1)
+        with pytest.raises(ValueError, match="registered application names"):
+            runner.run()
+
+
 class TestProcessPool:
     def test_process_pool_reproduces_in_process_summaries(self, shared_sweep):
         pooled = SweepRunner(APPS, VARIANTS, processes=2).run()
