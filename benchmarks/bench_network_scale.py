@@ -1,0 +1,172 @@
+"""Network-scale benchmark for the lockstep discrete-event kernel.
+
+Measures wall time and aggregate statement throughput of multi-node Surge
+networks in a ``chain`` topology as the node count grows, plus the lockstep
+kernel's overhead over the legacy sequential runner on a single node
+(where the two are byte-identical by construction, so the comparison is
+pure kernel overhead: one execution thread and one horizon grant).
+
+Results are recorded in ``BENCH_network.json`` at the repository root (CI
+uploads it as an artifact); run this module directly for a standalone
+measurement, or via pytest as part of the benchmark suite.
+
+Set ``REPRO_BENCH_SMOKE=1`` to shrink the simulated window and node counts
+(CI smoke mode) and ``REPRO_BENCH_MAX_KERNEL_OVERHEAD`` to tune the
+asserted single-node overhead ceiling.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.avrora.network import Channel, Network
+from repro.avrora.node import Node
+from repro.toolchain.pipeline import BuildPipeline
+from repro.toolchain.variants import BASELINE
+
+APP = "Surge_Mica2"
+
+SIM_SECONDS = 10.0
+SMOKE_SECONDS = 2.0
+
+NODE_COUNTS = (1, 2, 4, 8)
+SMOKE_NODE_COUNTS = (1, 2)
+
+#: Asserted ceiling on lockstep wall time / sequential wall time for one
+#: node.  Generous so a loaded CI machine does not flake; an idle machine
+#: shows the kernel within a few percent of the sequential runner.
+MAX_KERNEL_OVERHEAD = float(
+    os.environ.get("REPRO_BENCH_MAX_KERNEL_OVERHEAD", "1.6"))
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_network.json"
+
+
+def _smoke() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+
+def _build_network(program, node_count: int) -> Network:
+    network = Network(channel=Channel(topology="chain"))
+    for node_id in range(node_count):
+        node = Node(program, node_id=node_id)
+        node.boot()
+        network.add_node(node)
+    return network
+
+
+def _observe(network: Network) -> dict:
+    return {
+        "times": [node.time_cycles for node in network.nodes],
+        "busy": [node.busy_cycles for node in network.nodes],
+        "statements": [node.interpreter.statements_executed
+                       for node in network.nodes],
+        "tx": [len(node.radio.packets_sent) for node in network.nodes],
+        "rx": [node.radio.packets_received for node in network.nodes],
+        "delivered": network.delivered_packets,
+    }
+
+
+def measure() -> dict:
+    seconds = SMOKE_SECONDS if _smoke() else SIM_SECONDS
+    node_counts = SMOKE_NODE_COUNTS if _smoke() else NODE_COUNTS
+    program = BuildPipeline(BASELINE).build_named(APP).program
+
+    results: dict = {
+        "app": APP,
+        "sim_seconds": seconds,
+        "topology": "chain",
+        "max_kernel_overhead_asserted": MAX_KERNEL_OVERHEAD,
+        "scaling": [],
+    }
+
+    # -- lockstep vs legacy-sequential on one node (identical semantics) ----
+    sequential = _build_network(program, 1)
+    start = time.perf_counter()
+    sequential.run_sequential(seconds)
+    sequential_wall = time.perf_counter() - start
+
+    lockstep = _build_network(program, 1)
+    start = time.perf_counter()
+    lockstep.run(seconds)
+    lockstep_wall = time.perf_counter() - start
+
+    assert _observe(sequential) == _observe(lockstep), \
+        "single-node lockstep diverged from the sequential semantics"
+    overhead = round(lockstep_wall / max(sequential_wall, 1e-9), 3)
+    assert overhead <= MAX_KERNEL_OVERHEAD, \
+        f"lockstep kernel overhead {overhead}x exceeded the " \
+        f"{MAX_KERNEL_OVERHEAD}x ceiling on a single node"
+    results["single_node"] = {
+        "sequential_wall_s": round(sequential_wall, 4),
+        "lockstep_wall_s": round(lockstep_wall, 4),
+        "kernel_overhead": overhead,
+    }
+
+    # -- node-count scaling under the lockstep kernel -----------------------
+    for count in node_counts:
+        network = _build_network(program, count)
+        start = time.perf_counter()
+        network.run(seconds)
+        wall = time.perf_counter() - start
+        statements = sum(node.interpreter.statements_executed
+                         for node in network.nodes)
+        results["scaling"].append({
+            "nodes": count,
+            "wall_s": round(wall, 4),
+            "statements": statements,
+            "statements_per_sec": round(statements / max(wall, 1e-9)),
+            "delivered_packets": network.delivered_packets,
+            "node_seconds_per_wall_second":
+                round(count * seconds / max(wall, 1e-9), 1),
+        })
+    return results
+
+
+def _record(results: dict) -> None:
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+
+def format_table(results: dict) -> str:
+    single = results["single_node"]
+    lines = [
+        f"network scaling ({results['sim_seconds']}s simulated, "
+        f"{results['topology']} topology):",
+        f"  1-node kernel overhead: {single['kernel_overhead']}x "
+        f"(sequential {single['sequential_wall_s']}s, "
+        f"lockstep {single['lockstep_wall_s']}s)",
+        f"{'nodes':>6} {'wall (s)':>9} {'stmts/s':>12} {'delivered':>10}",
+    ]
+    for row in results["scaling"]:
+        lines.append(f"{row['nodes']:>6} {row['wall_s']:>9} "
+                     f"{row['statements_per_sec']:>12,} "
+                     f"{row['delivered_packets']:>10}")
+    return "\n".join(lines)
+
+
+def test_network_scale() -> None:
+    """The lockstep kernel stays near the sequential runner on one node.
+
+    The overhead ceiling itself is asserted inside :func:`measure`, so the
+    standalone CI invocation (``python benchmarks/bench_network_scale.py``)
+    enforces it too.
+    """
+    results = measure()
+    _record(results)
+    print()
+    print(format_table(results))
+    for row in results["scaling"]:
+        assert row["statements"] > 0
+
+
+def main() -> None:
+    results = measure()
+    _record(results)
+    print(format_table(results))
+    print(f"results written to {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

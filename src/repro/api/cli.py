@@ -8,7 +8,8 @@ Usage::
                           [--variants figure3|figure2|all|V,W,...]
                           [--processes N] [--json]
     python -m repro simulate APP [--variant NAME] [--seconds S]
-                          [--nodes N] [--no-traffic] [--json]
+                          [--nodes N] [--topology T] [--loss P] [--seed N]
+                          [--traffic default|base|none] [--json]
     python -m repro figures [--figure 2|3a|3b|3c] [--apps ...] [--json]
 
 Every command speaks the ``repro.api`` schemas: ``--json`` emits the
@@ -37,11 +38,13 @@ from repro.api.records import BuildRecord, SimRecord
 from repro.api.specs import (
     TRAFFIC_DEFAULT,
     TRAFFIC_NONE,
+    TRAFFIC_PROFILES,
     BuildSpec,
     SimSpec,
     SweepSpec,
 )
 from repro.api.workbench import Workbench
+from repro.avrora.network import TOPOLOGIES
 from repro.tinyos.suite import FIGURE_APPS, MICA2_APPS
 from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS
 from repro.toolchain.report import FigureTable
@@ -132,12 +135,24 @@ def format_build_records(records: Sequence[BuildRecord]) -> str:
 def format_sim_record(record: SimRecord) -> str:
     lines = [
         f"{record.app} × {record.variant}: {record.node_count} node(s), "
-        f"{record.seconds}s simulated",
+        f"{record.seconds}s simulated, {record.topology} topology",
         f"  duty cycle : " + ", ".join(f"{cycle * 100:.3f}%"
                                        for cycle in record.duty_cycles),
         f"  failures   : {record.failures}  halted: {record.halted}  "
         f"LED changes: {record.led_changes}",
     ]
+    if record.packets_sent:
+        lines.append(
+            f"  radio tx   : " + ", ".join(map(str, record.packets_sent)) +
+            f"  rx: " + ", ".join(map(str, record.packets_received)))
+        lines.append(
+            f"  air        : {record.packets_delivered} delivered, "
+            f"{record.packets_lost} lost on the channel")
+    if any(record.injected_radio) or any(record.injected_uart):
+        lines.append(
+            f"  injected   : radio " +
+            ", ".join(map(str, record.injected_radio)) +
+            f"  uart " + ", ".join(map(str, record.injected_uart)))
     return "\n".join(lines)
 
 
@@ -190,10 +205,12 @@ def cmd_sweep(args, workbench: Workbench, out) -> int:
 
 
 def cmd_simulate(args, workbench: Workbench, out) -> int:
+    traffic = TRAFFIC_NONE if args.no_traffic else args.traffic
     spec = validated(lambda: SimSpec(
         app=args.app, variant=args.variant,
         node_count=args.nodes, seconds=args.seconds,
-        traffic=TRAFFIC_NONE if args.no_traffic else TRAFFIC_DEFAULT))
+        traffic=traffic, topology=args.topology,
+        loss=args.loss, seed=args.seed))
     record = workbench.simulate(spec)
     if args.json:
         _emit_json(record.to_dict(), out)
@@ -270,8 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seconds", type=float,
                        default=DEFAULT_DUTY_CYCLE_SECONDS)
     p_sim.add_argument("--nodes", type=int, default=1)
+    p_sim.add_argument("--topology", default="broadcast", choices=TOPOLOGIES,
+                       help="radio-channel wiring of the simulated network")
+    p_sim.add_argument("--loss", type=float, default=0.0,
+                       help="per-link packet loss probability in [0, 1)")
+    p_sim.add_argument("--seed", type=int, default=0,
+                       help="seed of the channel's loss RNG (reproducible)")
+    p_sim.add_argument("--traffic", default=TRAFFIC_DEFAULT,
+                       choices=list(TRAFFIC_PROFILES),
+                       help="synthetic traffic profile: every node, the "
+                            "first node only, or none")
     p_sim.add_argument("--no-traffic", action="store_true",
-                       help="disable the default duty-cycle traffic context")
+                       help="shorthand for --traffic none")
     add_json(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 

@@ -119,7 +119,7 @@ class BuildRecord:
 
 @dataclass(frozen=True)
 class SimRecord:
-    """One finished simulation: per-node duty cycles and failure counts.
+    """One finished simulation: per-node duty cycles, packets and failures.
 
     Attributes:
         app: Figure label of the simulated application.
@@ -128,7 +128,14 @@ class SimRecord:
             content key.
         node_count: Number of simulated motes.
         seconds: Simulated virtual seconds.
-        duty_cycles: Per-node duty cycle, in node-id order.
+        topology: Radio-channel topology the nodes were wired in.
+        duty_cycles: Per-node duty cycle, in node order.
+        packets_sent: Per-node radio transmissions, in node order.
+        packets_received: Per-node packets accepted by the radio.
+        injected_radio: Per-node synthetic radio packets injected.
+        injected_uart: Per-node synthetic UART frames injected.
+        packets_delivered: Packets delivered across the air, network-wide.
+        packets_lost: Packets the lossy channel dropped, network-wide.
         failures: Total safety failures reported across all nodes.
         halted: Whether any node halted.
         led_changes: Total LED state changes across all nodes (the cheap
@@ -144,6 +151,13 @@ class SimRecord:
     failures: int
     halted: bool
     led_changes: int
+    topology: str = "broadcast"
+    packets_sent: tuple[int, ...] = ()
+    packets_received: tuple[int, ...] = ()
+    injected_radio: tuple[int, ...] = ()
+    injected_uart: tuple[int, ...] = ()
+    packets_delivered: int = 0
+    packets_lost: int = 0
 
     @property
     def duty_cycle(self) -> float:
@@ -162,7 +176,14 @@ class SimRecord:
             "content_key": self.content_key,
             "node_count": self.node_count,
             "seconds": self.seconds,
+            "topology": self.topology,
             "duty_cycles": list(self.duty_cycles),
+            "packets_sent": list(self.packets_sent),
+            "packets_received": list(self.packets_received),
+            "injected_radio": list(self.injected_radio),
+            "injected_uart": list(self.injected_uart),
+            "packets_delivered": self.packets_delivered,
+            "packets_lost": self.packets_lost,
             "failures": self.failures,
             "halted": self.halted,
             "led_changes": self.led_changes,
@@ -176,7 +197,14 @@ class SimRecord:
             content_key=data["content_key"],
             node_count=data["node_count"],
             seconds=data["seconds"],
+            topology=data.get("topology", "broadcast"),
             duty_cycles=tuple(data["duty_cycles"]),
+            packets_sent=tuple(data.get("packets_sent", ())),
+            packets_received=tuple(data.get("packets_received", ())),
+            injected_radio=tuple(data.get("injected_radio", ())),
+            injected_uart=tuple(data.get("injected_uart", ())),
+            packets_delivered=data.get("packets_delivered", 0),
+            packets_lost=data.get("packets_lost", 0),
             failures=data["failures"],
             halted=data["halted"],
             led_changes=data["led_changes"],

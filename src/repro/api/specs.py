@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.avrora.network import TOPOLOGIES
 from repro.tinyos import suite
 from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS
 from repro.toolchain.lower import variant_passes
@@ -32,10 +33,15 @@ from repro.toolchain.variants import SAFE_OPTIMIZED, variant_by_name
 #: dictionary layout changes incompatibly.
 SCHEMA_VERSION = 1
 
-#: ``SimSpec.traffic`` values: simulate inside the application's default
-#: duty-cycle context (Section 3.4) or with no synthetic traffic at all.
+#: ``SimSpec.traffic`` profiles: simulate inside the application's default
+#: duty-cycle context (Section 3.4) on every node, on the first node only
+#: (e.g. stimulating just the base station of a topology), or with no
+#: synthetic traffic at all — real cross-node traffic only.
 TRAFFIC_DEFAULT = "default"
+TRAFFIC_BASE = "base"
 TRAFFIC_NONE = "none"
+
+TRAFFIC_PROFILES = (TRAFFIC_DEFAULT, TRAFFIC_BASE, TRAFFIC_NONE)
 
 
 @lru_cache(maxsize=None)
@@ -136,7 +142,7 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class SimSpec:
-    """Simulate one build for a number of virtual seconds.
+    """Simulate one build in a network context for some virtual seconds.
 
     Attributes:
         app: Registered application (its build is resolved via
@@ -144,9 +150,17 @@ class SimSpec:
         variant: Registered build variant.
         node_count: Number of motes in the simulated network (>= 1).
         seconds: Virtual seconds to simulate (> 0).
-        traffic: ``"default"`` runs the application inside its duty-cycle
-            traffic context (Section 3.4); ``"none"`` disables synthetic
-            traffic.
+        traffic: ``"default"`` runs every node inside the application's
+            duty-cycle traffic context (Section 3.4); ``"base"`` stimulates
+            only the first node (the base station / hub of a topology);
+            ``"none"`` disables synthetic traffic entirely.
+        topology: Radio-channel wiring: ``broadcast`` (every pair),
+            ``chain``, ``star`` or ``grid``.  Non-broadcast topologies
+            number nodes from 0 so the first node is the routing base
+            station (``TOS_LOCAL_ADDRESS == 0``).
+        loss: Per-link, per-packet drop probability in [0, 1).
+        seed: Seed of the channel's loss RNG; equal seeds give
+            bit-identical simulations.
     """
 
     app: str
@@ -154,6 +168,9 @@ class SimSpec:
     node_count: int = 1
     seconds: float = DEFAULT_DUTY_CYCLE_SECONDS
     traffic: str = TRAFFIC_DEFAULT
+    topology: str = "broadcast"
+    loss: float = 0.0
+    seed: int = 0
 
     def __post_init__(self):
         _check_app(self.app)
@@ -166,11 +183,22 @@ class SimSpec:
             raise ValueError(
                 f"{self.describe()}: seconds must be positive, "
                 f"got {self.seconds}")
-        if self.traffic not in (TRAFFIC_DEFAULT, TRAFFIC_NONE):
+        if self.traffic not in TRAFFIC_PROFILES:
             raise ValueError(
-                f"{self.describe()}: traffic must be "
-                f"{TRAFFIC_DEFAULT!r} or {TRAFFIC_NONE!r}, "
-                f"got {self.traffic!r}")
+                f"{self.describe()}: traffic must be one of "
+                f"{TRAFFIC_PROFILES}, got {self.traffic!r}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"{self.describe()}: topology must be one of "
+                f"{TOPOLOGIES}, got {self.topology!r}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(
+                f"{self.describe()}: loss must be in [0, 1), "
+                f"got {self.loss}")
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError(
+                f"{self.describe()}: seed must be a non-negative integer, "
+                f"got {self.seed!r}")
 
     def describe(self) -> str:
         return (f"SimSpec({self.app} × {self.variant}, "
@@ -187,16 +215,23 @@ class SimSpec:
             "node_count": self.node_count,
             "seconds": self.seconds,
             "traffic": self.traffic,
+            "topology": self.topology,
+            "loss": self.loss,
+            "seed": self.seed,
         })
 
     def to_dict(self) -> dict[str, object]:
         return {"kind": "sim", "schema": SCHEMA_VERSION,
                 "app": self.app, "variant": self.variant,
                 "node_count": self.node_count, "seconds": self.seconds,
-                "traffic": self.traffic}
+                "traffic": self.traffic, "topology": self.topology,
+                "loss": self.loss, "seed": self.seed}
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimSpec":
         return cls(app=data["app"], variant=data["variant"],
                    node_count=data["node_count"], seconds=data["seconds"],
-                   traffic=data.get("traffic", TRAFFIC_DEFAULT))
+                   traffic=data.get("traffic", TRAFFIC_DEFAULT),
+                   topology=data.get("topology", "broadcast"),
+                   loss=data.get("loss", 0.0),
+                   seed=data.get("seed", 0))

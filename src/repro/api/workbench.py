@@ -36,8 +36,14 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Optional, Union
 
 from repro.api.records import BuildRecord, SimRecord
-from repro.api.specs import TRAFFIC_DEFAULT, BuildSpec, SimSpec, SweepSpec
-from repro.avrora.network import Network, TrafficGenerator
+from repro.api.specs import (
+    TRAFFIC_BASE,
+    TRAFFIC_DEFAULT,
+    BuildSpec,
+    SimSpec,
+    SweepSpec,
+)
+from repro.avrora.network import Channel, Network, TrafficGenerator
 from repro.avrora.node import Node
 from repro.nesc.application import Application
 from repro.tinyos import suite
@@ -49,15 +55,29 @@ from repro.toolchain.variants import all_variant_names, variant_by_name
 
 
 def run_network(program, *, seconds: float, node_count: int = 1,
-                traffic: Optional[TrafficGenerator] = None) -> Network:
-    """Boot ``node_count`` motes running ``program`` and simulate them."""
+                traffic: Optional[TrafficGenerator] = None,
+                channel: Optional[Channel] = None,
+                traffic_first_node_only: bool = False) -> Network:
+    """Boot ``node_count`` motes running ``program`` and co-simulate them.
+
+    Nodes advance in lockstep over the given ``channel`` (default:
+    lossless broadcast).  Broadcast networks number nodes from 1 (the
+    historical convention); every other topology numbers them from 0, so
+    the first node is the routing base station (``TOS_LOCAL_ADDRESS == 0``
+    — what ``MultiHopRouterM`` treats as the collection root).
+    ``traffic_first_node_only`` installs the synthetic traffic generator
+    on the first node only.
+    """
     if node_count < 1:
         raise ValueError(f"node_count must be >= 1, got {node_count}")
-    network = Network(traffic=traffic)
-    for node_id in range(1, node_count + 1):
-        node = Node(program, node_id=node_id)
+    channel = channel or Channel()
+    network = Network(traffic=traffic, channel=channel)
+    first_id = 1 if channel.topology == "broadcast" else 0
+    for index in range(node_count):
+        node = Node(program, node_id=first_id + index)
         node.boot()
-        network.add_node(node)
+        network.add_node(
+            node, traffic=(index == 0 or not traffic_first_node_only))
     network.run(seconds)
     return network
 
@@ -249,7 +269,12 @@ class Workbench:
     # -- simulation ------------------------------------------------------------
 
     def simulate(self, spec: SimSpec) -> SimRecord:
-        """Build (memoized) and simulate one application; returns a record."""
+        """Build (memoized) and simulate one application; returns a record.
+
+        The simulation runs on the lockstep network kernel with the
+        spec's topology, loss rate and seed; per-node packet and traffic
+        statistics land in the record.
+        """
         key = spec.content_key()
         with self._lock:
             cached = self._sim_records.get(key)
@@ -257,16 +282,28 @@ class Workbench:
             return cached
         result = self.build_result(spec.build_spec())
         traffic = duty_cycle_context(spec.app) \
-            if spec.traffic == TRAFFIC_DEFAULT else None
-        network = run_network(result.program, seconds=spec.seconds,
-                              node_count=spec.node_count, traffic=traffic)
+            if spec.traffic in (TRAFFIC_DEFAULT, TRAFFIC_BASE) else None
+        channel = Channel(topology=spec.topology, loss=spec.loss,
+                          seed=spec.seed)
+        network = run_network(
+            result.program, seconds=spec.seconds,
+            node_count=spec.node_count, traffic=traffic, channel=channel,
+            traffic_first_node_only=(spec.traffic == TRAFFIC_BASE))
+        stats = network.node_stats()
         record = SimRecord(
             app=spec.app,
             variant=spec.variant,
             content_key=key,
             node_count=spec.node_count,
             seconds=spec.seconds,
+            topology=spec.topology,
             duty_cycles=tuple(node.duty_cycle() for node in network.nodes),
+            packets_sent=tuple(s["packets_sent"] for s in stats),
+            packets_received=tuple(s["packets_received"] for s in stats),
+            injected_radio=tuple(s["injected_radio"] for s in stats),
+            injected_uart=tuple(s["injected_uart"] for s in stats),
+            packets_delivered=network.delivered_packets,
+            packets_lost=network.lost_packets,
             failures=sum(len(node.failures) for node in network.nodes),
             halted=any(node.halted for node in network.nodes),
             led_changes=sum(node.leds.state.changes for node in network.nodes),

@@ -16,8 +16,10 @@ of Mica2 motes.  This package provides the equivalent for CMinor images:
   re-executed many times, like a dynamic binary translator's code cache,
 * :mod:`repro.avrora.node` — one mote: program + devices + interrupt
   delivery + sleep/wake accounting,
-* :mod:`repro.avrora.network` — multi-mote simulations with radio delivery
-  and traffic generation.
+* :mod:`repro.avrora.network` — the lockstep discrete-event network kernel:
+  a global virtual-time scheduler with conservative lookahead, a per-link
+  latency/loss channel model and topology wiring (broadcast, chain, star,
+  grid), plus synthetic traffic generation.
 
 Absolute cycle counts differ from real AVR silicon, but the quantity the
 paper reports — the *duty cycle*, busy cycles over total cycles, compared
@@ -25,13 +27,23 @@ across build variants of the same application — is preserved.
 """
 
 from repro.avrora.node import Node, NodeHalted, SafetyFault
-from repro.avrora.network import Network, TrafficGenerator, simulate
+from repro.avrora.network import (
+    Channel,
+    DeliveryRecord,
+    Network,
+    TOPOLOGIES,
+    TrafficGenerator,
+    simulate,
+)
 
 __all__ = [
     "Node",
     "NodeHalted",
     "SafetyFault",
+    "Channel",
+    "DeliveryRecord",
     "Network",
+    "TOPOLOGIES",
     "TrafficGenerator",
     "simulate",
 ]

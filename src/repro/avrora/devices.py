@@ -193,6 +193,10 @@ class Radio(Device):
         self.rx_fifo: list[int] = []
         self.rx_length = 0
         self.transmitting = False
+        #: Local time at which the in-flight transmission completes
+        #: (meaningful only while ``transmitting``); the lockstep network
+        #: scheduler reads it to bound when this node can next affect a peer.
+        self.tx_done_at = 0
         self.packets_sent: list[bytes] = []
         self.packets_received = 0
         self.packets_dropped = 0
@@ -225,6 +229,7 @@ class Radio(Device):
         self.tx_fifo = []
         self.transmitting = True
         airtime = self.node.cycles_for_us(self.US_PER_BYTE * max(len(payload), 1))
+        self.tx_done_at = self.node.time_cycles + max(1, airtime)
         self.node.schedule(airtime, lambda: self._transmit_done(payload))
 
     def _transmit_done(self, payload: bytes) -> None:

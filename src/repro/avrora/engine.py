@@ -18,7 +18,15 @@ resolves per statement:
 * **structured jumps** — ``if``/loops/``break``/``continue``/``return``
   become next-index threading, not signal exceptions;
 * **precomputed analyses** — address-taken sets, struct field offsets,
-  element sizes, integer wrap masks are all baked into the closures.
+  element sizes, integer wrap masks are all baked into the closures;
+* **explicit frames** — the engine is a frame-stack machine: statement-
+  level calls (``f(x);``, ``y = f(x);``) are CALL ops that push a
+  :class:`CompiledFrame`, and returns pop it, so call chains through the
+  flattened TinyOS dispatch layers do not consume Python stack.  Only
+  calls nested inside larger expressions recurse (into a fresh machine
+  run).  The explicit stack is also what makes execution state inspectable
+  and, together with the node's poll-point pause gate, resumable
+  (see ``Node.run_until``).
 
 Semantics are kept **byte-identical** to the tree-walker (cycle counts,
 interrupt delivery points, check failures, radio traffic): ops charge the
@@ -66,6 +74,13 @@ _UNSET = _Unset()
 
 #: Slot 0 of every frame holds the (eventual) return value.
 _RET = 0
+
+#: Sentinel "next op index" returned by CALL ops after pushing a callee
+#: frame onto the engine's explicit stack.  It compares greater than any
+#: real op index, so the machine's hot loop needs no extra test: the inner
+#: ``while pc < end`` exits, and the dispatcher re-enters with the new top
+#: frame.
+_CALL = 1 << 30
 
 #: Closure signature of one compiled op: frame -> next op index.
 Op = Callable[[list], int]
@@ -260,12 +275,43 @@ class CompiledFunction:
         self.has_atomic = has_atomic
 
 
+class CompiledFrame:
+    """One activation record on the engine's explicit call stack.
+
+    Call and return are machine transitions, not Python recursion: a CALL
+    op builds the callee's frame, parks the caller's resume index in
+    ``pc``, and pushes the callee; when the callee's op stream runs off its
+    end, the machine pops the frame and routes ``slots[0]`` through
+    ``ret_store`` into the caller.
+    """
+
+    __slots__ = ("cf", "slots", "pc", "ret_store", "depth0")
+
+    def __init__(self, cf: CompiledFunction, slots: list, depth0: int):
+        self.cf = cf
+        self.slots = slots
+        #: Resume index: 0 on entry; a CALL op parks its continuation here.
+        self.pc = 0
+        #: Where the callee's return value goes in the caller's frame
+        #: (``None`` discards it — plain call statements).
+        self.ret_store: Optional[Callable[[list, RuntimeValue], None]] = None
+        #: ``node.atomic_depth`` at frame entry, restored when a terminal
+        #: exception unwinds through this frame's open atomic sections.
+        self.depth0 = depth0
+
+
 class CompiledEngine:
-    """Executes one program for one node via compiled ops.
+    """Executes one program for one node as an explicit frame-stack machine.
 
     Public API mirrors the tree-walking interpreter: :meth:`call` invokes a
     program function by name with already-evaluated arguments.  Functions
     are lowered on first call and cached for the node's lifetime.
+
+    Statement-level calls (``f(x);`` and ``y = f(x);`` — the dominant
+    shapes in flattened TinyOS code) execute as CALL ops that push a
+    :class:`CompiledFrame` onto the machine stack; returns pop it.  Calls
+    nested inside larger expressions fall back to a recursive
+    :meth:`_invoke`, which enters a nested machine run.
     """
 
     def __init__(self, node: "Node"):
@@ -279,6 +325,10 @@ class CompiledEngine:
         self._sf = _simulation_finished()
         #: Mutable cell counting executed statements (cheap to close over).
         self._stmt_cell = [0]
+        #: Frame stack of the innermost machine run currently executing.
+        #: CALL ops push onto it directly; nested runs (interrupt handlers,
+        #: expression-position calls) save and restore it.
+        self._stack: list[CompiledFrame] = []
 
     @property
     def statements_executed(self) -> int:
@@ -292,7 +342,7 @@ class CompiledEngine:
         cf = self._compiled.get(name)
         if cf is None:
             cf = self._compile_name(name)
-        return self._execute(cf, args or [])
+        return self._run_machine(self._new_frame(cf, args or []))
 
     # -- compilation ------------------------------------------------------------
 
@@ -311,21 +361,22 @@ class CompiledEngine:
         cf = self._compiled.get(name)
         if cf is None:
             cf = self._compile_name(name)
-        result = self._execute(cf, args)
+        result = self._run_machine(self._new_frame(cf, args))
         return result if result is not None else 0
 
-    def _execute(self, cf: CompiledFunction,
-                 args: list[RuntimeValue]) -> Optional[RuntimeValue]:
+    def _new_frame(self, cf: CompiledFunction,
+                   args: list[RuntimeValue]) -> CompiledFrame:
+        """Build an activation record: slots, parameters, entry overhead."""
         nparams = cf.nparams
         if len(args) != nparams:
             raise TypeError(
                 f"{cf.name}() takes {nparams} argument(s) "
                 f"but {len(args)} were given")
-        frame = [_UNSET] * cf.nslots
-        frame[_RET] = cf.default_return
+        slots = [_UNSET] * cf.nslots
+        slots[_RET] = cf.default_return
         if cf.flat_params:
             if nparams:
-                frame[1:1 + nparams] = args
+                slots[1:1 + nparams] = args
         else:
             memory = self.memory
             for plan, value in zip(cf.params, args):
@@ -333,33 +384,58 @@ class CompiledEngine:
                 if taken:
                     obj = memory.allocate(storage_name, size, kind="local")
                     memory.write(Pointer(obj, 0), ctype, value)
-                    frame[slot] = obj
+                    slots[slot] = obj
                 else:
-                    frame[slot] = value
+                    slots[slot] = value
         node = self.node
-        overhead = self._overhead
-        t = node.time_cycles + overhead
+        t = node.time_cycles + self._overhead
         node.time_cycles = t
         if node.end_cycles and t >= node.end_cycles:
             raise self._sf()
-        ops = cf.ops
-        end = cf.end
-        pc = 0
-        if cf.has_atomic:
-            depth0 = node.atomic_depth
-            try:
-                while pc < end:
-                    pc = ops[pc](frame)
-            except BaseException:
-                # Mirror the tree-walker's ``finally`` blocks: a terminal
-                # exception (simulation end, halt, safety fault) unwinding
-                # through open atomic sections restores the entry depth.
-                node.atomic_depth = depth0
-                raise
-        else:
-            while pc < end:
-                pc = ops[pc](frame)
-        return frame[_RET]
+        return CompiledFrame(cf, slots, node.atomic_depth)
+
+    def _run_machine(self, frame: CompiledFrame) -> Optional[RuntimeValue]:
+        """Run one machine: dispatch the top frame until the stack drains.
+
+        The inner loop is the engine's hot path and is unchanged from the
+        recursive design: ``pc = ops[pc](slots)``.  A CALL op pushes the
+        callee and returns :data:`_CALL` (>= any real index), so call
+        handling costs the straight-line path nothing.
+        """
+        stack = [frame]
+        prev = self._stack
+        self._stack = stack
+        node = self.node
+        try:
+            while True:
+                top = stack[-1]
+                ops = top.cf.ops
+                end = top.cf.end
+                slots = top.slots
+                pc = top.pc
+                try:
+                    while pc < end:
+                        pc = ops[pc](slots)
+                except BaseException:
+                    # Mirror the tree-walker's ``finally`` blocks: a
+                    # terminal exception (simulation end, halt, safety
+                    # fault) unwinding through open atomic sections
+                    # restores each frame's entry depth, innermost first.
+                    for open_frame in reversed(stack):
+                        if open_frame.cf.has_atomic:
+                            node.atomic_depth = open_frame.depth0
+                    raise
+                if pc != end:
+                    continue  # a CALL op pushed a new top frame
+                value = slots[_RET]
+                stack.pop()
+                if not stack:
+                    return value
+                store = top.ret_store
+                if store is not None:
+                    store(stack[-1].slots, value if value is not None else 0)
+        finally:
+            self._stack = prev
 
     # -- lenient memory access (identical to the tree-walker) --------------------
 
@@ -628,8 +704,55 @@ class _FunctionCompiler:
 
     # -- simple statements ------------------------------------------------------
 
+    def _compile_call_stmt(self, cost: int, call: ast.Call,
+                           store: Optional[Callable], poll_after: bool
+                           ) -> None:
+        """A statement-level program call: one CALL op on the frame stack.
+
+        Replicates the recursive path exactly — statement entry accounting,
+        argument evaluation order, lazy callee resolution, arity check,
+        parameter setup and call overhead (the latter three inside
+        ``_new_frame``) — but transfers control by pushing a
+        :class:`CompiledFrame` instead of recursing into Python.  ``store``
+        receives the return value in the caller's frame (``None``
+        discards it).
+        """
+        args = tuple(self._compile_expr(arg) for arg in call.args)
+        resume = len(self.ops) + 1
+        engine = self.engine
+
+        def op(frame: list, _eng=engine, _n=self.node, _cost=cost,
+               _cell=self._cell, _sf=self._sf, _name=call.callee,
+               _args=args, _cf_cell=[None], _store=store,
+               _resume=resume) -> int:
+            _cell[0] += 1
+            t = _n.time_cycles + _cost
+            _n.time_cycles = t
+            if _n.end_cycles and t >= _n.end_cycles:
+                raise _sf()
+            cf = _cf_cell[0]
+            if cf is None:
+                cf = _eng._compiled.get(_name)
+                if cf is None:
+                    cf = _eng._compile_name(_name)
+                _cf_cell[0] = cf
+            callee = _eng._new_frame(cf, [a(frame) for a in _args])
+            callee.ret_store = _store
+            stack = _eng._stack
+            stack[-1].pc = _resume
+            stack.append(callee)
+            return _CALL
+
+        self._emit(op)
+        if poll_after:
+            self._emit_poll()
+
     def _compile_exprstmt(self, stmt: ast.ExprStmt, poll_after: bool) -> None:
         cost = self._stmt_cost(stmt)
+        if isinstance(stmt.expr, ast.Call) and \
+                stmt.expr.callee not in self.program.builtins:
+            self._compile_call_stmt(cost, stmt.expr, None, poll_after)
+            return
         value = self._compile_expr(stmt.expr)
         nxt = len(self.ops) + 1
         if poll_after:
@@ -731,6 +854,12 @@ class _FunctionCompiler:
 
     def _compile_assign(self, stmt: ast.Assign, poll_after: bool) -> None:
         cost = self._stmt_cost(stmt)
+        if isinstance(stmt.rvalue, ast.Call) and \
+                stmt.rvalue.callee not in self.program.builtins:
+            self._compile_call_stmt(cost, stmt.rvalue,
+                                    self._compile_store(stmt.lvalue),
+                                    poll_after)
+            return
         rvalue = self._compile_expr(stmt.rvalue)
         if poll_after and self._try_inline_assign(stmt, cost, rvalue):
             return
@@ -1878,10 +2007,12 @@ class _FunctionCompiler:
                 return _cb(_name, [a(frame) for a in _args])
 
             return call
+        # Expression-position call (nested inside a larger expression):
+        # enters a nested machine run via Python recursion.  Statement-level
+        # calls never reach this path — they lower to CALL ops.
         engine = self.engine
-        execute = engine._execute
 
-        def call(frame: list, _cf_cell=[None], _eng=engine, _ex=execute,
+        def call(frame: list, _cf_cell=[None], _eng=engine,
                  _name=name, _args=args) -> RuntimeValue:
             cf = _cf_cell[0]
             if cf is None:
@@ -1889,7 +2020,8 @@ class _FunctionCompiler:
                 if cf is None:
                     cf = _eng._compile_name(_name)
                 _cf_cell[0] = cf
-            result = _ex(cf, [a(frame) for a in _args])
+            result = _eng._run_machine(
+                _eng._new_frame(cf, [a(frame) for a in _args]))
             return result if result is not None else 0
 
         return call

@@ -1,26 +1,42 @@
-"""Multi-node simulation: radio delivery and traffic generation.
+"""Multi-node simulation: the lockstep discrete-event network kernel.
 
 The paper runs each application "in a reasonable sensor network context":
 applications that listen need peers that transmit, base stations need serial
 traffic, and multihop motes need neighbours.  ``TrafficGenerator`` plays the
-role of those peers without simulating a second full image: it schedules
-periodic injections of well-formed TOS messages into a node's radio (or
-UART), so every injected packet exercises the full receive path — including
-its safety checks — on the node under test.
+role of synthetic peers; ``Network`` connects *real* nodes over a modelled
+radio channel.
 
-``Network`` additionally connects real nodes: packets transmitted by one
-node are delivered to the radios of the others.  Nodes are simulated one
-after another for the full duration (not in lock step), which is far coarser
-than Avrora but sufficient for the workloads here, where the traffic
-generator provides the time-critical stimulus.
+Nodes advance in lockstep, Avrora-style: a global virtual-time scheduler
+always resumes the node with the smallest local clock and lets it run only
+as far as its peers provably cannot affect it (conservative lookahead
+derived from radio air time and link latency).  Cross-node packets are
+therefore delivered in causal order — a packet transmitted at sender time
+``t`` arrives on the receiver's event queue at ``t + link latency``, never
+in the receiver's past — which is what makes true multi-hop workloads
+(Surge routing through an intermediate mote) reproducible.
+
+The channel is modelled per link: a :class:`Channel` names a topology
+(``broadcast``, ``chain``, ``star``, ``grid``), a per-link latency (with an
+optional deterministic per-link jitter) and a loss probability drawn from a
+seeded RNG, so lossy runs are bit-reproducible.  Node execution itself is
+resumable via :meth:`~repro.avrora.node.Node.run_until`; see
+``ARCHITECTURE.md`` ("The lockstep network kernel") for the full design.
+
+The legacy semantics — each node simulated sequentially for the full
+duration, transmissions delivered instantly regardless of the receiver's
+clock — remain available as :meth:`Network.run_sequential` for
+benchmarking the kernel against its predecessor.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional
 
 from repro.cminor.program import Program
+from repro.avrora.devices import Radio
 from repro.avrora.node import Node
 from repro.tinyos import messages as msgs
 
@@ -28,14 +44,18 @@ from repro.tinyos import messages as msgs
 def encode_tos_msg(dest: int, am_type: int, payload: bytes,
                    group: int = msgs.TOS_DEFAULT_GROUP) -> bytes:
     """Serialize a TOS message the way ``RadioCRCPacketC`` lays it out."""
+    if len(payload) > msgs.TOSH_DATA_LENGTH:
+        raise ValueError(
+            f"encode_tos_msg: payload of {len(payload)} bytes does not fit "
+            f"in a TOS message (TOSH_DATA_LENGTH is "
+            f"{msgs.TOSH_DATA_LENGTH})")
     data = bytearray(msgs.TOS_MSG_WIRE_LENGTH)
     data[0] = dest & 0xFF
     data[1] = (dest >> 8) & 0xFF
     data[2] = am_type & 0xFF
     data[3] = group & 0xFF
-    data[4] = min(len(payload), msgs.TOSH_DATA_LENGTH)
-    data[5:5 + min(len(payload), msgs.TOSH_DATA_LENGTH)] = \
-        payload[:msgs.TOSH_DATA_LENGTH]
+    data[4] = len(payload)
+    data[5:5 + len(payload)] = payload
     crc = crc16(bytes(data[:msgs.TOS_MSG_WIRE_LENGTH - 2]))
     data[-2] = crc & 0xFF
     data[-1] = (crc >> 8) & 0xFF
@@ -56,6 +76,11 @@ def crc16(packet: bytes) -> int:
 class TrafficGenerator:
     """Schedules synthetic traffic on a node's own event queue.
 
+    The network installs a fresh *copy* per node (see
+    :meth:`Network.add_node`), so the ``injected_radio``/``injected_uart``
+    counters are per-node statistics; the generator handed to the network
+    is a template and its own counters stay untouched.
+
     Attributes:
         radio_period_s: Seconds between injected radio packets (0 disables).
         uart_period_s: Seconds between injected UART frames (0 disables).
@@ -75,6 +100,10 @@ class TrafficGenerator:
 
     def packet(self) -> bytes:
         return encode_tos_msg(self.dest, self.am_type, self.payload, self.group)
+
+    def copy(self) -> "TrafficGenerator":
+        """A fresh generator with the same schedule and zeroed counters."""
+        return replace(self, injected_radio=0, injected_uart=0)
 
     # -- installation -----------------------------------------------------------
 
@@ -98,49 +127,303 @@ class TrafficGenerator:
         node.schedule(delay, lambda: self._inject_uart(node, delay))
 
 
+# ---------------------------------------------------------------------------
+# The radio channel model
+# ---------------------------------------------------------------------------
+
+#: Topologies a :class:`Channel` can wire (by node *position* in the
+#: network, not node id): every pair, a line, a hub-and-spokes with node 0
+#: as the hub, or a 4-neighbour grid.
+TOPOLOGIES = ("broadcast", "chain", "star", "grid")
+
+#: Default per-link latency: one byte time at 38.4 kbaud Manchester.
+DEFAULT_LATENCY_US = Radio.US_PER_BYTE
+
+
+@dataclass(frozen=True)
+class Channel:
+    """Topology and per-link latency/loss of the shared radio medium.
+
+    Attributes:
+        topology: One of :data:`TOPOLOGIES`.
+        latency_us: Base one-way link latency in microseconds (>= 1); also
+            the kernel's conservative lookahead floor.
+        jitter_us: Optional deterministic per-link latency spread: link
+            (a, b) adds ``hash(a, b, seed) % (jitter_us + 1)`` microseconds,
+            making links distinguishable without randomness at run time.
+        loss: Per-link, per-packet drop probability in [0, 1).
+        seed: Seed of the loss RNG (and of the jitter hash); equal seeds
+            give bit-identical simulations.
+        grid_width: Columns of the ``grid`` topology (0 = square-ish).
+    """
+
+    topology: str = "broadcast"
+    latency_us: int = DEFAULT_LATENCY_US
+    jitter_us: int = 0
+    loss: float = 0.0
+    seed: int = 0
+    grid_width: int = 0
+
+    def __post_init__(self):
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r}; "
+                             f"known: {TOPOLOGIES}")
+        if self.latency_us < 1:
+            raise ValueError(f"latency_us must be >= 1, got {self.latency_us}")
+        if self.jitter_us < 0:
+            raise ValueError(f"jitter_us must be >= 0, got {self.jitter_us}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {self.loss}")
+        if self.grid_width < 0:
+            raise ValueError(f"grid_width must be >= 0, "
+                             f"got {self.grid_width}")
+
+    def neighbors(self, index: int, count: int) -> list[int]:
+        """Receiver positions reachable from the node at ``index``."""
+        if self.topology == "chain":
+            return [j for j in (index - 1, index + 1) if 0 <= j < count]
+        if self.topology == "star":
+            if index == 0:
+                return list(range(1, count))
+            return [0] if count > 0 else []
+        if self.topology == "grid":
+            width = self.grid_width or max(1, math.isqrt(max(count - 1, 0)) + 1)
+            row, col = divmod(index, width)
+            out = []
+            for r, c in ((row - 1, col), (row + 1, col),
+                         (row, col - 1), (row, col + 1)):
+                j = r * width + c
+                if r >= 0 and 0 <= c < width and j < count:
+                    out.append(j)
+            return out
+        return [j for j in range(count) if j != index]
+
+    def link_latency_us(self, src: int, dst: int) -> int:
+        """One-way latency of the (src, dst) link, jitter included."""
+        if not self.jitter_us:
+            return self.latency_us
+        mix = (src * 2654435761 + dst * 40503 + self.seed * 97) & 0xFFFFFFFF
+        return self.latency_us + mix % (self.jitter_us + 1)
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One packet handed across the air, as the receiver observed it."""
+
+    sender_id: int
+    receiver_id: int
+    sent_cycles: int
+    received_cycles: int
+    accepted: bool
+    payload: bytes
+
+
+# ---------------------------------------------------------------------------
+# The network
+# ---------------------------------------------------------------------------
+
+
 @dataclass
 class Network:
-    """A set of nodes sharing one radio channel."""
+    """A set of nodes co-simulated in lockstep over one radio channel."""
 
     nodes: list[Node] = field(default_factory=list)
     traffic: Optional[TrafficGenerator] = None
+    channel: Channel = field(default_factory=Channel)
     delivered_packets: int = 0
+    lost_packets: int = 0
+    #: Cross-node deliveries in the order the receivers processed them.
+    deliveries: list[DeliveryRecord] = field(default_factory=list)
 
-    def add_node(self, node: Node) -> None:
-        node.radio.on_transmit = lambda payload, sender=node: \
-            self._broadcast(sender, payload)
-        if self.traffic is not None:
-            self.traffic.install(node)
+    def __post_init__(self):
+        self._sequential = False
+        self._active: list[Node] = []
+        self._index: dict[int, int] = {}
+        self._rng = random.Random(self.channel.seed)
+        self._lat_min = 1
+        self._air_min = 1
+
+    # -- membership -------------------------------------------------------------
+
+    def add_node(self, node: Node, traffic: bool = True) -> None:
+        """Attach ``node`` to the channel (and install per-node traffic).
+
+        ``traffic=False`` skips the synthetic traffic generator for this
+        node — used e.g. to stimulate only a base station.
+        """
+        index = len(self.nodes)
+        self._index[id(node)] = index
+        node.radio.on_transmit = lambda payload, sender=node, src=index: \
+            self._transmit(sender, src, payload)
+        if self.traffic is not None and traffic:
+            generator = self.traffic.copy()
+            node.traffic_generator = generator
+            generator.install(node)
         self.nodes.append(node)
 
-    def _broadcast(self, sender: Node, payload: bytes) -> None:
-        for node in self.nodes:
-            if node is sender:
+    # -- the channel ------------------------------------------------------------
+
+    def _transmit(self, sender: Node, src: int, payload: bytes) -> None:
+        """Route one completed transmission to the sender's neighbours."""
+        if self._sequential:
+            for node in self.nodes:
+                if node is sender:
+                    continue
+                if node.radio.deliver(payload):
+                    self.delivered_packets += 1
+            return
+        sent_at = sender.time_cycles
+        earliest = None
+        for dst in self.channel.neighbors(src, len(self.nodes)):
+            receiver = self.nodes[dst]
+            if receiver is sender:
                 continue
-            if node.radio.deliver(payload):
+            if self.channel.loss and self._rng.random() < self.channel.loss:
+                self.lost_packets += 1
+                continue
+            latency = sender.cycles_for_us(
+                self.channel.link_latency_us(src, dst))
+            when = sent_at + max(1, latency)
+            receiver.schedule_at(
+                when, self._delivery(sender, receiver, payload, sent_at))
+            if earliest is None or when < earliest:
+                earliest = when
+        if earliest is not None and len(self._active) > 1:
+            # A peer may now react to this packet: the earliest possible
+            # response transmission completes one minimum air time after
+            # the delivery and lands one minimum latency later.  Pull the
+            # sender's pause horizon in so it does not outrun the answer.
+            sender.shrink_pause(earliest + self._air_min + self._lat_min)
+
+    def _delivery(self, sender: Node, receiver: Node, payload: bytes,
+                  sent_at: int) -> Callable[[], None]:
+        def deliver() -> None:
+            accepted = receiver.radio.deliver(payload)
+            if accepted:
                 self.delivered_packets += 1
+            self.deliveries.append(DeliveryRecord(
+                sender_id=sender.node_id, receiver_id=receiver.node_id,
+                sent_cycles=sent_at, received_cycles=receiver.time_cycles,
+                accepted=accepted, payload=payload))
+
+        return deliver
+
+    # -- the lockstep scheduler -------------------------------------------------
 
     def run(self, seconds: float) -> None:
-        """Simulate every node for ``seconds`` of virtual time."""
+        """Co-simulate every node for ``seconds`` of virtual time, lockstep.
+
+        The scheduler repeatedly resumes the node with the smallest local
+        clock and grants it a horizon no peer can beat: the earliest
+        instant any *other* node could land a packet on it (pending
+        transmission completions, next wake-up times, and the channel's
+        minimum air time and latency are all conservative bounds).  With a
+        single node the horizon is the end of the simulation, making the
+        run byte-identical to the legacy sequential semantics.
+        """
+        if not self.nodes:
+            return
+        self._sequential = False
+        self._rng = random.Random(self.channel.seed)
+        self._lat_min = max(1, min(
+            node.cycles_for_us(self.channel.latency_us)
+            for node in self.nodes))
+        self._air_min = max(1, min(
+            node.cycles_for_us(Radio.US_PER_BYTE) for node in self.nodes))
         for node in self.nodes:
-            node.run(seconds)
+            node.begin_run(seconds)
+        active = list(self.nodes)
+        self._active = active
+        try:
+            while active:
+                current = min(
+                    active,
+                    key=lambda n: (n.time_cycles, self._index[id(n)]))
+                horizon = current.end_cycles
+                if len(active) > 1:
+                    bound = min(self._earliest_effect(peer)
+                                for peer in active if peer is not current)
+                    horizon = min(horizon, bound)
+                status = current.run_until(int(horizon))
+                if status != "paused":
+                    active.remove(current)
+        finally:
+            self._active = []
+            for node in self.nodes:
+                node.abort_run()
+
+    def _earliest_effect(self, peer: Node) -> float:
+        """Earliest instant ``peer`` could land a packet on another node."""
+        bound = math.inf
+        radio = peer.radio
+        if radio.transmitting:
+            bound = radio.tx_done_at + self._lat_min
+        action = peer.next_action_cycles()
+        if action is not None:
+            bound = min(bound, action + self._air_min + self._lat_min)
+        return bound
+
+    def run_sequential(self, seconds: float) -> None:
+        """Legacy semantics: each node simulated alone, one after another.
+
+        Transmissions are delivered to every peer instantly — regardless
+        of the receiver's local clock — so cross-node causality is only
+        approximate.  Kept for benchmarking the lockstep kernel against
+        its predecessor (``benchmarks/bench_network_scale.py``).
+        """
+        self._sequential = True
+        try:
+            for node in self.nodes:
+                node.run(seconds)
+        finally:
+            self._sequential = False
+
+    # -- statistics -------------------------------------------------------------
 
     def duty_cycles(self) -> list[float]:
         return [node.duty_cycle() for node in self.nodes]
 
+    def node_stats(self) -> list[dict]:
+        """Per-node packet and duty-cycle statistics, in node order."""
+        stats = []
+        for node in self.nodes:
+            generator = node.traffic_generator
+            stats.append({
+                "node_id": node.node_id,
+                "duty_cycle": node.duty_cycle(),
+                "packets_sent": len(node.radio.packets_sent),
+                "packets_received": node.radio.packets_received,
+                "packets_dropped": node.radio.packets_dropped,
+                "injected_radio":
+                    generator.injected_radio if generator else 0,
+                "injected_uart":
+                    generator.injected_uart if generator else 0,
+                "failures": len(node.failures),
+                "halted": node.halted,
+            })
+        return stats
+
 
 def simulate(program: Program, seconds: float = 5.0, node_count: int = 1,
              traffic: Optional[TrafficGenerator] = None,
-             engine: Optional[str] = None) -> list[Node]:
-    """Simulate ``node_count`` nodes running one image.
+             engine: Optional[str] = None,
+             channel: Optional[Channel] = None) -> list[Node]:
+    """Simulate ``node_count`` nodes running one image, in lockstep.
 
-    Returns the simulated nodes; duty cycle, LED history, failure records
-    and device statistics can be read from them.  ``engine`` selects the
-    execution engine (``"compiled"``/``"tree"``) for every node.
+    Returns the simulated nodes; duty cycle, LED history, failure records,
+    device statistics and the per-node traffic generator
+    (``node.traffic_generator``) can be read from them.  ``engine`` selects
+    the execution engine (``"compiled"``/``"tree"``) for every node;
+    ``channel`` the topology and link model (default: lossless broadcast).
+    Broadcast networks number nodes from 1 (the historical convention);
+    every other topology numbers them from 0, so the first node is the
+    multihop base station (``TOS_LOCAL_ADDRESS == 0``).
     """
-    network = Network(traffic=traffic)
-    for node_id in range(1, node_count + 1):
-        node = Node(program, node_id=node_id, engine=engine)
+    channel = channel or Channel()
+    network = Network(traffic=traffic, channel=channel)
+    first_id = 1 if channel.topology == "broadcast" else 0
+    for index in range(node_count):
+        node = Node(program, node_id=first_id + index, engine=engine)
         node.boot()
         network.add_node(node)
     network.run(seconds)

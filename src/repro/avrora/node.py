@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -98,6 +99,23 @@ class Node:
         self._event_queue: list[tuple[int, int, Callable[[], None]]] = []
         self._event_seq = itertools.count()
 
+        #: Per-node traffic generator installed by the network (if any).
+        self.traffic_generator = None
+
+        # -- resumable execution (run_until) ---------------------------------
+        #: Local time at which the node must pause (0 = run to end_cycles).
+        self.pause_cycles = 0
+        #: True while the node is blocked inside the sleep loop (it cannot
+        #: initiate anything before its next event or an external input).
+        self._paused_in_sleep = False
+        self._exec_thread: Optional[threading.Thread] = None
+        self._resume_evt = threading.Event()
+        self._paused_evt = threading.Event()
+        #: "idle" | "running" | "paused" | "finished" | "returned" | "error"
+        self._status = "idle"
+        self._run_error: Optional[BaseException] = None
+        self._abort = False
+
     # -- devices ------------------------------------------------------------------
 
     @property
@@ -152,6 +170,18 @@ class Node:
         when = self.time_cycles + max(1, delay_cycles)
         heapq.heappush(self._event_queue, (when, next(self._event_seq), callback))
 
+    def schedule_at(self, when_cycles: int,
+                    callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute local time.
+
+        Used by the network to deliver cross-node packets: the lockstep
+        scheduler guarantees ``when_cycles`` is never in this node's past,
+        but a delivery landing exactly on the current cycle is legal and
+        fires at the next poll.
+        """
+        heapq.heappush(self._event_queue,
+                       (when_cycles, next(self._event_seq), callback))
+
     def _run_due_events(self) -> None:
         while self._event_queue and self._event_queue[0][0] <= self.time_cycles:
             _when, _seq, callback = heapq.heappop(self._event_queue)
@@ -166,25 +196,56 @@ class Node:
             raise _SimulationFinished()
 
     def sleep_until_next_event(self) -> None:
-        """Advance time to the next event, accounting the gap as sleep."""
-        self._run_due_events()
-        if self.pending_interrupts and self._can_deliver():
-            self._deliver_interrupts()
+        """Advance time to the next event, accounting the gap as sleep.
+
+        When a pause horizon is set (lockstep co-simulation), the sleep is
+        segmented: the node dozes up to the horizon, parks at the pause
+        gate, and — once the scheduler grants a new horizon — *continues
+        sleeping* without returning to the program, so intermediate
+        horizons never change what the program executes or is charged.
+        With no horizon set (``pause_cycles == 0``) this is exactly the
+        legacy single-run behaviour.
+        """
+        while True:
+            self._run_due_events()
+            if self.pending_interrupts and self._can_deliver():
+                self._deliver_interrupts()
+                return
+            if not self._event_queue:
+                if self.pause_cycles:
+                    # Nothing local will wake the node, but a peer still
+                    # can: doze up to the horizon and wait for a grant.
+                    if self.pause_cycles > self.time_cycles:
+                        self.sleep_cycles += \
+                            self.pause_cycles - self.time_cycles
+                        self.time_cycles = self.pause_cycles
+                    self._sleep_gate()
+                    continue
+                # Nothing will ever wake the node again: sleep to the end.
+                target = self.end_cycles or self.time_cycles + self.clock_hz
+                self.sleep_cycles += max(0, target - self.time_cycles)
+                self.time_cycles = target
+                raise _SimulationFinished()
+            next_time = self._event_queue[0][0]
+            if next_time > self.time_cycles:
+                self.sleep_cycles += next_time - self.time_cycles
+                self.time_cycles = next_time
+            if self.end_cycles and self.time_cycles >= self.end_cycles:
+                raise _SimulationFinished()
+            self._run_due_events()
+            if self.pause_cycles and self.time_cycles >= self.pause_cycles:
+                self._sleep_gate()
+                continue
+            self.poll()
             return
-        if not self._event_queue:
-            # Nothing will ever wake the node again: sleep to the end.
-            target = self.end_cycles or self.time_cycles + self.clock_hz
-            self.sleep_cycles += max(0, target - self.time_cycles)
-            self.time_cycles = target
-            raise _SimulationFinished()
-        next_time = self._event_queue[0][0]
-        if next_time > self.time_cycles:
-            self.sleep_cycles += next_time - self.time_cycles
-            self.time_cycles = next_time
-        if self.end_cycles and self.time_cycles >= self.end_cycles:
-            raise _SimulationFinished()
-        self._run_due_events()
-        self.poll()
+
+    def _sleep_gate(self) -> None:
+        """Park at the pause gate while flagged as idle (asleep)."""
+        self._paused_in_sleep = True
+        try:
+            self._pause_gate()
+        finally:
+            self._paused_in_sleep = False
 
     # -- interrupts ----------------------------------------------------------------------
 
@@ -213,11 +274,20 @@ class Node:
                 self.in_interrupt = False
 
     def poll(self) -> None:
-        """Between-statement housekeeping: fire due events, deliver interrupts."""
+        """Between-statement housekeeping: fire due events, deliver interrupts.
+
+        Poll points are also the engine-agnostic pause points: when a
+        horizon is set, a sentinel event at the horizon makes the engines'
+        events-due fast path call :meth:`poll` even in a compute loop, and
+        the gate below parks the execution thread until the lockstep
+        scheduler grants a new horizon.
+        """
         if self._event_queue and self._event_queue[0][0] <= self.time_cycles:
             self._run_due_events()
         if self.pending_interrupts and self._can_deliver():
             self._deliver_interrupts()
+        if self.pause_cycles and self.time_cycles >= self.pause_cycles:
+            self._pause_gate()
 
     # -- builtins -------------------------------------------------------------------------
 
@@ -290,7 +360,8 @@ class Node:
             self.memory.write(Pointer(local_address, 0), ty.UINT16, self.node_id)
 
     def run(self, seconds: float = 1.0) -> None:
-        """Run the node for ``seconds`` of simulated time."""
+        """Run the node to completion on the calling thread (legacy entry)."""
+        self.pause_cycles = 0
         self.end_cycles = self.time_cycles + int(seconds * self.clock_hz)
         if not self.memory.objects:
             self.boot()
@@ -308,3 +379,140 @@ class Node:
             return
         except MemoryError_ as fault:
             raise SafetyFault(str(fault)) from fault
+
+    # -- resumable execution (lockstep co-simulation) -----------------------------
+
+    def begin_run(self, seconds: float) -> None:
+        """Arm the node for a resumable run of ``seconds`` simulated time."""
+        self.end_cycles = self.time_cycles + int(seconds * self.clock_hz)
+        if not self.memory.objects:
+            self.boot()
+        if self._exec_thread is None or not self._exec_thread.is_alive():
+            # A fresh run (or a re-run after a completed one: the legacy
+            # semantics re-enter the program's entry point).
+            self._exec_thread = None
+            self._status = "idle"
+        self.pause_cycles = 0
+
+    def run_until(self, horizon_cycles: int) -> str:
+        """Advance the node until its local clock reaches ``horizon_cycles``.
+
+        The program runs on a dedicated execution thread in strict
+        ping-pong with the caller: exactly one of the two is ever runnable,
+        so node state needs no locking.  The thread parks at poll points
+        (and inside segmented sleeps) once the horizon is reached, keeping
+        its full execution state — machine frames, interrupt context,
+        half-run handlers — alive for the next grant.
+
+        Returns the node's status: ``"paused"`` (horizon reached),
+        ``"finished"`` (simulated time exhausted, or the node halted),
+        or ``"returned"`` (the program's entry returned).  Errors raised
+        by the program (e.g. :class:`SafetyFault` under strict memory)
+        re-raise here, on the caller.
+        """
+        if self._status in ("finished", "returned", "error"):
+            return self._status
+        horizon = max(int(horizon_cycles), self.time_cycles + 1)
+        if horizon >= self.end_cycles:
+            self.pause_cycles = 0
+        else:
+            self.pause_cycles = horizon
+            heapq.heappush(self._event_queue,
+                           (horizon, next(self._event_seq), _noop))
+        self._paused_evt.clear()
+        self._status = "running"
+        if self._exec_thread is None:
+            self._exec_thread = threading.Thread(
+                target=self._exec_main, daemon=True,
+                name=f"avrora-node-{self.node_id}")
+            self._exec_thread.start()
+        else:
+            self._resume_evt.set()
+        self._paused_evt.wait()
+        if self._run_error is not None:
+            error, self._run_error = self._run_error, None
+            self._status = "error"
+            raise error
+        return self._status
+
+    def abort_run(self) -> None:
+        """Tear down a paused execution thread (e.g. after a peer failed)."""
+        thread = self._exec_thread
+        if thread is None or not thread.is_alive():
+            return
+        self._abort = True
+        try:
+            self._paused_evt.clear()
+            self._resume_evt.set()
+            self._paused_evt.wait(timeout=10.0)
+        finally:
+            self._abort = False
+        self._run_error = None
+
+    def next_action_cycles(self) -> Optional[int]:
+        """Earliest local time at which this node could *initiate* anything.
+
+        The lockstep scheduler uses this for lookahead: a node parked in
+        its sleep loop cannot act before its next queued event (or an
+        undelivered interrupt), while a node paused mid-computation can
+        act as soon as it resumes.  ``None`` means the node is idle with
+        an empty queue — only external input can ever wake it.
+        """
+        if self._paused_in_sleep and not self.pending_interrupts:
+            if self._event_queue:
+                return max(self.time_cycles, self._event_queue[0][0])
+            return None
+        return self.time_cycles
+
+    def shrink_pause(self, horizon_cycles: int) -> None:
+        """Pull the pause horizon in (called on the execution thread).
+
+        The network invokes this when a transmission during the current
+        slice makes an earlier peer reaction possible than the horizon
+        assumed.  Runs on the node's own execution thread, so mutating the
+        queue and horizon is race-free.
+        """
+        horizon = max(int(horizon_cycles), self.time_cycles + 1)
+        if horizon >= self.end_cycles:
+            return
+        if self.pause_cycles and self.pause_cycles <= horizon:
+            return
+        self.pause_cycles = horizon
+        heapq.heappush(self._event_queue,
+                       (horizon, next(self._event_seq), _noop))
+
+    def _pause_gate(self) -> None:
+        """Park the execution thread until the scheduler grants a horizon."""
+        while (self.pause_cycles and self.time_cycles >= self.pause_cycles
+               and not self._abort):
+            self._status = "paused"
+            self._paused_evt.set()
+            self._resume_evt.wait()
+            self._resume_evt.clear()
+        if self._abort:
+            raise _SimulationFinished()
+
+    def _exec_main(self) -> None:
+        """Execution-thread body: the legacy :meth:`run` epilogue, resumable."""
+        try:
+            self.interpreter.call(self.program.entry, [])
+            self._status = "returned"
+        except _SimulationFinished:
+            self._status = "finished"
+        except NodeHalted as halt:
+            self.halted = True
+            self.halt_code = halt.code
+            if self.end_cycles > self.time_cycles:
+                self.sleep_cycles += self.end_cycles - self.time_cycles
+                self.time_cycles = self.end_cycles
+            self._status = "finished"
+        except MemoryError_ as fault:
+            self._run_error = SafetyFault(str(fault))
+        except BaseException as error:  # pragma: no cover - defensive
+            self._run_error = error
+        finally:
+            self._paused_evt.set()
+
+
+def _noop() -> None:
+    """Horizon sentinel callback: wakes the poll fast path, does nothing."""

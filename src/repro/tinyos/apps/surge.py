@@ -15,7 +15,11 @@ from repro.nesc.component import Component
 from repro.tinyos import messages as msgs
 from repro.tinyos.apps import _base
 
-#: Milliseconds between sensor readings.
+#: Milliseconds between sensor readings.  Each mote adds a small
+#: address-derived stagger (``(TOS_LOCAL_ADDRESS & 7) * 13`` ms) so readings
+#: from perfectly synchronized simulated motes do not all hit the air in
+#: the same instant and collide at a shared forwarder — the role CSMA's
+#: random backoff plays on real hardware.
 SAMPLE_PERIOD_MS = 2000
 
 #: Byte offset of the Surge payload inside the multihop payload (the
@@ -42,7 +46,7 @@ uint8_t Control_init(void) {{
 }}
 
 uint8_t Control_start(void) {{
-  Timer_start({SAMPLE_PERIOD_MS});
+  Timer_start({SAMPLE_PERIOD_MS} + (TOS_LOCAL_ADDRESS & 7) * 13);
   return 1;
 }}
 

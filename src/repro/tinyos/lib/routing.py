@@ -18,10 +18,18 @@ from repro.tinyos import messages as msgs
 NEIGHBOR_TABLE_SIZE = 8
 #: Number of message buffers in the forwarding queue.
 FORWARD_QUEUE_SIZE = 4
-#: Beacon period in milliseconds.
+#: Beacon period in milliseconds.  Each mote adds a small address-derived
+#: stagger (``(TOS_LOCAL_ADDRESS & 7) * 17`` ms) so beacons from perfectly
+#: synchronized simulated motes drift apart instead of colliding at a
+#: shared neighbour every round — the role WMEWMA's randomized beacon
+#: timing plays on real, mutually unsynchronized hardware.
 BEACON_PERIOD_MS = 4000
 #: Address of the routing tree root (the base station).
 BASE_STATION_ADDRESS = 0
+#: Hop count advertised by a mote with no route; neighbors advertising it
+#: must never be chosen as parents, or two routeless motes adopt each other
+#: and forwarded packets ping-pong between them forever.
+NO_ROUTE_HOPCOUNT = 64
 
 
 def multi_hop_router(interfaces: dict[str, Interface]) -> Component:
@@ -47,7 +55,7 @@ struct TOS_Msg route_fwd_queue[{FORWARD_QUEUE_SIZE}];
 uint8_t route_fwd_in_use[{FORWARD_QUEUE_SIZE}];
 struct TOS_Msg route_beacon_msg;
 uint16_t route_parent = {msgs.TOS_BCAST_ADDR};
-uint8_t route_hopcount = 64;
+uint8_t route_hopcount = {NO_ROUTE_HOPCOUNT};
 uint16_t route_seqno = 0;
 uint8_t route_sending = 0;
 uint16_t route_forwarded = 0;
@@ -66,7 +74,7 @@ uint8_t Control_init(void) {{
     route_fwd_in_use[i] = 0;
   }}
   route_parent = {msgs.TOS_BCAST_ADDR};
-  route_hopcount = 64;
+  route_hopcount = {NO_ROUTE_HOPCOUNT};
   route_seqno = 0;
   route_sending = 0;
   if (TOS_LOCAL_ADDRESS == {BASE_STATION_ADDRESS}) {{
@@ -77,7 +85,7 @@ uint8_t Control_init(void) {{
 }}
 
 uint8_t Control_start(void) {{
-  RouteTimer_start({BEACON_PERIOD_MS});
+  RouteTimer_start({BEACON_PERIOD_MS} + (TOS_LOCAL_ADDRESS & 7) * 17);
   return 1;
 }}
 
@@ -149,6 +157,9 @@ void choose_parent(void) {{
     if (route_table[i].quality < 32) {{
       continue;
     }}
+    if (route_table[i].hopcount >= {NO_ROUTE_HOPCOUNT}) {{
+      continue;
+    }}
     if (route_table[i].hopcount < best_hopcount) {{
       best_hopcount = route_table[i].hopcount;
       best = i;
@@ -159,7 +170,7 @@ void choose_parent(void) {{
     route_hopcount = best_hopcount + 1;
   }} else {{
     route_parent = {msgs.TOS_BCAST_ADDR};
-    route_hopcount = 64;
+    route_hopcount = {NO_ROUTE_HOPCOUNT};
   }}
 }}
 

@@ -33,8 +33,12 @@ AM_TIMESTAMP = 37
 AM_HFS_DATA = 51
 AM_COUNT = 61
 
+# TOS_LOCAL_ADDRESS is per-mote configuration: the loader (here, Node.boot)
+# patches it after the image is built, so it must stay volatile — otherwise
+# whole-program optimization folds the placeholder initializer and every
+# mote in a network believes it is mote 1 (no base station, no multihop).
 COMMON_SOURCE = f"""
-uint16_t TOS_LOCAL_ADDRESS = 1;
+volatile uint16_t TOS_LOCAL_ADDRESS = 1;
 
 struct TOS_Msg {{
   uint16_t addr;
@@ -76,6 +80,20 @@ struct TimeStampMsg {{
   uint32_t receiveTime;
 }};
 """
+
+
+def decode_multihop_header(frame: bytes) -> tuple[int, int, int]:
+    """(am_type, last-hop source, origin) of a TOS wire frame.
+
+    Decodes the ``MultihopHdr`` that ``MultiHopRouterM`` overlays on the
+    message payload: ``sourceaddr`` and ``originaddr`` are the first two
+    little-endian ``uint16`` fields after the 5-byte TOS header.  The
+    result is only meaningful when ``am_type == AM_MULTIHOP``.
+    """
+    data = frame[5:]
+    source = data[0] | (data[1] << 8)
+    origin = data[2] | (data[3] << 8)
+    return frame[2], source, origin
 
 
 def tos_msg_struct_fields() -> list[ty.StructField]:

@@ -102,6 +102,24 @@ class TestSimulateCommand:
                                   "--nodes", "0")
         assert status == 2
 
+    def test_topology_loss_and_seed_flags_reach_the_record(self):
+        status, output = run_cli("simulate", "Surge_Mica2",
+                                 "--variant", "baseline",
+                                 "--seconds", "10", "--nodes", "3",
+                                 "--topology", "chain", "--loss", "0.2",
+                                 "--seed", "9", "--traffic", "none",
+                                 "--json")
+        assert status == 0
+        record = SimRecord.from_dict(json.loads(output))
+        assert record.topology == "chain"
+        assert record.node_count == 3
+        assert len(record.packets_sent) == 3
+
+    def test_invalid_loss_is_a_spec_error(self):
+        status, _output = run_cli("simulate", "BlinkTask_Mica2",
+                                  "--loss", "1.5")
+        assert status == 2
+
 
 class TestFiguresCommand:
     def test_figure3a_json(self):

@@ -124,3 +124,37 @@ class TestSimSpec:
                     node_count=2).content_key()
         assert base.content_key() == \
             SimSpec(app="BlinkTask_Mica2", seconds=1.0).content_key()
+
+    def test_topology_round_trip_and_content_key(self):
+        spec = SimSpec(app="Surge_Mica2", node_count=3, seconds=2.0,
+                       topology="chain", loss=0.25, seed=7, traffic="none")
+        wire = json.dumps(spec.to_dict())
+        assert SimSpec.from_dict(json.loads(wire)) == spec
+        base = SimSpec(app="Surge_Mica2", node_count=3, seconds=2.0)
+        assert spec.content_key() != base.content_key()
+        assert spec.content_key() != \
+            SimSpec(app="Surge_Mica2", node_count=3, seconds=2.0,
+                    topology="chain", loss=0.25, seed=8,
+                    traffic="none").content_key()
+
+    def test_old_serialized_specs_still_load(self):
+        """Dictionaries written before the topology fields existed."""
+        spec = SimSpec.from_dict({
+            "app": "BlinkTask_Mica2", "variant": "baseline",
+            "node_count": 1, "seconds": 1.0})
+        assert spec.topology == "broadcast"
+        assert spec.loss == 0.0
+        assert spec.seed == 0
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            SimSpec(app="BlinkTask_Mica2", topology="ring")
+
+    def test_invalid_loss_and_seed_rejected(self):
+        with pytest.raises(ValueError, match="loss"):
+            SimSpec(app="BlinkTask_Mica2", loss=1.0)
+        with pytest.raises(ValueError, match="seed"):
+            SimSpec(app="BlinkTask_Mica2", seed=-1)
+
+    def test_base_traffic_profile_is_accepted(self):
+        assert SimSpec(app="Surge_Mica2", traffic="base").traffic == "base"

@@ -229,3 +229,28 @@ class TestSimulation:
                                         seconds=0.5))
         assert record.node_count == 3
         assert len(record.duty_cycles) == 3
+        assert len(record.packets_sent) == 3
+        assert len(record.injected_radio) == 3
+
+    def test_chain_topology_simulation_reports_cross_node_packets(self):
+        bench = Workbench()
+        record = bench.simulate(SimSpec(
+            app="Surge_Mica2", variant="baseline", node_count=3,
+            seconds=20.0, traffic="none", topology="chain"))
+        assert record.topology == "chain"
+        assert record.packets_delivered > 0
+        assert all(sent > 0 for sent in record.packets_sent)
+        # The relay hears both ends; the leaf only its chain neighbour.
+        assert record.packets_received[1] >= record.packets_received[2]
+        # Lossless channel: nothing charged to the loss model.
+        assert record.packets_lost == 0
+        assert record.to_dict()["topology"] == "chain"
+
+    def test_seeded_lossy_simulations_memoize_by_seed(self):
+        bench = Workbench()
+        lossy = SimSpec(app="BlinkTask_Mica2", variant="baseline",
+                        node_count=2, seconds=0.5, loss=0.5, seed=3)
+        other_seed = SimSpec(app="BlinkTask_Mica2", variant="baseline",
+                             node_count=2, seconds=0.5, loss=0.5, seed=4)
+        assert bench.simulate(lossy) is bench.simulate(lossy)
+        assert bench.simulate(lossy) is not bench.simulate(other_seed)

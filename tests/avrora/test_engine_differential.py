@@ -50,22 +50,35 @@ def _observe(node: Node, network: Network) -> dict:
     }
 
 
-def _simulate(program, app_name: str, engine: str) -> dict:
+def _simulate(program, app_name: str, engine: str,
+              sequential: bool = False) -> dict:
     network = Network(traffic=duty_cycle_context(app_name))
     node = Node(program, node_id=1, engine=engine)
     node.boot()
     network.add_node(node)
-    network.run(SIM_SECONDS)
+    if sequential:
+        network.run_sequential(SIM_SECONDS)
+    else:
+        network.run(SIM_SECONDS)
     return _observe(node, network)
 
 
 @pytest.mark.parametrize("app_name", FIGURE_APPS)
 def test_figure_apps_identical_under_both_engines(app_name):
-    """Unsafe baseline builds: cycle counts and traffic match exactly."""
+    """Unsafe baseline builds: cycle counts and traffic match exactly.
+
+    Also the single-node acceptance bar for the lockstep kernel: the
+    default ``Network.run`` (lockstep, resumable execution thread) must be
+    byte-identical to the legacy sequential semantics for every figure
+    application — same busy/sleep cycles, failure records, LED history
+    and radio traffic.
+    """
     build = BuildPipeline(BASELINE).build_named(app_name)
     tree = _simulate(build.program, app_name, "tree")
     compiled = _simulate(build.program, app_name, "compiled")
     assert tree == compiled
+    legacy = _simulate(build.program, app_name, "compiled", sequential=True)
+    assert compiled == legacy
 
 
 @pytest.mark.parametrize("app_name", ["Oscilloscope_Mica2", "Surge_Mica2"])
@@ -75,6 +88,8 @@ def test_safe_builds_identical_under_both_engines(app_name):
     tree = _simulate(build.program, app_name, "tree")
     compiled = _simulate(build.program, app_name, "compiled")
     assert tree == compiled
+    legacy = _simulate(build.program, app_name, "compiled", sequential=True)
+    assert compiled == legacy
 
 
 #: Hand-written programs targeting the engine's trickiest lowering paths:

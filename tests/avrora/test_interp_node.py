@@ -209,5 +209,18 @@ class TestNetworkHarness:
         nodes = simulate(blink_baseline_build.program, seconds=1.0,
                          traffic=generator)
         # Blink has no radio stack wired, so the packets are dropped at the
-        # device, but the generator must have produced them.
-        assert generator.injected_radio >= 3
+        # device, but the node's generator must have produced them.
+        assert nodes[0].traffic_generator.injected_radio >= 3
+        # The template is never installed directly: each node gets a copy,
+        # so counters are per-node and the template stays untouched.
+        assert generator.injected_radio == 0
+
+    def test_traffic_counters_are_per_node(self, blink_baseline_build):
+        generator = TrafficGenerator(radio_period_s=0.25)
+        nodes = simulate(blink_baseline_build.program, seconds=1.0,
+                         node_count=2, traffic=generator)
+        generators = [node.traffic_generator for node in nodes]
+        assert generators[0] is not generators[1]
+        for per_node in generators:
+            assert per_node.injected_radio >= 3
+        assert generator.injected_radio == 0

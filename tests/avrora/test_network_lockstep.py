@@ -1,0 +1,266 @@
+"""The lockstep network kernel: topologies, causality, reproducibility.
+
+Covers the discrete-event scheduler (resumable ``run_until`` slices must
+not change what a node computes), the channel model (topology wiring,
+seeded loss), and the acceptance scenario: a packet originated at a leaf
+Surge mote reaching the base station through an intermediate hop in a
+``chain`` topology with causally ordered delivery timestamps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avrora.memory import Pointer
+from repro.avrora.network import Channel, Network, simulate
+from repro.avrora.node import Node
+from repro.cminor import typesys as ty
+from repro.tinyos import hardware as hw
+from repro.tinyos import messages as msgs
+from repro.toolchain.pipeline import BuildPipeline
+from repro.toolchain.variants import BASELINE
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import make_program
+
+
+# ---------------------------------------------------------------------------
+# Channel model
+# ---------------------------------------------------------------------------
+
+
+class TestChannel:
+    def test_broadcast_connects_every_pair(self):
+        channel = Channel(topology="broadcast")
+        assert channel.neighbors(1, 4) == [0, 2, 3]
+
+    def test_chain_connects_adjacent_positions(self):
+        channel = Channel(topology="chain")
+        assert channel.neighbors(0, 4) == [1]
+        assert channel.neighbors(2, 4) == [1, 3]
+        assert channel.neighbors(3, 4) == [2]
+
+    def test_star_routes_through_the_hub(self):
+        channel = Channel(topology="star")
+        assert channel.neighbors(0, 4) == [1, 2, 3]
+        assert channel.neighbors(3, 4) == [0]
+
+    def test_grid_connects_four_neighbors(self):
+        channel = Channel(topology="grid", grid_width=3)
+        # 3x3 grid: position 4 is the centre.
+        assert sorted(channel.neighbors(4, 9)) == [1, 3, 5, 7]
+        assert sorted(channel.neighbors(0, 9)) == [1, 3]
+        # Ragged last row: position 7 of 8 has no south neighbour.
+        assert sorted(channel.neighbors(7, 8)) == [4, 6]
+
+    def test_invalid_parameters_are_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            Channel(topology="ring")
+        with pytest.raises(ValueError, match="loss"):
+            Channel(loss=1.0)
+        with pytest.raises(ValueError, match="latency"):
+            Channel(latency_us=0)
+
+    def test_simulate_numbers_non_broadcast_topologies_from_zero(self):
+        """The first node of a routed topology must be the base station
+        (``TOS_LOCAL_ADDRESS == 0``), or multihop collection never forms."""
+        program = make_program(
+            "__spontaneous void main(void) { __sleep(); }")
+        chained = simulate(program, seconds=0.05, node_count=2,
+                           channel=Channel(topology="chain"))
+        assert [node.node_id for node in chained] == [0, 1]
+        broadcast = simulate(program, seconds=0.05, node_count=2)
+        assert [node.node_id for node in broadcast] == [1, 2]
+
+    def test_link_latency_jitter_is_deterministic_and_per_link(self):
+        channel = Channel(jitter_us=500, seed=3)
+        first = channel.link_latency_us(0, 1)
+        assert first == channel.link_latency_us(0, 1)
+        assert channel.latency_us <= first <= channel.latency_us + 500
+        spread = {channel.link_latency_us(a, b)
+                  for a in range(4) for b in range(4) if a != b}
+        assert len(spread) > 1
+
+
+# ---------------------------------------------------------------------------
+# Resumable execution (run_until)
+# ---------------------------------------------------------------------------
+
+
+BLINKY = """
+uint8_t leds_on = 0;
+uint16_t ticks = 0;
+
+__interrupt("TIMER1_COMPA") void fired(void) {
+  ticks = ticks + 1;
+  leds_on = (uint8_t)(leds_on ^ 1);
+  __hw_write8(%d, leds_on);
+}
+
+__spontaneous void main(void) {
+  __hw_write16(%d, 64);
+  __hw_write8(%d, 1);
+  __enable_interrupts();
+  while (1) {
+    __sleep();
+  }
+}
+""" % (hw.LED_PORT, hw.TIMER_RATE, hw.TIMER_CTRL)
+
+
+def _observe_node(node: Node) -> dict:
+    return {
+        "time": node.time_cycles,
+        "busy": node.busy_cycles,
+        "sleep": node.sleep_cycles,
+        "statements": node.interpreter.statements_executed,
+        "interrupts": node.interrupts_delivered,
+        "led_changes": node.leds.state.changes,
+    }
+
+
+class TestRunUntil:
+    @pytest.mark.parametrize("engine", ["tree", "compiled"])
+    def test_sliced_execution_is_byte_identical_to_one_run(self, engine):
+        """Arbitrary pause horizons must not change what the node computes."""
+        program = make_program(BLINKY)
+        program.interrupt_vectors["TIMER1_COMPA"] = "fired"
+
+        reference = Node(program, engine=engine)
+        reference.boot()
+        reference.run(1.0)
+
+        sliced = Node(program, engine=engine)
+        sliced.boot()
+        sliced.begin_run(1.0)
+        # Deliberately awkward horizon steps: prime-sized, far smaller than
+        # the timer period, so the node pauses both mid-sleep and mid-run.
+        horizon = 0
+        status = "paused"
+        while status == "paused":
+            horizon += 104729
+            status = sliced.run_until(horizon)
+        assert status == "finished"
+        assert _observe_node(sliced) == _observe_node(reference)
+
+    def test_run_until_reports_pause_and_finish(self):
+        program = make_program(BLINKY)
+        program.interrupt_vectors["TIMER1_COMPA"] = "fired"
+        node = Node(program)
+        node.boot()
+        node.begin_run(0.5)
+        assert node.run_until(node.clock_hz // 10) == "paused"
+        assert node.time_cycles < node.end_cycles
+        assert node.run_until(node.end_cycles) == "finished"
+        assert node.run_until(node.end_cycles + 1) == "finished"
+
+
+# ---------------------------------------------------------------------------
+# Lockstep causality and the multi-hop acceptance scenario
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def surge_program():
+    return BuildPipeline(BASELINE).build_named("Surge_Mica2").program
+
+
+def _chain_network(program, node_count: int, **channel_kwargs) -> Network:
+    network = Network(channel=Channel(topology="chain", **channel_kwargs))
+    for node_id in range(node_count):
+        node = Node(program, node_id=node_id)
+        node.boot()
+        network.add_node(node)
+    return network
+
+
+_multihop_header = msgs.decode_multihop_header
+
+
+class TestMultiHop:
+    SIM_SECONDS = 45.0
+
+    def test_leaf_packet_reaches_base_via_intermediate_hop(
+            self, surge_program):
+        """The acceptance scenario: 0 (base) <- 1 <- 2 (leaf), with the
+        leaf's reading forwarded by mote 1 and causally ordered
+        cross-node delivery timestamps."""
+        network = _chain_network(surge_program, 3)
+        network.run(self.SIM_SECONDS)
+
+        # Every delivery is causal: latency is positive and a receiver
+        # never processes a packet before it was sent.
+        assert network.deliveries
+        for record in network.deliveries:
+            assert record.received_cycles > record.sent_cycles
+
+        # The leaf's readings were forwarded: the base accepted multihop
+        # data packets whose origin is mote 2 but whose last hop is mote 1.
+        forwarded = [
+            record for record in network.deliveries
+            if record.receiver_id == 0 and record.accepted
+            and _multihop_header(record.payload) == (msgs.AM_MULTIHOP, 1, 2)
+        ]
+        assert forwarded, "no leaf reading was forwarded to the base"
+
+        # Each forwarded reading was seen hopping: a matching origin-2
+        # delivery from the leaf to mote 1 strictly precedes the base's
+        # reception of the forwarded copy — monotone along the path.
+        leaf_to_relay = [
+            record for record in network.deliveries
+            if record.sender_id == 2 and record.receiver_id == 1
+            and record.accepted
+            and _multihop_header(record.payload) == (msgs.AM_MULTIHOP, 2, 2)
+        ]
+        assert leaf_to_relay
+        first_hop = min(r.received_cycles for r in leaf_to_relay)
+        for record in forwarded:
+            assert record.received_cycles > first_hop
+
+        # The relay really did the forwarding work.
+        relay = network.nodes[1]
+        obj = relay.memory.global_object("MultiHopRouterM__route_forwarded")
+        forwarded_count = relay.memory.read(Pointer(obj, 0), ty.UINT16)
+        assert forwarded_count >= len(forwarded)
+
+    def test_chain_wiring_prevents_direct_leaf_to_base_delivery(
+            self, surge_program):
+        network = _chain_network(surge_program, 3)
+        network.run(20.0)
+        assert not any(record.sender_id == 2 and record.receiver_id == 0
+                       for record in network.deliveries)
+        assert any(record.sender_id == 2 and record.receiver_id == 1
+                   for record in network.deliveries)
+
+    def test_lockstep_nodes_finish_at_their_own_end_times(
+            self, surge_program):
+        network = _chain_network(surge_program, 3)
+        network.run(5.0)
+        for node in network.nodes:
+            assert node.time_cycles >= node.end_cycles
+
+
+class TestReproducibility:
+    def _run(self, program, seed: int):
+        network = _chain_network(program, 3, loss=0.25, seed=seed)
+        network.run(20.0)
+        return (
+            [_observe_node(node) for node in network.nodes],
+            [(r.sender_id, r.receiver_id, r.sent_cycles, r.received_cycles,
+              r.accepted, r.payload) for r in network.deliveries],
+            network.delivered_packets,
+            network.lost_packets,
+        )
+
+    def test_seeded_lossy_runs_are_bit_reproducible(self, surge_program):
+        first = self._run(surge_program, seed=11)
+        second = self._run(surge_program, seed=11)
+        assert first == second
+        assert first[3] > 0, "the lossy channel never dropped a packet"
+
+    def test_different_seeds_diverge(self, surge_program):
+        first = self._run(surge_program, seed=11)
+        other = self._run(surge_program, seed=12)
+        assert first[1] != other[1]
