@@ -141,6 +141,14 @@ def format_sim_record(record: SimRecord) -> str:
         f"  failures   : {record.failures}  halted: {record.halted}  "
         f"LED changes: {record.led_changes}",
     ]
+    superblocks = record.superblocks
+    if superblocks.get("statements_total"):
+        lines.append(
+            f"  superblocks: {superblocks['fused_statements']:,}/"
+            f"{superblocks['statements_total']:,} statements fused "
+            f"({superblocks.get('fused_fraction', 0.0) * 100:.1f}%), "
+            f"{superblocks.get('entries_fast', 0):,} fast / "
+            f"{superblocks.get('entries_slow', 0):,} slow entries")
     if record.packets_sent:
         lines.append(
             f"  radio tx   : " + ", ".join(map(str, record.packets_sent)) +

@@ -16,7 +16,7 @@ field, so records and the sweep benchmarks
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.api.specs import SCHEMA_VERSION
 
@@ -140,6 +140,10 @@ class SimRecord:
         halted: Whether any node halted.
         led_changes: Total LED state changes across all nodes (the cheap
             behavioural fingerprint the examples compare).
+        superblocks: Engine superblock/fast-path statistics summed over
+            every node (``Network.superblock_stats``): fused statement
+            counts, fast/slow entry counts, burst iterations and the
+            fused fraction.  Empty for records predating the field.
     """
 
     app: str
@@ -158,6 +162,9 @@ class SimRecord:
     injected_uart: tuple[int, ...] = ()
     packets_delivered: int = 0
     packets_lost: int = 0
+    #: hash=False keeps the frozen record hashable (dicts are not); the
+    #: field still participates in equality.
+    superblocks: dict = field(default_factory=dict, hash=False)
 
     @property
     def duty_cycle(self) -> float:
@@ -187,6 +194,7 @@ class SimRecord:
             "failures": self.failures,
             "halted": self.halted,
             "led_changes": self.led_changes,
+            "superblocks": dict(self.superblocks),
         }
 
     @classmethod
@@ -208,4 +216,5 @@ class SimRecord:
             failures=data["failures"],
             halted=data["halted"],
             led_changes=data["led_changes"],
+            superblocks=dict(data.get("superblocks", {})),
         )

@@ -307,6 +307,7 @@ class Workbench:
             failures=sum(len(node.failures) for node in network.nodes),
             halted=any(node.halted for node in network.nodes),
             led_changes=sum(node.leds.state.changes for node in network.nodes),
+            superblocks=network.superblock_stats(),
         )
         with self._lock:
             return self._sim_records.setdefault(key, record)

@@ -28,17 +28,40 @@ resolves per statement:
   and, together with the node's poll-point pause gate, resumable
   (see ``Node.run_until``).
 
+Two mechanisms push past per-statement dispatch:
+
+* **superblocks** — maximal straight-line runs of simple statements fuse
+  into a single op that charges the run's precomputed cycle total once,
+  bumps the statement counter once, and executes the bare work closures
+  back-to-back.  Loops whose body is entirely fusable additionally get a
+  **loop superblock** that runs whole iterations in a burst.  Entry is
+  gated by a **poll-window guard**: if the node's next queued event (which
+  includes the lockstep kernel's horizon sentinels), a pending interrupt,
+  or the end of simulated time could land inside the block's cycle window,
+  the superblock falls back to the unfused per-statement ops — so every
+  event, interrupt delivery and pause lands at exactly the cycle it would
+  without fusion.  ``REPRO_AVRORA_SUPERBLOCKS=0`` disables fusion.
+* **a shared code cache** — the node-independent front end of lowering
+  (frame layout, per-statement cycle costs, fusability, parameter plans)
+  is computed once per program in a :class:`CodeCache` hanging off the
+  program's analysis cache (and invalidated with it), so every node of an
+  N-node :class:`~repro.avrora.network.Network` shares one front-end
+  lowering per function.  Only the final closure binding — which bakes
+  node-local state (memory objects, event queue, clock) into the ops for
+  speed — remains per node.
+
 Semantics are kept **byte-identical** to the tree-walker (cycle counts,
 interrupt delivery points, check failures, radio traffic): ops charge the
 same costs in the same order and poll the node at exactly the same points
 (after every statement, by default).  The differential test in
 ``tests/avrora/test_engine_differential.py`` enforces this on every
-application in the paper's figure suite.
+application in the paper's figure suite, with fusion on and off.
 """
 
 from __future__ import annotations
 
 import operator
+import os
 from typing import Callable, Optional, TYPE_CHECKING
 
 from repro.cminor import ast_nodes as ast
@@ -86,6 +109,23 @@ _CALL = 1 << 30
 Op = Callable[[list], int]
 #: Closure signature of one compiled expression: frame -> runtime value.
 ExprFn = Callable[[list], RuntimeValue]
+
+#: Iterations a loop superblock runs per burst when nothing bounds the
+#: poll window (no queued event, no end of simulated time).  Purely a
+#: flush granularity: accounting is written back after every burst.
+_BURST_CHUNK = 1 << 16
+
+#: Statement kinds eligible for superblock fusion (when call-free): their
+#: ops are pure frame/memory work with no control transfer, no poll
+#: obligations of their own, and no cycle charges beyond the statement's
+#: precomputed cost.
+_FUSABLE_KINDS = (ast.Assign, ast.ExprStmt, ast.VarDecl, ast.Nop)
+
+
+def _superblocks_enabled() -> bool:
+    """Read the fusion switch (``REPRO_AVRORA_SUPERBLOCKS``, default on)."""
+    value = os.environ.get("REPRO_AVRORA_SUPERBLOCKS", "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
 
 
 class _Label:
@@ -246,6 +286,165 @@ def _pointer_arith(op: str, left: RuntimeValue, right: RuntimeValue,
 
 
 # ---------------------------------------------------------------------------
+# The shared code cache (node-independent lowering front end)
+# ---------------------------------------------------------------------------
+
+
+class FunctionPlan:
+    """The node-independent half of one function's lowering.
+
+    Everything here is derived purely from the AST, the program's analysis
+    cache and the (platform-determined) cost model — no node state — so one
+    plan serves every engine simulating the program: frame layout, parameter
+    plans, per-statement cycle costs, and the superblock fusability facts.
+    Plans are shared read-only; see :class:`CodeCache`.
+    """
+
+    __slots__ = ("name", "slots", "params", "default_return", "stmt_costs",
+                 "fusable", "loop_conds")
+
+    def __init__(self, name: str, slots: dict[str, int], params: tuple,
+                 default_return: Optional[int], stmt_costs: dict[int, int],
+                 fusable: frozenset[int], loop_conds: frozenset[int]):
+        self.name = name
+        #: Frame slot of every local / stray identifier (slot 0 = return).
+        self.slots = slots
+        #: Per-parameter plan: (slot, taken, ctype, size, storage_name).
+        self.params = params
+        self.default_return = default_return
+        #: ``stmt.node_id`` -> precomputed cycle cost (statement + exprs).
+        self.stmt_costs = stmt_costs
+        #: ``node_id`` of every statement eligible for superblock fusion.
+        self.fusable = fusable
+        #: ``node_id`` of every While/For/If whose condition is call-free
+        #: (or absent) — the control-flow precondition for loop
+        #: superblocks (If matters for rotated loops' if-break guards).
+        self.loop_conds = loop_conds
+
+
+def _build_plan(func: ast.FunctionDef, program: Program,
+                costs) -> FunctionPlan:
+    """Run the lowering front end for one function (AST walks live here)."""
+    cache = program.analysis()
+    pointer_size = costs.platform.pointer_bytes
+    locals_ = cache.local_types(func)
+    taken = cache.address_taken_locals(func)
+    globals_ = program.globals
+
+    # Frame layout: slot 0 is the return value; every local name (and any
+    # stray identifier that is neither local nor global, to mirror the
+    # tree-walker's scratch-frame semantics) gets a slot.
+    slots: dict[str, int] = {}
+    for name in locals_:
+        slots[name] = 1 + len(slots)
+
+    from repro.cminor.visitor import walk_statements
+
+    stmt_costs: dict[int, int] = {}
+    fusable: set[int] = set()
+    loop_conds: set[int] = set()
+    stray: list[str] = []
+    stray_seen: set[str] = set()
+    for stmt in walk_statements(func.body):
+        cycles = costs.stmt_cycles(stmt)
+        has_call = False
+        for expr in cache.statement_expressions(stmt, func.name):
+            for node in walk_expression(expr):
+                cycles += costs.expr_cycles(node)
+                if isinstance(node, ast.Call):
+                    has_call = True
+                elif isinstance(node, ast.Identifier) and \
+                        node.name not in locals_ and \
+                        node.name not in globals_ and \
+                        node.name not in stray_seen:
+                    stray_seen.add(node.name)
+                    stray.append(node.name)
+        stmt_costs[stmt.node_id] = max(cycles, 1)
+        if not has_call and isinstance(stmt, _FUSABLE_KINDS):
+            fusable.add(stmt.node_id)
+        if isinstance(stmt, (ast.While, ast.For, ast.If)):
+            cond = stmt.cond
+            if cond is None or not any(
+                    isinstance(node, ast.Call)
+                    for node in walk_expression(cond)):
+                loop_conds.add(stmt.node_id)
+    for name in stray:
+        if name not in slots:
+            slots[name] = 1 + len(slots)
+
+    params = []
+    for param in func.params:
+        params.append((
+            slots[param.name],
+            param.name in taken,
+            param.ctype,
+            param.ctype.sizeof(pointer_size),
+            f"{func.name}.{param.name}",
+        ))
+    default_return = 0 if not func.return_type.is_void() else None
+    return FunctionPlan(func.name, slots, tuple(params), default_return,
+                        stmt_costs, frozenset(fusable),
+                        frozenset(loop_conds))
+
+
+class CodeCache:
+    """Per-program cache of :class:`FunctionPlan` shared by every node.
+
+    Lives on the program's :class:`~repro.cminor.analysis_cache.\
+ProgramAnalysisCache` (see :meth:`code_cache
+    <repro.cminor.analysis_cache.ProgramAnalysisCache.code_cache>`) and is
+    invalidated with it, so passes that mutate function bodies drop the
+    stale plans automatically.  ``lowerings`` counts front-end lowerings
+    actually performed — in an N-node network it stays at one per function,
+    while ``plan_hits`` counts the per-node compilations served by an
+    existing plan (the compile-once evidence the network benchmark
+    records).
+    """
+
+    __slots__ = ("plans", "lowerings", "plan_hits", "costs")
+
+    def __init__(self) -> None:
+        self.plans: dict[str, FunctionPlan] = {}
+        self.lowerings = 0
+        self.plan_hits = 0
+        #: The cost model the cached plans were costed with.  Plans bake
+        #: per-statement cycle costs, so a node carrying a *different*
+        #: model (``Node(costs=...)`` accepts arbitrary ones, e.g. for a
+        #: sensitivity study) must lower privately instead of sharing;
+        #: CostModel is a frozen dataclass, so equality is by value.
+        self.costs = None
+
+    def plan_for(self, func: ast.FunctionDef, program: Program,
+                 costs) -> FunctionPlan:
+        if self.costs is None:
+            self.costs = costs
+        elif self.costs != costs:
+            return _build_plan(func, program, costs)
+        plan = self.plans.get(func.name)
+        if plan is None:
+            plan = _build_plan(func, program, costs)
+            self.plans[func.name] = plan
+            self.lowerings += 1
+        else:
+            self.plan_hits += 1
+        return plan
+
+    def invalidate(self, func_name: Optional[str] = None) -> None:
+        """Drop plans after an AST mutation (mirrors the analysis cache)."""
+        if func_name is None:
+            self.plans.clear()
+        else:
+            self.plans.pop(func_name, None)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "functions": len(self.plans),
+            "lowerings": self.lowerings,
+            "plan_hits": self.plan_hits,
+        }
+
+
+# ---------------------------------------------------------------------------
 # Compiled function format
 # ---------------------------------------------------------------------------
 
@@ -329,10 +528,56 @@ class CompiledEngine:
         #: CALL ops push onto it directly; nested runs (interrupt handlers,
         #: expression-position calls) save and restore it.
         self._stack: list[CompiledFrame] = []
+        #: Superblock fusion switch (``REPRO_AVRORA_SUPERBLOCKS``), read at
+        #: engine construction so tests can toggle it per node.
+        self.superblocks_enabled = _superblocks_enabled()
+        #: Node-independent lowering plans shared with every other engine
+        #: simulating this program (compile-once across a network).
+        self.code_cache: CodeCache = self.program.analysis().code_cache()
+        #: Superblocks formed at compile time (straight-line / loop).
+        self.superblocks = 0
+        self.loop_superblocks = 0
+        #: Runtime fast-path counters, mutated in place by the fused ops:
+        #: [fast entries, slow entries, fused statements, bursts,
+        #:  burst iterations].
+        self._sb_cell = [0, 0, 0, 0, 0]
 
     @property
     def statements_executed(self) -> int:
         return self._stmt_cell[0]
+
+    def superblock_stats(self) -> dict:
+        """Superblock formation and fast-path hit-rate statistics."""
+        fast, slow, fused, bursts, iterations = self._sb_cell
+        total = self._stmt_cell[0]
+        return {
+            "engine": "compiled",
+            "enabled": self.superblocks_enabled,
+            "superblocks": self.superblocks,
+            "loop_superblocks": self.loop_superblocks,
+            "entries_fast": fast,
+            "entries_slow": slow,
+            "bursts": bursts,
+            "burst_iterations": iterations,
+            "fused_statements": fused,
+            "statements_total": total,
+            "fused_fraction": round(fused / total, 4) if total else 0.0,
+        }
+
+    def code_cache_stats(self) -> dict[str, int]:
+        """Shared code-cache counters (see :class:`CodeCache`)."""
+        return self.code_cache.stats()
+
+    def compile_program(self) -> int:
+        """Lower every program function now (normally lazy); returns count.
+
+        Used by benchmarks to separate compile time from run time when
+        measuring how the shared code cache amortizes per-node lowering.
+        """
+        for name in self.program.functions:
+            if name not in self._compiled:
+                self._compile_name(name)
+        return len(self._compiled)
 
     # -- public API -------------------------------------------------------------
 
@@ -495,29 +740,26 @@ class _FunctionCompiler:
         self.pointer_size = engine.pointer_size
         cache = self.program.analysis()
         self._cache = cache
-        self.locals_ = cache.local_types(func)
         self.taken = cache.address_taken_locals(func)
         self.globals_ = self.program.globals
 
-        # Frame layout: slot 0 is the return value; every local name (and
-        # any stray identifier that is neither local nor global, to mirror
-        # the tree-walker's scratch-frame semantics) gets a slot.
-        self.slots: dict[str, int] = {}
-        for name in self.locals_:
-            self.slots[name] = 1 + len(self.slots)
-        for name in self._stray_identifiers():
-            if name not in self.slots:
-                self.slots[name] = 1 + len(self.slots)
+        # The node-independent front end — frame layout, per-statement
+        # costs, fusability — comes from the shared per-program code cache:
+        # in an N-node network it is computed once, not N times.
+        plan = engine.code_cache.plan_for(func, self.program, engine.costs)
+        self.plan = plan
+        self.slots: dict[str, int] = plan.slots
 
         self.ops: list = []
         self.end_label = _Label()
         self.loop_stack: list[_LoopCtx] = []
         self.atomic_depth = 0
         self.has_atomic = False
+        self.sb_enabled = engine.superblocks_enabled
 
         # Hot-path bindings baked into the generated ops.  The event queue
-        # and pending-interrupt lists are mutated in place by the node and
-        # never reassigned, so closing over the list objects is safe; the
+        # and pending-interrupt containers are mutated in place by the node
+        # and never reassigned, so closing over the objects is safe; the
         # inlined accounting and the poll guard replicate ``Node.consume``
         # and the no-op test at the top of ``Node.poll`` exactly.
         self.node = engine.node
@@ -525,28 +767,9 @@ class _FunctionCompiler:
         self._eq = self.node._event_queue
         self._pending = self.node.pending_interrupts
         self._cell = engine._stmt_cell
+        self._sb = engine._sb_cell
         self._poll = self.node.poll
         self._param_names = {p.name for p in func.params}
-
-    def _stray_identifiers(self) -> set[str]:
-        """Identifier names that are neither locals nor globals.
-
-        The tree-walker stores these straight into its frame dict (they can
-        appear after aggressive code motion); give them slots so the
-        compiled engine behaves identically.
-        """
-        from repro.cminor.visitor import walk_statements
-
-        stray: set[str] = set()
-        for stmt in walk_statements(self.func.body):
-            for expr in self._cache.statement_expressions(stmt,
-                                                          self.func.name):
-                for node in walk_expression(expr):
-                    if isinstance(node, ast.Identifier) and \
-                            node.name not in self.locals_ and \
-                            node.name not in self.globals_:
-                        stray.add(node.name)
-        return stray
 
     # -- emission helpers -------------------------------------------------------
 
@@ -573,35 +796,453 @@ class _FunctionCompiler:
     # -- costs ------------------------------------------------------------------
 
     def _stmt_cost(self, stmt: ast.Stmt) -> int:
-        cycles = self.costs.stmt_cycles(stmt)
-        for expr in self._cache.statement_expressions(stmt, self.func.name):
-            for node in walk_expression(expr):
-                cycles += self.costs.expr_cycles(node)
-        return max(cycles, 1)
+        return self.plan.stmt_costs[stmt.node_id]
 
     # -- top level --------------------------------------------------------------
 
     def compile(self) -> CompiledFunction:
         self._compile_block(self.func.body)
         self._finalize()
-        params = []
-        for param in self.func.params:
-            taken = param.name in self.taken
-            params.append((
-                self.slots[param.name],
-                taken,
-                param.ctype,
-                param.ctype.sizeof(self.pointer_size),
-                f"{self.func.name}.{param.name}",
-            ))
-        default_return = 0 if not self.func.return_type.is_void() else None
         return CompiledFunction(self.func.name, self.ops,
-                                1 + len(self.slots), tuple(params),
-                                default_return, self.has_atomic)
+                                1 + len(self.slots), self.plan.params,
+                                self.plan.default_return, self.has_atomic)
 
     def _compile_block(self, block: ast.Block) -> None:
-        for stmt in block.stmts:
+        stmts = block.stmts
+        if not self.sb_enabled:
+            for stmt in stmts:
+                self._compile_stmt(stmt)
+            return
+        fusable = self.plan.fusable
+        total = len(stmts)
+        index = 0
+        while index < total:
+            stmt = stmts[index]
+            if stmt.node_id in fusable:
+                end = index + 1
+                while end < total and stmts[end].node_id in fusable:
+                    end += 1
+                if end - index >= 2:
+                    self._compile_superblock(stmts[index:end])
+                    index = end
+                    continue
             self._compile_stmt(stmt)
+            index += 1
+
+    # -- superblocks ------------------------------------------------------------
+
+    def _compile_superblock(self, run: list) -> None:
+        """Fuse one maximal straight-line run of fusable statements.
+
+        Emits a guard op followed by the unchanged per-statement ops.  The
+        guard checks the **poll window**: if the node's next queued event
+        (horizon sentinels included), the end of simulated time, a pending
+        interrupt, or strict-memory mode could make any per-statement poll
+        or end-check observable inside the run's cycle window, it falls
+        through to the per-statement ops — execution is then bit-for-bit
+        today's.  Otherwise it charges the precomputed total once, bumps
+        the statement counter once, runs the bare work closures
+        back-to-back, and jumps past the slow path.
+
+        If a work closure raises (e.g. a null-pointer dereference aborting
+        the simulation), the accounting is repaired to exactly what the
+        per-statement path would have charged up to and including the
+        faulting statement before the exception propagates.
+        """
+        self.engine.superblocks += 1
+        guard_index = len(self.ops)
+        self.ops.append(None)  # patched below, after the slow path exists
+        works = []
+        prefix = []
+        total = 0
+        for stmt in run:
+            total += self._stmt_cost(stmt)
+            prefix.append(total)
+            works.append(self._compile_work(stmt))
+            self._compile_stmt(stmt)
+        done = len(self.ops)
+
+        def op(frame: list, _n=self.node, _eq=self._eq, _pi=self._pending,
+               _works=tuple(works), _nw=len(run), _total=total,
+               _prefix=tuple(prefix), _cell=self._cell, _sb=self._sb,
+               _slow=guard_index + 1, _done=done) -> int:
+            t = _n.time_cycles
+            limit = t + _total
+            end = _n.end_cycles
+            if (_pi or (_eq and _eq[0][0] <= limit)
+                    or (end and limit >= end) or _n.strict_memory):
+                _sb[1] += 1
+                return _slow
+            _sb[0] += 1
+            _sb[2] += _nw
+            _cell[0] += _nw
+            _n.time_cycles = limit
+            j = 0
+            try:
+                while j < _nw:
+                    _works[j](frame)
+                    j += 1
+            except BaseException:
+                _n.time_cycles = t + _prefix[j]
+                _cell[0] -= _nw - j - 1
+                _sb[2] -= _nw - j - 1
+                raise
+            return _done
+
+        self.ops[guard_index] = op
+
+    def _loop_burst(self, stmt: ast.Stmt, body_stmts: list,
+                    extra_stmt: Optional[ast.Stmt] = None,
+                    base_cost: int = 0):
+        """Fusion facts for a loop superblock, or None when ineligible.
+
+        Eligible when the loop's condition is call-free (or absent) and
+        every statement executed per iteration — the body plus, for
+        ``for`` loops, the update — is fusable.  ``base_cost`` is the
+        per-iteration charge outside the statements themselves (the
+        ``while`` branch cycles).  Returns
+        ``(works, prefix, iter_cost, iter_stmts)`` where ``prefix``
+        excludes ``base_cost``.
+        """
+        if not self.sb_enabled or stmt.node_id not in self.plan.loop_conds:
+            return None
+        run = list(body_stmts)
+        if extra_stmt is not None:
+            run.append(extra_stmt)
+        if not run:
+            return None
+        fusable = self.plan.fusable
+        if any(s.node_id not in fusable for s in run):
+            return None
+        works = []
+        prefix = []
+        total = 0
+        for s in run:
+            total += self._stmt_cost(s)
+            prefix.append(total)
+            works.append(self._compile_work(s))
+        return tuple(works), tuple(prefix), base_cost + total, len(run)
+
+    def _emit_burst(self, burst, cond: Optional[ExprFn], branch_cycles: int,
+                    exit_label: _Label) -> None:
+        """One loop superblock: run fused iterations while the window allows.
+
+        Sits at the loop head, in front of the normal condition op.  Each
+        entry computes how many whole iterations fit strictly inside the
+        poll window (next event, horizon sentinel, end of time) and runs
+        them back-to-back, writing the cycle and statement accounting once
+        at the end.  A false condition exits the loop directly (charging
+        nothing, like the condition op); an exhausted window falls through
+        to the per-statement machinery, which re-evaluates the condition —
+        the condition is never evaluated twice for one iteration, so even
+        out-of-bounds reads inside it are absorbed exactly once.
+        """
+        works, prefix, iter_cost, iter_stmts = burst
+        self.engine.loop_superblocks += 1
+        nxt = len(self.ops) + 1
+
+        def maker(exit_index: int, _n=self.node, _eq=self._eq,
+                  _pi=self._pending, _cond=cond, _works=works,
+                  _nw=len(works), _prefix=prefix, _ic=iter_cost,
+                  _is=iter_stmts, _bc=branch_cycles, _cell=self._cell,
+                  _sb=self._sb, _chunk=_BURST_CHUNK, _nxt=nxt) -> Op:
+            def op(frame: list) -> int:
+                if _pi or _n.strict_memory:
+                    return _nxt
+                t = _n.time_cycles
+                end = _n.end_cycles
+                if _eq:
+                    limit = _eq[0][0] - 1
+                    if end and end - 1 < limit:
+                        limit = end - 1
+                elif end:
+                    limit = end - 1
+                else:
+                    limit = t + _ic * _chunk
+                k_max = (limit - t) // _ic
+                if k_max <= 0:
+                    return _nxt
+                k = 0
+                j = -1
+                out = _nxt
+                try:
+                    while k < k_max:
+                        if _cond is not None and _cond(frame) == 0:
+                            out = exit_index
+                            break
+                        j = 0
+                        while j < _nw:
+                            _works[j](frame)
+                            j += 1
+                        j = -1
+                        k += 1
+                except BaseException:
+                    # Repair to the per-statement accounting: k complete
+                    # iterations, plus — when a work raised — the branch
+                    # charge and the statements up to the faulting one.
+                    if j < 0:
+                        _n.time_cycles = t + k * _ic
+                        _cell[0] += k * _is
+                        _sb[2] += k * _is
+                    else:
+                        _n.time_cycles = t + k * _ic + _bc + _prefix[j]
+                        _cell[0] += k * _is + j + 1
+                        _sb[2] += k * _is + j + 1
+                    if k or j >= 0:
+                        _sb[3] += 1
+                        _sb[4] += k
+                    raise
+                if k:
+                    _n.time_cycles = t + k * _ic
+                    _cell[0] += k * _is
+                    _sb[2] += k * _is
+                    _sb[3] += 1
+                    _sb[4] += k
+                return out
+
+            return op
+
+        self._emit_pending(maker, exit_label)
+
+    def _rotated_burst_facts(self, stmt: ast.While, branch_cycles: int):
+        """Fusion facts for a rotated loop, or None when ineligible.
+
+        The simplifier desugars every ``for`` (and guarded ``while``) into
+        the rotated form ``while (1) { if (exit) break; ...tail...; }`` —
+        the dominant hot-loop shape reaching the engine.  Eligible when the
+        while condition is a non-zero literal (so evaluating it has no
+        observable effect to preserve), the first body statement is exactly
+        an if-break with a call-free condition, and the tail is fusable.
+        """
+        if not self.sb_enabled:
+            return None
+        cond = stmt.cond
+        if not (isinstance(cond, ast.IntLiteral) and cond.value != 0):
+            return None
+        body = stmt.body.stmts
+        if not body:
+            return None
+        guard = body[0]
+        if not (isinstance(guard, ast.If) and guard.else_body is None
+                and len(guard.then_body.stmts) == 1
+                and isinstance(guard.then_body.stmts[0], ast.Break)
+                and guard.node_id in self.plan.loop_conds):
+            return None
+        tail = body[1:]
+        fusable = self.plan.fusable
+        if any(s.node_id not in fusable for s in tail):
+            return None
+        works = []
+        prefix = []
+        total = 0
+        for s in tail:
+            total += self._stmt_cost(s)
+            prefix.append(total)
+            works.append(self._compile_work(s))
+        head_cost = branch_cycles + self._stmt_cost(guard)
+        exit_cost = head_cost + self._stmt_cost(guard.then_body.stmts[0])
+        return (self._compile_expr(guard.cond), tuple(works), tuple(prefix),
+                head_cost + total, 1 + len(tail), head_cost, exit_cost)
+
+    def _emit_rotated_burst(self, facts, exit_label: _Label) -> None:
+        """The loop superblock for the rotated (if-break) loop shape.
+
+        Per fused iteration, the accounting mirrors the slow path exactly:
+        the while branch charge plus the if-break guard's statement count
+        and cost, then the tail statements.  Exiting through the break
+        additionally charges and counts the break statement before jumping
+        to the loop exit, at the same cycle the per-statement path would.
+        """
+        exit_cond, works, prefix, iter_cost, iter_stmts, head_cost, \
+            exit_cost = facts
+        self.engine.loop_superblocks += 1
+        nxt = len(self.ops) + 1
+
+        def maker(exit_index: int, _n=self.node, _eq=self._eq,
+                  _pi=self._pending, _ec=exit_cond, _works=works,
+                  _nw=len(works), _prefix=prefix, _ic=iter_cost,
+                  _is=iter_stmts, _hc=head_cost, _xc=exit_cost,
+                  _cell=self._cell, _sb=self._sb, _chunk=_BURST_CHUNK,
+                  _nxt=nxt) -> Op:
+            def op(frame: list) -> int:
+                if _pi or _n.strict_memory:
+                    return _nxt
+                t = _n.time_cycles
+                end = _n.end_cycles
+                if _eq:
+                    limit = _eq[0][0] - 1
+                    if end and end - 1 < limit:
+                        limit = end - 1
+                elif end:
+                    limit = end - 1
+                else:
+                    limit = t + _ic * _chunk
+                # A break exit can charge more than one full iteration
+                # (exit cost > iteration cost when the tail is tiny);
+                # shrink the budget so every exit stays inside the window.
+                budget = limit - t
+                if _xc > _ic:
+                    budget -= _xc - _ic
+                k_max = budget // _ic
+                if k_max <= 0:
+                    return _nxt
+                k = 0
+                j = -1
+                try:
+                    if _nw == 2:
+                        # The canonical desugared ``for``: body + update.
+                        w0 = _works[0]
+                        w1 = _works[1]
+                        while k < k_max:
+                            j = -2
+                            if _ec(frame) != 0:
+                                _n.time_cycles = t + k * _ic + _xc
+                                _cell[0] += k * _is + 2
+                                _sb[2] += k * _is + 2
+                                _sb[3] += 1
+                                _sb[4] += k
+                                return exit_index
+                            j = 0
+                            w0(frame)
+                            j = 1
+                            w1(frame)
+                            j = -1
+                            k += 1
+                    elif _nw == 1:
+                        w0 = _works[0]
+                        while k < k_max:
+                            j = -2
+                            if _ec(frame) != 0:
+                                _n.time_cycles = t + k * _ic + _xc
+                                _cell[0] += k * _is + 2
+                                _sb[2] += k * _is + 2
+                                _sb[3] += 1
+                                _sb[4] += k
+                                return exit_index
+                            j = 0
+                            w0(frame)
+                            j = -1
+                            k += 1
+                    else:
+                        while k < k_max:
+                            j = -2
+                            if _ec(frame) != 0:
+                                _n.time_cycles = t + k * _ic + _xc
+                                _cell[0] += k * _is + 2
+                                _sb[2] += k * _is + 2
+                                _sb[3] += 1
+                                _sb[4] += k
+                                return exit_index
+                            j = 0
+                            while j < _nw:
+                                _works[j](frame)
+                                j += 1
+                            j = -1
+                            k += 1
+                except BaseException:
+                    # Repair to the per-statement accounting: the guard
+                    # condition raising counts the if statement only; a
+                    # tail work raising also counts the statements up to
+                    # and including the faulting one.
+                    if j == -2:
+                        _n.time_cycles = t + k * _ic + _hc
+                        _cell[0] += k * _is + 1
+                        _sb[2] += k * _is + 1
+                    elif j >= 0:
+                        _n.time_cycles = t + k * _ic + _hc + _prefix[j]
+                        _cell[0] += k * _is + j + 2
+                        _sb[2] += k * _is + j + 2
+                    else:  # pragma: no cover - defensive
+                        _n.time_cycles = t + k * _ic
+                        _cell[0] += k * _is
+                        _sb[2] += k * _is
+                    _sb[3] += 1
+                    _sb[4] += k
+                    raise
+                if k:
+                    _n.time_cycles = t + k * _ic
+                    _cell[0] += k * _is
+                    _sb[2] += k * _is
+                    _sb[3] += 1
+                    _sb[4] += k
+                return _nxt
+
+            return op
+
+        self._emit_pending(maker, exit_label)
+
+    def _compile_work(self, stmt: ast.Stmt) -> Callable[[list], None]:
+        """The bare effect of one fusable statement.
+
+        No statement counting, no cycle charge, no end-of-time check, no
+        poll: the enclosing superblock performs those once for the whole
+        run, which the poll-window guard proves unobservable.  The closure
+        reuses the exact store/expression compilers of the slow path, so
+        the effect (including lenient-memory absorption) is identical.
+        """
+        if isinstance(stmt, ast.Assign):
+            store = self._compile_store(stmt.lvalue)
+            rvalue = self._compile_expr(stmt.rvalue)
+
+            def work(frame: list, _st=store, _rv=rvalue) -> None:
+                _st(frame, _rv(frame))
+
+            return work
+        if isinstance(stmt, ast.ExprStmt):
+            value = self._compile_expr(stmt.expr)
+
+            def work(frame: list, _v=value) -> None:
+                _v(frame)
+
+            return work
+        if isinstance(stmt, ast.VarDecl):
+            return self._compile_vardecl_work(stmt)
+        return lambda frame: None  # ast.Nop
+
+    def _compile_vardecl_work(self, stmt: ast.VarDecl
+                              ) -> Callable[[list], None]:
+        """``_compile_vardecl`` minus accounting and poll (see above)."""
+        slot = self.slots[stmt.name]
+        aggregate = isinstance(stmt.ctype, (ty.ArrayType, ty.StructType))
+        if stmt.name in self.taken or aggregate:
+            memory = self.engine.memory
+            size = stmt.ctype.sizeof(self.pointer_size)
+            storage = f"local.{stmt.name}"
+            init_value: Optional[ExprFn] = None
+            init_bytes: Optional[bytes] = None
+            if stmt.init is not None and stmt.ctype.is_scalar():
+                init_value = self._compile_expr(stmt.init)
+            elif isinstance(stmt.init, ast.StringLiteral) and \
+                    isinstance(stmt.ctype, ty.ArrayType):
+                encoded = stmt.init.value.encode("latin-1", errors="replace")
+                init_bytes = encoded[:stmt.ctype.length]
+            ctype = stmt.ctype
+
+            def work(frame: list, _mem=memory, _storage=storage, _size=size,
+                     _slot=slot, _iv=init_value, _ib=init_bytes,
+                     _ct=ctype) -> None:
+                obj = _mem.allocate(_storage, _size, kind="local")
+                frame[_slot] = obj
+                if _iv is not None:
+                    _mem.write(Pointer(obj, 0), _ct, _iv(frame))
+                elif _ib is not None:
+                    obj.data[0:len(_ib)] = _ib
+
+            return work
+
+        init = self._compile_expr(stmt.init) if stmt.init is not None else None
+        wrap = _make_wrap(stmt.ctype) if stmt.ctype.is_integer() else None
+
+        def work(frame: list, _slot=slot, _init=init, _wrap=wrap) -> None:
+            if _init is None:
+                frame[_slot] = 0
+            else:
+                value = _init(frame)
+                if _wrap is not None and isinstance(value, int):
+                    value = _wrap(value)
+                frame[_slot] = value
+
+        return work
 
     # -- statements -------------------------------------------------------------
 
@@ -929,11 +1570,20 @@ class _FunctionCompiler:
         self._emit_entry(cost)
         cond = self._compile_expr(stmt.cond)
         branch_cycles = self.costs.branch_cycles
-        cond_index = len(self.ops)
-        body_index = cond_index + 1
         exit_label = _Label()
         cond_label = _Label()
         self._bind(cond_label)
+        loop_head = len(self.ops)
+        burst = self._loop_burst(stmt, stmt.body.stmts,
+                                 base_cost=branch_cycles)
+        if burst is not None:
+            self._emit_burst(burst, cond, branch_cycles, exit_label)
+        else:
+            rotated = self._rotated_burst_facts(stmt, branch_cycles)
+            if rotated is not None:
+                self._emit_rotated_burst(rotated, exit_label)
+        cond_index = len(self.ops)
+        body_index = cond_index + 1
 
         def maker(exit_index: int, _cond=cond, _n=self.node,
                   _bc=branch_cycles, _sf=self._sf, _body=body_index) -> Op:
@@ -953,7 +1603,7 @@ class _FunctionCompiler:
             _LoopCtx(exit_label, cond_label, self.atomic_depth))
         self._compile_block(stmt.body)
         self.loop_stack.pop()
-        self._emit_jump(cond_index)
+        self._emit_jump(loop_head)
         self._bind(exit_label)
         if poll_after:
             self._emit_poll()
@@ -988,9 +1638,16 @@ class _FunctionCompiler:
             self._compile_stmt(stmt.init, poll_after=False)
         exit_label = _Label()
         update_label = _Label()
-        cond_index = len(self.ops)
-        if stmt.cond is not None:
-            cond = self._compile_expr(stmt.cond)
+        cond = self._compile_expr(stmt.cond) if stmt.cond is not None \
+            else None
+        loop_head = len(self.ops)
+        # A for-iteration charges no branch cycles (the condition op below
+        # is free), so the burst's per-iteration cost is body + update.
+        burst = self._loop_burst(stmt, stmt.body.stmts, stmt.update)
+        if burst is not None:
+            self._emit_burst(burst, cond, 0, exit_label)
+        if cond is not None:
+            cond_index = len(self.ops)
             body_index = cond_index + 1
 
             def maker(exit_index: int, _cond=cond, _body=body_index) -> Op:
@@ -1007,7 +1664,7 @@ class _FunctionCompiler:
         self._bind(update_label)
         if stmt.update is not None:
             self._compile_stmt(stmt.update, poll_after=False)
-        self._emit_jump(cond_index)
+        self._emit_jump(loop_head)
         self._bind(exit_label)
         if poll_after:
             self._emit_poll()

@@ -96,6 +96,43 @@ class Interpreter:
         """Statements executed so far (shared metric across engines)."""
         return self._impl.statements_executed
 
+    def superblock_stats(self) -> dict:
+        """Superblock fast-path statistics (all-zero for the tree-walker).
+
+        The schema is engine-independent so callers (``SimRecord``, the
+        network aggregator, the benchmarks) can sum entries blindly.
+        """
+        impl = self._impl
+        stats = getattr(impl, "superblock_stats", None)
+        if stats is not None:
+            return stats()
+        return {
+            "engine": self.engine_name,
+            "enabled": False,
+            "superblocks": 0,
+            "loop_superblocks": 0,
+            "entries_fast": 0,
+            "entries_slow": 0,
+            "bursts": 0,
+            "burst_iterations": 0,
+            "fused_statements": 0,
+            "statements_total": impl.statements_executed,
+            "fused_fraction": 0.0,
+        }
+
+    def code_cache_stats(self) -> dict:
+        """Shared code-cache counters (zeros for the tree-walker)."""
+        impl = self._impl
+        stats = getattr(impl, "code_cache_stats", None)
+        if stats is not None:
+            return stats()
+        return {"functions": 0, "lowerings": 0, "plan_hits": 0}
+
+    def warm(self) -> int:
+        """Precompile every program function (no-op for the tree-walker)."""
+        compile_all = getattr(self._impl, "compile_program", None)
+        return compile_all() if compile_all is not None else 0
+
 
 class TreeWalkInterpreter:
     """Executes one program on behalf of one node by walking the AST."""

@@ -383,6 +383,34 @@ class Network:
     def duty_cycles(self) -> list[float]:
         return [node.duty_cycle() for node in self.nodes]
 
+    #: Additive fields of ``Interpreter.superblock_stats`` (everything but
+    #: the engine tag, the enabled flag and the derived fraction).
+    _SB_SUM_KEYS = ("superblocks", "loop_superblocks", "entries_fast",
+                    "entries_slow", "bursts", "burst_iterations",
+                    "fused_statements", "statements_total")
+
+    def superblock_stats(self) -> dict:
+        """Engine fast-path statistics summed over every node.
+
+        With the shared code cache, ``superblocks``/``loop_superblocks``
+        count per-node closure bindings (they scale with the node count);
+        the runtime hit-rate fields are what the simulation records and
+        the CLI surface.
+        """
+        totals: dict = {key: 0 for key in self._SB_SUM_KEYS}
+        enabled = False
+        for node in self.nodes:
+            stats = node.interpreter.superblock_stats()
+            enabled = enabled or bool(stats.get("enabled"))
+            for key in self._SB_SUM_KEYS:
+                totals[key] += stats.get(key, 0)
+        executed = totals["statements_total"]
+        totals["enabled"] = enabled
+        totals["fused_fraction"] = \
+            round(totals["fused_statements"] / executed, 4) if executed \
+            else 0.0
+        return totals
+
     def node_stats(self) -> list[dict]:
         """Per-node packet and duty-cycle statistics, in node order."""
         stats = []

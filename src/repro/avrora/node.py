@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -84,7 +85,11 @@ class Node:
         self.atomic_depth = 0
         self.interrupts_enabled = False
         self.in_interrupt = False
-        self.pending_interrupts: list[str] = []
+        #: FIFO of raised-but-undelivered interrupt vectors.  A deque: the
+        #: delivery loop pops from the left, and ``list.pop(0)`` is O(n).
+        #: The engines close over the container and test its truthiness on
+        #: the hot path, so it is mutated in place and never reassigned.
+        self.pending_interrupts: deque[str] = deque()
         self.interrupts_delivered = 0
         self.failures: list[FailureRecord] = []
         self.halted = False
@@ -187,6 +192,25 @@ class Node:
             _when, _seq, callback = heapq.heappop(self._event_queue)
             callback()
 
+    def next_event_cycles(self) -> Optional[int]:
+        """Local time of the next queued event, or ``None`` when idle.
+
+        The cheap probe behind the compiled engine's superblock poll-window
+        guard: anything that must interrupt straight-line execution — due
+        events, lockstep horizon sentinels (``run_until`` and
+        ``shrink_pause`` always queue one at the pause horizon), packet
+        deliveries — appears on the event queue, so "no event before
+        ``time + block_cycles``" proves a fused block cannot skip an
+        observable poll.  The engine inlines this expression into its
+        guard ops; keep the two in sync.
+        """
+        queue = self._event_queue
+        return queue[0][0] if queue else None
+
+    def interrupt_pending(self) -> bool:
+        """Whether any raised interrupt awaits delivery (the guard's twin)."""
+        return bool(self.pending_interrupts)
+
     # -- cycle accounting ----------------------------------------------------------------
 
     def consume(self, cycles: int) -> None:
@@ -261,7 +285,7 @@ class Node:
 
     def _deliver_interrupts(self) -> None:
         while self.pending_interrupts and self._can_deliver():
-            vector = self.pending_interrupts.pop(0)
+            vector = self.pending_interrupts.popleft()
             handler = self.program.interrupt_vectors.get(vector)
             if handler is None:
                 continue

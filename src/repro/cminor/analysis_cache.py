@@ -45,6 +45,23 @@ class ProgramAnalysisCache:
         #: node_id → owning function name, so per-function invalidation can
         #: drop the statement-expression entries it owns.
         self._stmt_owner: dict[int, str] = {}
+        #: Lazily created simulator code cache (see :meth:`code_cache`).
+        self._code_cache = None
+
+    def code_cache(self):
+        """The simulator's shared per-program code cache (lazy).
+
+        Holds the node-independent lowering plans of
+        :class:`~repro.avrora.engine.CompiledEngine`, so an N-node network
+        runs the lowering front end once per function.  It lives here —
+        rather than on each node — precisely so it is dropped by the same
+        :meth:`invalidate` calls that transformation passes already make.
+        """
+        if self._code_cache is None:
+            from repro.avrora.engine import CodeCache
+
+            self._code_cache = CodeCache()
+        return self._code_cache
 
     # -- queries ----------------------------------------------------------------
 
@@ -109,6 +126,8 @@ class ProgramAnalysisCache:
         owner is unknown are always dropped (they may belong to any
         function).
         """
+        if self._code_cache is not None:
+            self._code_cache.invalidate(func_name)
         if func_name is None:
             self._local_types.clear()
             self._address_taken.clear()

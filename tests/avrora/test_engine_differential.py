@@ -5,10 +5,14 @@ The compile-to-closures engine (:mod:`repro.avrora.engine`) must be an
 same cycle totals, same interrupt delivery, same memory-safety verdicts,
 same ``__error_report`` output, same radio traffic.  This module enforces
 that on every application in the paper's figure suite plus a set of
-hand-written semantic edge cases.
+hand-written semantic edge cases — and, for the figure suite, that
+superblock fusion on vs off (``REPRO_AVRORA_SUPERBLOCKS=0``) is equally
+invisible.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -51,9 +55,19 @@ def _observe(node: Node, network: Network) -> dict:
 
 
 def _simulate(program, app_name: str, engine: str,
-              sequential: bool = False) -> dict:
+              sequential: bool = False, superblocks: bool = True) -> dict:
     network = Network(traffic=duty_cycle_context(app_name))
-    node = Node(program, node_id=1, engine=engine)
+    # Pin the fusion switch (don't inherit the ambient environment: the
+    # CI fusion-off leg must not silently turn the "fused" runs unfused).
+    previous = os.environ.get("REPRO_AVRORA_SUPERBLOCKS")
+    os.environ["REPRO_AVRORA_SUPERBLOCKS"] = "1" if superblocks else "0"
+    try:
+        node = Node(program, node_id=1, engine=engine)
+    finally:
+        if previous is None:
+            os.environ.pop("REPRO_AVRORA_SUPERBLOCKS", None)
+        else:
+            os.environ["REPRO_AVRORA_SUPERBLOCKS"] = previous
     node.boot()
     network.add_node(node)
     if sequential:
@@ -71,12 +85,17 @@ def test_figure_apps_identical_under_both_engines(app_name):
     default ``Network.run`` (lockstep, resumable execution thread) must be
     byte-identical to the legacy sequential semantics for every figure
     application — same busy/sleep cycles, failure records, LED history
-    and radio traffic.
+    and radio traffic.  Superblock fusion must be equally invisible: the
+    fusion-off engine (the ablation configuration) produces the same
+    observation under the lockstep kernel.
     """
     build = BuildPipeline(BASELINE).build_named(app_name)
     tree = _simulate(build.program, app_name, "tree")
     compiled = _simulate(build.program, app_name, "compiled")
     assert tree == compiled
+    unfused = _simulate(build.program, app_name, "compiled",
+                        superblocks=False)
+    assert compiled == unfused
     legacy = _simulate(build.program, app_name, "compiled", sequential=True)
     assert compiled == legacy
 
