@@ -9,7 +9,7 @@ Usage::
                           [--processes N] [--json]
     python -m repro simulate APP [--variant NAME] [--seconds S]
                           [--nodes N] [--topology T] [--loss P] [--seed N]
-                          [--traffic default|base|none] [--json]
+                          [--traffic default|base|none] [--workers N] [--json]
     python -m repro figures [--figure 2|3a|3b|3c] [--apps ...] [--json]
 
 Every command speaks the ``repro.api`` schemas: ``--json`` emits the
@@ -161,6 +161,16 @@ def format_sim_record(record: SimRecord) -> str:
             f"  injected   : radio " +
             ", ".join(map(str, record.injected_radio)) +
             f"  uart " + ", ".join(map(str, record.injected_uart)))
+    if record.shards:
+        for shard in record.shards:
+            lo, hi = shard.get("nodes", (0, 0))
+            lines.append(
+                f"  shard {shard.get('worker', '?')}    : nodes "
+                f"[{lo}, {hi}), {shard.get('rounds', 0)} rounds, "
+                f"{shard.get('packets_in', 0)} in / "
+                f"{shard.get('packets_out', 0)} out boundary packets, "
+                f"sync {shard.get('sync_wait_s', 0.0):.2f}s of "
+                f"{shard.get('wall_s', 0.0):.2f}s wall")
     return "\n".join(lines)
 
 
@@ -218,7 +228,7 @@ def cmd_simulate(args, workbench: Workbench, out) -> int:
         app=args.app, variant=args.variant,
         node_count=args.nodes, seconds=args.seconds,
         traffic=traffic, topology=args.topology,
-        loss=args.loss, seed=args.seed))
+        loss=args.loss, seed=args.seed, workers=args.workers))
     record = workbench.simulate(spec)
     if args.json:
         _emit_json(record.to_dict(), out)
@@ -307,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "first node only, or none")
     p_sim.add_argument("--no-traffic", action="store_true",
                        help="shorthand for --traffic none")
+    p_sim.add_argument("--workers", type=int, default=1,
+                       help="shard the network across N worker processes "
+                            "(bit-identical to --workers 1)")
     add_json(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 

@@ -144,6 +144,14 @@ class SimRecord:
             every node (``Network.superblock_stats``): fused statement
             counts, fast/slow entry counts, burst iterations and the
             fused fraction.  Empty for records predating the field.
+        workers: Worker processes the simulation actually ran with.
+            Informational only: results are bit-identical across worker
+            counts, so two records differing only here are the same
+            simulation.
+        shards: Per-shard execution statistics from the sharded kernel
+            (``Network.shard_stats``): node range, window-grant rounds,
+            boundary packet traffic, sync-wait and wall time.  Empty for
+            in-process runs and records predating the field.
     """
 
     app: str
@@ -165,6 +173,8 @@ class SimRecord:
     #: hash=False keeps the frozen record hashable (dicts are not); the
     #: field still participates in equality.
     superblocks: dict = field(default_factory=dict, hash=False)
+    workers: int = 1
+    shards: tuple = field(default=(), hash=False)
 
     @property
     def duty_cycle(self) -> float:
@@ -195,6 +205,8 @@ class SimRecord:
             "halted": self.halted,
             "led_changes": self.led_changes,
             "superblocks": dict(self.superblocks),
+            "workers": self.workers,
+            "shards": [dict(shard) for shard in self.shards],
         }
 
     @classmethod
@@ -217,4 +229,6 @@ class SimRecord:
             halted=data["halted"],
             led_changes=data["led_changes"],
             superblocks=dict(data.get("superblocks", {})),
+            workers=data.get("workers", 1),
+            shards=tuple(dict(shard) for shard in data.get("shards", ())),
         )

@@ -30,8 +30,12 @@ from repro.toolchain.lower import variant_passes
 from repro.toolchain.variants import SAFE_OPTIMIZED, variant_by_name
 
 #: Version stamped into every serialized spec and record; bump when the
-#: dictionary layout changes incompatibly.
-SCHEMA_VERSION = 1
+#: dictionary layout changes incompatibly *or* when simulation semantics
+#: change enough that previously recorded results no longer reproduce.
+#: v2: the channel derives loss and jitter from a stable per-packet hash
+#: of (seed, src, dst, sequence) instead of a shared ``random.Random``
+#: stream, so v1 simulation records name different trajectories.
+SCHEMA_VERSION = 2
 
 #: ``SimSpec.traffic`` profiles: simulate inside the application's default
 #: duty-cycle context (Section 3.4) on every node, on the first node only
@@ -161,6 +165,12 @@ class SimSpec:
         loss: Per-link, per-packet drop probability in [0, 1).
         seed: Seed of the channel's loss RNG; equal seeds give
             bit-identical simulations.
+        workers: Worker processes for the sharded kernel (>= 1, at most
+            ``node_count``).  Results are bit-identical for every worker
+            count, so ``workers`` is an execution knob, not part of the
+            simulation's identity: it is excluded from
+            :meth:`content_key` and records cached under one worker
+            count satisfy requests made with another.
     """
 
     app: str
@@ -171,6 +181,7 @@ class SimSpec:
     topology: str = "broadcast"
     loss: float = 0.0
     seed: int = 0
+    workers: int = 1
 
     def __post_init__(self):
         _check_app(self.app)
@@ -199,6 +210,15 @@ class SimSpec:
             raise ValueError(
                 f"{self.describe()}: seed must be a non-negative integer, "
                 f"got {self.seed!r}")
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValueError(
+                f"{self.describe()}: parallel config: workers must be "
+                f">= 1, got {self.workers!r}")
+        if self.workers > self.node_count:
+            raise ValueError(
+                f"{self.describe()}: parallel config: workers "
+                f"({self.workers}) must not exceed the node count "
+                f"({self.node_count})")
 
     def describe(self) -> str:
         return (f"SimSpec({self.app} × {self.variant}, "
@@ -208,6 +228,9 @@ class SimSpec:
         return BuildSpec(app=self.app, variant=self.variant)
 
     def content_key(self) -> str:
+        # ``workers`` is intentionally absent: the sharded kernel is
+        # bit-identical to the in-process one, so worker count is not
+        # part of what the simulation *is* — only of how it is executed.
         return _digest({
             "schema": SCHEMA_VERSION,
             "kind": "sim",
@@ -225,7 +248,8 @@ class SimSpec:
                 "app": self.app, "variant": self.variant,
                 "node_count": self.node_count, "seconds": self.seconds,
                 "traffic": self.traffic, "topology": self.topology,
-                "loss": self.loss, "seed": self.seed}
+                "loss": self.loss, "seed": self.seed,
+                "workers": self.workers}
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimSpec":
@@ -234,4 +258,5 @@ class SimSpec:
                    traffic=data.get("traffic", TRAFFIC_DEFAULT),
                    topology=data.get("topology", "broadcast"),
                    loss=data.get("loss", 0.0),
-                   seed=data.get("seed", 0))
+                   seed=data.get("seed", 0),
+                   workers=data.get("workers", 1))

@@ -57,7 +57,8 @@ from repro.toolchain.variants import all_variant_names, variant_by_name
 def run_network(program, *, seconds: float, node_count: int = 1,
                 traffic: Optional[TrafficGenerator] = None,
                 channel: Optional[Channel] = None,
-                traffic_first_node_only: bool = False) -> Network:
+                traffic_first_node_only: bool = False,
+                workers: int = 1) -> Network:
     """Boot ``node_count`` motes running ``program`` and co-simulate them.
 
     Nodes advance in lockstep over the given ``channel`` (default:
@@ -66,7 +67,8 @@ def run_network(program, *, seconds: float, node_count: int = 1,
     the first node is the routing base station (``TOS_LOCAL_ADDRESS == 0``
     — what ``MultiHopRouterM`` treats as the collection root).
     ``traffic_first_node_only`` installs the synthetic traffic generator
-    on the first node only.
+    on the first node only.  ``workers > 1`` shards the topology across
+    that many worker processes with bit-identical results.
     """
     if node_count < 1:
         raise ValueError(f"node_count must be >= 1, got {node_count}")
@@ -78,7 +80,7 @@ def run_network(program, *, seconds: float, node_count: int = 1,
         node.boot()
         network.add_node(
             node, traffic=(index == 0 or not traffic_first_node_only))
-    network.run(seconds)
+    network.run(seconds, workers=workers)
     return network
 
 
@@ -288,7 +290,8 @@ class Workbench:
         network = run_network(
             result.program, seconds=spec.seconds,
             node_count=spec.node_count, traffic=traffic, channel=channel,
-            traffic_first_node_only=(spec.traffic == TRAFFIC_BASE))
+            traffic_first_node_only=(spec.traffic == TRAFFIC_BASE),
+            workers=spec.workers)
         stats = network.node_stats()
         record = SimRecord(
             app=spec.app,
@@ -308,6 +311,8 @@ class Workbench:
             halted=any(node.halted for node in network.nodes),
             led_changes=sum(node.leds.state.changes for node in network.nodes),
             superblocks=network.superblock_stats(),
+            workers=spec.workers,
+            shards=tuple(network.shard_stats),
         )
         with self._lock:
             return self._sim_records.setdefault(key, record)

@@ -37,6 +37,29 @@ class Device:
     def start(self) -> None:
         """Called once when the simulation starts."""
 
+    # -- snapshot / restore ---------------------------------------------------
+    #
+    # Devices serialize their state as plain picklable dicts so a node can
+    # be checkpointed and rebuilt in another process (the sharded network
+    # kernel) or resumed mid-simulation.  Scheduled callbacks cannot be
+    # pickled, so each device also *describes* its queued events as tagged
+    # tuples and *resolves* those tags back into callables on restore.
+
+    def snapshot(self) -> Optional[dict]:
+        """Picklable device state, or ``None`` for stateless devices."""
+        return None
+
+    def restore(self, state: dict) -> None:
+        """Apply a :meth:`snapshot` produced by the same device class."""
+
+    def describe_event(self, callback: Callable[[], None]) -> Optional[tuple]:
+        """A picklable tag for ``callback`` if this device scheduled it."""
+        return None
+
+    def resolve_event(self, desc: tuple) -> Optional[Callable[[], None]]:
+        """The callable a :meth:`describe_event` tag stands for."""
+        return None
+
 
 @dataclass
 class LedState:
@@ -67,6 +90,15 @@ class Leds(Device):
 
     def read(self, address: int, width: int) -> int:
         return self.state.value
+
+    def snapshot(self) -> dict:
+        return {"value": self.state.value, "changes": self.state.changes,
+                "red_toggles": self.state.red_toggles}
+
+    def restore(self, state: dict) -> None:
+        self.state.value = state["value"]
+        self.state.changes = state["changes"]
+        self.state.red_toggles = state["red_toggles"]
 
 
 class Clock(Device):
@@ -104,6 +136,21 @@ class Clock(Device):
         self.node.raise_interrupt(hw.VECTOR_CLOCK)
         self._schedule()
 
+    def snapshot(self) -> dict:
+        return {"rate_jiffies": self.rate_jiffies, "enabled": self.enabled,
+                "ticks": self.ticks}
+
+    def restore(self, state: dict) -> None:
+        self.rate_jiffies = state["rate_jiffies"]
+        self.enabled = state["enabled"]
+        self.ticks = state["ticks"]
+
+    def describe_event(self, callback) -> Optional[tuple]:
+        return ("clock",) if callback == self._fire else None
+
+    def resolve_event(self, desc: tuple):
+        return self._fire if desc[0] == "clock" else None
+
 
 class MicroTimer(Device):
     """The high-rate timer used by HighFrequencySampling."""
@@ -134,6 +181,21 @@ class MicroTimer(Device):
         self.ticks += 1
         self.node.raise_interrupt(hw.VECTOR_MICROTIMER)
         self._schedule()
+
+    def snapshot(self) -> dict:
+        return {"rate_jiffies": self.rate_jiffies, "enabled": self.enabled,
+                "ticks": self.ticks}
+
+    def restore(self, state: dict) -> None:
+        self.rate_jiffies = state["rate_jiffies"]
+        self.enabled = state["enabled"]
+        self.ticks = state["ticks"]
+
+    def describe_event(self, callback) -> Optional[tuple]:
+        return ("microtimer",) if callback == self._fire else None
+
+    def resolve_event(self, desc: tuple):
+        return self._fire if desc[0] == "microtimer" else None
 
 
 class Adc(Device):
@@ -175,6 +237,24 @@ class Adc(Device):
         self.value = self._sample()
         self.conversions += 1
         self.node.raise_interrupt(hw.VECTOR_ADC)
+
+    def snapshot(self) -> dict:
+        return {"busy": self.busy, "channel": self.channel,
+                "value": self.value, "conversions": self.conversions,
+                "seed": self._seed}
+
+    def restore(self, state: dict) -> None:
+        self.busy = state["busy"]
+        self.channel = state["channel"]
+        self.value = state["value"]
+        self.conversions = state["conversions"]
+        self._seed = state["seed"]
+
+    def describe_event(self, callback) -> Optional[tuple]:
+        return ("adc",) if callback == self._complete else None
+
+    def resolve_event(self, desc: tuple):
+        return self._complete if desc[0] == "adc" else None
 
 
 class Radio(Device):
@@ -230,7 +310,12 @@ class Radio(Device):
         self.transmitting = True
         airtime = self.node.cycles_for_us(self.US_PER_BYTE * max(len(payload), 1))
         self.tx_done_at = self.node.time_cycles + max(1, airtime)
-        self.node.schedule(airtime, lambda: self._transmit_done(payload))
+        self.node.schedule(airtime, self._tx_done_callback(payload))
+
+    def _tx_done_callback(self, payload: bytes) -> Callable[[], None]:
+        callback = lambda: self._transmit_done(payload)  # noqa: E731
+        callback.__event_desc__ = ("radio_tx", payload)
+        return callback
 
     def _transmit_done(self, payload: bytes) -> None:
         self.transmitting = False
@@ -253,6 +338,33 @@ class Radio(Device):
         self.packets_received += 1
         self.node.raise_interrupt(hw.VECTOR_RADIO_RX)
         return True
+
+    def snapshot(self) -> dict:
+        return {"rx_enabled": self.rx_enabled, "powered": self.powered,
+                "tx_fifo": list(self.tx_fifo), "rx_fifo": list(self.rx_fifo),
+                "rx_length": self.rx_length,
+                "transmitting": self.transmitting,
+                "tx_done_at": self.tx_done_at,
+                "packets_sent": list(self.packets_sent),
+                "packets_received": self.packets_received,
+                "packets_dropped": self.packets_dropped}
+
+    def restore(self, state: dict) -> None:
+        self.rx_enabled = state["rx_enabled"]
+        self.powered = state["powered"]
+        self.tx_fifo = list(state["tx_fifo"])
+        self.rx_fifo = list(state["rx_fifo"])
+        self.rx_length = state["rx_length"]
+        self.transmitting = state["transmitting"]
+        self.tx_done_at = state["tx_done_at"]
+        self.packets_sent = list(state["packets_sent"])
+        self.packets_received = state["packets_received"]
+        self.packets_dropped = state["packets_dropped"]
+
+    def resolve_event(self, desc: tuple):
+        if desc[0] == "radio_tx":
+            return self._tx_done_callback(desc[1])
+        return None
 
 
 class Uart(Device):
@@ -302,6 +414,32 @@ class Uart(Device):
             self.node.schedule(self.node.cycles_for_us(self.US_PER_BYTE),
                                self._rx_next)
 
+    def snapshot(self) -> dict:
+        return {"sent_bytes": list(self.sent_bytes),
+                "pending_rx": list(self.pending_rx),
+                "current_rx_byte": self.current_rx_byte,
+                "tx_busy": self.tx_busy}
+
+    def restore(self, state: dict) -> None:
+        self.sent_bytes = list(state["sent_bytes"])
+        self.pending_rx = list(state["pending_rx"])
+        self.current_rx_byte = state["current_rx_byte"]
+        self.tx_busy = state["tx_busy"]
+
+    def describe_event(self, callback) -> Optional[tuple]:
+        if callback == self._tx_done:
+            return ("uart_tx",)
+        if callback == self._rx_next:
+            return ("uart_rx",)
+        return None
+
+    def resolve_event(self, desc: tuple):
+        if desc[0] == "uart_tx":
+            return self._tx_done
+        if desc[0] == "uart_rx":
+            return self._rx_next
+        return None
+
 
 class JiffyCounter(Device):
     """The free-running 32-bit jiffy counter read by TimeStampingC."""
@@ -343,6 +481,35 @@ class DeviceBus:
         for device in self.devices:
             if isinstance(device, device_type):
                 return device
+        return None
+
+    def snapshot(self) -> dict:
+        """Per-device state keyed by device class name."""
+        out: dict = {}
+        for device in self.devices:
+            state = device.snapshot()
+            if state is not None:
+                out[type(device).__name__] = state
+        return out
+
+    def restore(self, states: dict) -> None:
+        for device in self.devices:
+            state = states.get(type(device).__name__)
+            if state is not None:
+                device.restore(state)
+
+    def describe_event(self, callback) -> Optional[tuple]:
+        for device in self.devices:
+            desc = device.describe_event(callback)
+            if desc is not None:
+                return desc
+        return None
+
+    def resolve_event(self, desc: tuple) -> Optional[Callable[[], None]]:
+        for device in self.devices:
+            callback = device.resolve_event(desc)
+            if callback is not None:
+                return callback
         return None
 
 

@@ -157,6 +157,90 @@ class MemorySystem:
             offset += 1
         return "".join(chars)
 
+    # -- snapshot / restore -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize every reachable object to plain picklable data.
+
+        Globals are keyed by name and string literals by value; objects
+        reachable only through stored pointers (address-taken locals kept
+        alive by a global, heap-like buffers) are discovered by walking the
+        pointer shadow tables and keyed synthetically, in discovery order,
+        so :meth:`restore` can rebuild the exact provenance graph.  Stored
+        pointers are serialized as ``(space, key, offset)`` references,
+        never as raw addresses — the simulator has none.
+        """
+        refs: dict[int, tuple[str, object]] = {}
+        locals_found: list[MemoryObject] = []
+        for name, obj in self.objects.items():
+            refs[id(obj)] = ("g", name)
+        for value, obj in self.string_objects.items():
+            refs[id(obj)] = ("s", value)
+        queue = list(self.objects.values()) + list(self.string_objects.values())
+        while queue:
+            obj = queue.pop(0)
+            for offset in sorted(obj.pointer_slots):
+                target = obj.pointer_slots[offset].obj
+                if id(target) not in refs:
+                    key = f"{len(locals_found)}:{target.name}"
+                    refs[id(target)] = ("l", key)
+                    locals_found.append(target)
+                    queue.append(target)
+
+        def entry(obj: MemoryObject) -> dict:
+            return {
+                "name": obj.name,
+                "kind": obj.kind,
+                "data": bytes(obj.data),
+                "slots": [
+                    (offset, refs[id(ptr.obj)], ptr.offset)
+                    for offset, ptr in sorted(obj.pointer_slots.items())
+                ],
+            }
+
+        return {
+            "pointer_size": self.pointer_size,
+            "globals": {name: entry(obj) for name, obj in self.objects.items()},
+            "strings": {value: entry(obj)
+                        for value, obj in self.string_objects.items()},
+            "locals": {refs[id(obj)][1]: entry(obj) for obj in locals_found},
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Apply a :meth:`snapshot` to this memory system, in place.
+
+        Existing objects are *mutated* (``data[:] = ...``), never replaced:
+        the compiled engine bakes direct :class:`MemoryObject` references
+        into its closures, so object identity must survive a restore.
+        Objects the snapshot knows and this system does not (lazily
+        allocated strings, reachable locals) are created.
+        """
+        resolved: dict[tuple[str, object], MemoryObject] = {}
+        for name, entry in snapshot["globals"].items():
+            obj = self.objects.get(name)
+            if obj is None:
+                obj = self.allocate(name, len(entry["data"]), "global")
+            obj.data[:] = entry["data"]
+            resolved[("g", name)] = obj
+        for value, entry in snapshot["strings"].items():
+            obj = self.string_literal(value)
+            obj.data[:] = entry["data"]
+            resolved[("s", value)] = obj
+        for key, entry in snapshot["locals"].items():
+            obj = MemoryObject(name=entry["name"],
+                               data=bytearray(entry["data"]),
+                               kind=entry["kind"])
+            resolved[("l", key)] = obj
+        for space_name, space in (("g", snapshot["globals"]),
+                                  ("s", snapshot["strings"]),
+                                  ("l", snapshot["locals"])):
+            for key, entry in space.items():
+                obj = resolved[(space_name, key)]
+                obj.pointer_slots.clear()
+                for offset, ref, ptr_offset in entry["slots"]:
+                    target = resolved[tuple(ref)]
+                    obj.pointer_slots[offset] = Pointer(target, ptr_offset)
+
     # -- global initialization ------------------------------------------------------
 
     def initialize_global(self, var: ast.GlobalVar, pointer_size: int) -> MemoryObject:

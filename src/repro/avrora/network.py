@@ -22,6 +22,17 @@ seeded RNG, so lossy runs are bit-reproducible.  Node execution itself is
 resumable via :meth:`~repro.avrora.node.Node.run_until`; see
 ``ARCHITECTURE.md`` ("The lockstep network kernel") for the full design.
 
+The channel's per-packet loss and jitter are *partition-invariant*: each
+packet's fate is a pure hash of ``(seed, src, dst, per-link sequence)``
+(:meth:`Channel.packet_fate`), not a draw from a shared RNG stream, so the
+outcome of a run cannot depend on the order in which different nodes'
+transmissions interleave.  That is what lets :meth:`Network.run` accept
+``workers=N`` and shard the topology across worker processes — each shard
+runs this same lockstep scheduler over its own nodes while a coordinator
+exchanges packets and horizon grants at conservative-window boundaries
+(see ``repro.avrora.shard``) — with results bit-identical to the
+single-process kernel.
+
 The legacy semantics — each node simulated sequentially for the full
 duration, transmissions delivered instantly regardless of the receiver's
 clock — remain available as :meth:`Network.run_sequential` for
@@ -31,7 +42,6 @@ benchmarking the kernel against its predecessor.
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
@@ -111,20 +121,39 @@ class TrafficGenerator:
         """Arrange periodic injections on ``node``'s event queue."""
         if self.radio_period_s > 0:
             delay = int(self.radio_period_s * node.clock_hz)
-            node.schedule(delay, lambda: self._inject_radio(node, delay))
+            node.schedule(delay, self._radio_callback(node, delay))
         if self.uart_period_s > 0:
             delay = int(self.uart_period_s * node.clock_hz)
-            node.schedule(delay, lambda: self._inject_uart(node, delay))
+            node.schedule(delay, self._uart_callback(node, delay))
+
+    def _radio_callback(self, node: Node, delay: int) -> Callable[[], None]:
+        callback = lambda: self._inject_radio(node, delay)  # noqa: E731
+        callback.__event_desc__ = ("traffic_radio", delay)
+        return callback
+
+    def _uart_callback(self, node: Node, delay: int) -> Callable[[], None]:
+        callback = lambda: self._inject_uart(node, delay)  # noqa: E731
+        callback.__event_desc__ = ("traffic_uart", delay)
+        return callback
+
+    def resolve_event(self, desc: tuple, node: Node) -> Optional[
+            Callable[[], None]]:
+        """Rebuild an injection callback from its snapshot descriptor."""
+        if desc[0] == "traffic_radio":
+            return self._radio_callback(node, desc[1])
+        if desc[0] == "traffic_uart":
+            return self._uart_callback(node, desc[1])
+        return None
 
     def _inject_radio(self, node: Node, delay: int) -> None:
         node.radio.deliver(self.packet())
         self.injected_radio += 1
-        node.schedule(delay, lambda: self._inject_radio(node, delay))
+        node.schedule(delay, self._radio_callback(node, delay))
 
     def _inject_uart(self, node: Node, delay: int) -> None:
         node.uart.inject_frame(self.packet())
         self.injected_uart += 1
-        node.schedule(delay, lambda: self._inject_uart(node, delay))
+        node.schedule(delay, self._uart_callback(node, delay))
 
 
 # ---------------------------------------------------------------------------
@@ -139,6 +168,27 @@ TOPOLOGIES = ("broadcast", "chain", "star", "grid")
 #: Default per-link latency: one byte time at 38.4 kbaud Manchester.
 DEFAULT_LATENCY_US = Radio.US_PER_BYTE
 
+_MASK64 = (1 << 64) - 1
+
+
+def _mix64(seed: int, src: int, dst: int, sequence: int) -> int:
+    """A splitmix64-style avalanche of (seed, src, dst, sequence).
+
+    Python's built-in ``hash`` is salted per process, so packet fates use
+    this explicit integer mix: the same inputs give the same 64-bit output
+    in every process, which is what makes loss and jitter decisions
+    partition-invariant across sharded workers.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + src * 0xBF58476D1CE4E5B9
+         + dst * 0x94D049BB133111EB + sequence * 0xD6E8FEB86659FD93
+         + 0x2545F4914F6CDD1D) & _MASK64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 31
+    return x
+
 
 @dataclass(frozen=True)
 class Channel:
@@ -148,12 +198,16 @@ class Channel:
         topology: One of :data:`TOPOLOGIES`.
         latency_us: Base one-way link latency in microseconds (>= 1); also
             the kernel's conservative lookahead floor.
-        jitter_us: Optional deterministic per-link latency spread: link
-            (a, b) adds ``hash(a, b, seed) % (jitter_us + 1)`` microseconds,
-            making links distinguishable without randomness at run time.
+        jitter_us: Optional deterministic per-packet latency spread: the
+            ``n``-th packet on link (a, b) adds
+            ``mix(seed, a, b, n) % (jitter_us + 1)`` microseconds, making
+            links and packets distinguishable without run-time randomness.
         loss: Per-link, per-packet drop probability in [0, 1).
-        seed: Seed of the loss RNG (and of the jitter hash); equal seeds
-            give bit-identical simulations.
+        seed: Seed of the loss/jitter hash; equal seeds give bit-identical
+            simulations.  Each packet's fate is a pure function of
+            ``(seed, src, dst, sequence)`` — see :meth:`packet_fate` — so
+            outcomes cannot depend on how transmissions from different
+            nodes interleave (partition invariance).
         grid_width: Columns of the ``grid`` topology (0 = square-ish).
     """
 
@@ -198,12 +252,26 @@ class Channel:
             return out
         return [j for j in range(count) if j != index]
 
-    def link_latency_us(self, src: int, dst: int) -> int:
-        """One-way latency of the (src, dst) link, jitter included."""
+    def link_latency_us(self, src: int, dst: int, sequence: int = 0) -> int:
+        """One-way latency of the ``sequence``-th (src, dst) packet."""
         if not self.jitter_us:
             return self.latency_us
-        mix = (src * 2654435761 + dst * 40503 + self.seed * 97) & 0xFFFFFFFF
-        return self.latency_us + mix % (self.jitter_us + 1)
+        mix = _mix64(self.seed, src, dst, sequence)
+        return self.latency_us + (mix & 0xFFFFFFFF) % (self.jitter_us + 1)
+
+    def packet_fate(self, src: int, dst: int, sequence: int) -> tuple[bool, int]:
+        """(dropped, latency_us) of the ``sequence``-th packet src → dst.
+
+        A pure function of ``(seed, src, dst, sequence)``: the loss draw
+        uses the top 53 bits of the mix as a uniform in [0, 1), the jitter
+        the bottom 32 — one hash decides both.  Because the sequence number
+        counts *this link's* transmissions only, any scheduler that feeds a
+        link its packets in sender order (which causality guarantees)
+        computes identical fates, regardless of process partitioning.
+        """
+        mix = _mix64(self.seed, src, dst, sequence)
+        dropped = self.loss > 0.0 and (mix >> 11) * (2.0 ** -53) < self.loss
+        return dropped, self.link_latency_us(src, dst, sequence)
 
 
 @dataclass(frozen=True)
@@ -232,16 +300,23 @@ class Network:
     channel: Channel = field(default_factory=Channel)
     delivered_packets: int = 0
     lost_packets: int = 0
-    #: Cross-node deliveries in the order the receivers processed them.
+    #: Cross-node deliveries in canonical order after :meth:`run` — sorted
+    #: by (received_cycles, receiver_id), with each receiver's processing
+    #: order preserved among ties — so the log is identical however the
+    #: network was partitioned across workers.
     deliveries: list[DeliveryRecord] = field(default_factory=list)
 
     def __post_init__(self):
         self._sequential = False
         self._active: list[Node] = []
         self._index: dict[int, int] = {}
-        self._rng = random.Random(self.channel.seed)
+        #: Per-directed-link packet sequence counters feeding
+        #: :meth:`Channel.packet_fate`; reset at the start of every run.
+        self._pair_seq: dict[tuple[int, int], int] = {}
         self._lat_min = 1
         self._air_min = 1
+        #: Per-shard statistics of the last ``workers > 1`` run.
+        self.shard_stats: list[dict] = []
 
     # -- membership -------------------------------------------------------------
 
@@ -278,14 +353,16 @@ class Network:
             receiver = self.nodes[dst]
             if receiver is sender:
                 continue
-            if self.channel.loss and self._rng.random() < self.channel.loss:
+            sequence = self._pair_seq.get((src, dst), 0)
+            self._pair_seq[(src, dst)] = sequence + 1
+            dropped, latency_us = self.channel.packet_fate(src, dst, sequence)
+            if dropped:
                 self.lost_packets += 1
                 continue
-            latency = sender.cycles_for_us(
-                self.channel.link_latency_us(src, dst))
-            when = sent_at + max(1, latency)
-            receiver.schedule_at(
-                when, self._delivery(sender, receiver, payload, sent_at))
+            when = sent_at + max(1, sender.cycles_for_us(latency_us))
+            receiver.schedule_delivery(
+                when, sent_at, sender.node_id,
+                self._delivery(sender.node_id, receiver, payload, sent_at))
             if earliest is None or when < earliest:
                 earliest = when
         if earliest is not None and len(self._active) > 1:
@@ -295,22 +372,45 @@ class Network:
             # sender's pause horizon in so it does not outrun the answer.
             sender.shrink_pause(earliest + self._air_min + self._lat_min)
 
-    def _delivery(self, sender: Node, receiver: Node, payload: bytes,
+    def _delivery(self, sender_id: int, receiver: Node, payload: bytes,
                   sent_at: int) -> Callable[[], None]:
         def deliver() -> None:
             accepted = receiver.radio.deliver(payload)
             if accepted:
                 self.delivered_packets += 1
             self.deliveries.append(DeliveryRecord(
-                sender_id=sender.node_id, receiver_id=receiver.node_id,
+                sender_id=sender_id, receiver_id=receiver.node_id,
                 sent_cycles=sent_at, received_cycles=receiver.time_cycles,
                 accepted=accepted, payload=payload))
 
+        deliver.__event_desc__ = \
+            ("net_delivery", sender_id, sent_at, payload)  # type: ignore
         return deliver
+
+    def delivery_resolver(self, receiver: Node) -> Callable[[tuple],
+                                                            Optional[Callable]]:
+        """An event resolver for ``receiver``'s cross-node delivery events.
+
+        Passed to :meth:`Node.restore` so snapshots whose queues hold
+        in-flight packets can be rebuilt against this network.
+        """
+        def resolve(desc: tuple) -> Optional[Callable[[], None]]:
+            if desc[0] != "net_delivery":
+                return None
+            _tag, sender_id, sent_at, payload = desc
+            return self._delivery(sender_id, receiver, payload, sent_at)
+
+        return resolve
+
+    @staticmethod
+    def canonical_delivery_order(record: DeliveryRecord) -> tuple:
+        """Partition-invariant sort key for the delivery log."""
+        return (record.received_cycles, record.receiver_id,
+                record.sent_cycles, record.sender_id)
 
     # -- the lockstep scheduler -------------------------------------------------
 
-    def run(self, seconds: float) -> None:
+    def run(self, seconds: float, workers: int = 1) -> None:
         """Co-simulate every node for ``seconds`` of virtual time, lockstep.
 
         The scheduler repeatedly resumes the node with the smallest local
@@ -320,11 +420,31 @@ class Network:
         minimum air time and latency are all conservative bounds).  With a
         single node the horizon is the end of the simulation, making the
         run byte-identical to the legacy sequential semantics.
+
+        ``workers > 1`` partitions the topology across that many worker
+        processes (``repro.avrora.shard``); the results — delivery log,
+        per-node statement counts, duty cycles — are bit-identical to the
+        single-process path.  ``workers=1`` is the proven in-process
+        kernel.
         """
         if not self.nodes:
             return
+        if workers < 1:
+            raise ValueError(
+                f"parallel config: workers must be >= 1, got {workers}")
+        if workers > len(self.nodes):
+            raise ValueError(
+                f"parallel config: workers ({workers}) must not exceed the "
+                f"node count ({len(self.nodes)})")
+        self.shard_stats = []
+        self._pair_seq.clear()
+        if workers > 1:
+            from repro.avrora.shard import run_sharded
+
+            run_sharded(self, seconds, workers)
+            self.deliveries.sort(key=self.canonical_delivery_order)
+            return
         self._sequential = False
-        self._rng = random.Random(self.channel.seed)
         self._lat_min = max(1, min(
             node.cycles_for_us(self.channel.latency_us)
             for node in self.nodes))
@@ -351,6 +471,7 @@ class Network:
             self._active = []
             for node in self.nodes:
                 node.abort_run()
+        self.deliveries.sort(key=self.canonical_delivery_order)
 
     def _earliest_effect(self, peer: Node) -> float:
         """Earliest instant ``peer`` could land a packet on another node."""
@@ -363,7 +484,7 @@ class Network:
             bound = min(bound, action + self._air_min + self._lat_min)
         return bound
 
-    def run_sequential(self, seconds: float) -> None:
+    def run_sequential(self, seconds: float, workers: int = 1) -> None:
         """Legacy semantics: each node simulated alone, one after another.
 
         Transmissions are delivered to every peer instantly — regardless
@@ -371,6 +492,10 @@ class Network:
         approximate.  Kept for benchmarking the lockstep kernel against
         its predecessor (``benchmarks/bench_network_scale.py``).
         """
+        if workers != 1:
+            raise ValueError(
+                f"parallel config: run_sequential supports workers=1 only "
+                f"(got {workers}); sharding requires the lockstep kernel")
         self._sequential = True
         try:
             for node in self.nodes:
@@ -435,14 +560,16 @@ class Network:
 def simulate(program: Program, seconds: float = 5.0, node_count: int = 1,
              traffic: Optional[TrafficGenerator] = None,
              engine: Optional[str] = None,
-             channel: Optional[Channel] = None) -> list[Node]:
+             channel: Optional[Channel] = None,
+             workers: int = 1) -> list[Node]:
     """Simulate ``node_count`` nodes running one image, in lockstep.
 
     Returns the simulated nodes; duty cycle, LED history, failure records,
     device statistics and the per-node traffic generator
     (``node.traffic_generator``) can be read from them.  ``engine`` selects
     the execution engine (``"compiled"``/``"tree"``) for every node;
-    ``channel`` the topology and link model (default: lossless broadcast).
+    ``channel`` the topology and link model (default: lossless broadcast);
+    ``workers`` the number of shard processes (1 = in-process kernel).
     Broadcast networks number nodes from 1 (the historical convention);
     every other topology numbers them from 0, so the first node is the
     multihop base station (``TOS_LOCAL_ADDRESS == 0``).
@@ -454,5 +581,5 @@ def simulate(program: Program, seconds: float = 5.0, node_count: int = 1,
         node = Node(program, node_id=first_id + index, engine=engine)
         node.boot()
         network.add_node(node)
-    network.run(seconds)
+    network.run(seconds, workers=workers)
     return network.nodes

@@ -1,0 +1,476 @@
+"""The sharded multi-process network kernel.
+
+:func:`run_sharded` partitions a :class:`~repro.avrora.network.Network`'s
+nodes into contiguous shards, forks one worker process per shard, and has
+each worker run the *existing* lockstep scheduler over its own nodes while
+a coordinator exchanges radio packets and horizon grants over
+``multiprocessing`` pipes.  The result — delivery log, per-node statement
+counts, duty cycles — is bit-identical to the single-process kernel
+(``Network.run(..., workers=1)``); see ``ARCHITECTURE.md`` ("The sharded
+network kernel") for the full determinism argument.
+
+The conservative-window protocol in one paragraph: a worker may run its
+nodes up to a *window* ``W(s)`` no external node can beat.  For an
+external node ``j`` whose earliest cross-node effect is ``effect(j)``
+(transmission in flight, or next possible action plus minimum air time
+and link latency), any influence on shard ``s`` needs at least
+``D(j, s)`` radio hops, and every hop past the first costs at least one
+more air time plus latency, so
+
+    ``W(s) = min over external j of effect(j) + (D(j, s) - 1) * margin``
+
+with ``margin = air_min + lat_min`` and ``D`` the BFS hop distance on the
+channel topology.  Packets a worker addresses to a remote shard are routed
+through the coordinator and injected with the destination's next grant;
+the same bound proves they always arrive in the destination's future.
+Grants are asynchronous — each shard is re-granted the moment its window
+allows progress, with no global barrier.
+
+Workers are forked *after* the coordinator has warmed the per-program
+compiled code cache, so every worker inherits the lowered program for
+free and compiles nothing.  Shard state crosses the process boundary only
+through ``Node.snapshot()``/``restore()`` (spawn-side) and plain tuples
+(the window protocol).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from multiprocessing.connection import wait as _connection_wait
+from typing import TYPE_CHECKING
+
+from repro.avrora.devices import Radio
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.avrora.network import Network
+    from repro.avrora.node import Node
+
+
+def _partition(count: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``count`` node positions into ``workers`` contiguous shards."""
+    base, extra = divmod(count, workers)
+    bounds = []
+    lo = 0
+    for index in range(workers):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _hop_distances(channel, count: int) -> list[list]:
+    """Directed BFS hop distances between node positions (None = unreachable)."""
+    table = []
+    for src in range(count):
+        dist: list = [None] * count
+        dist[src] = 0
+        frontier = deque([src])
+        while frontier:
+            here = frontier.popleft()
+            for there in channel.neighbors(here, count):
+                if dist[there] is None:
+                    dist[there] = dist[here] + 1
+                    frontier.append(there)
+        table.append(dist)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class _ShardWorker:
+    """One forked process running the lockstep scheduler over one shard."""
+
+    def __init__(self, worker_index: int, conn, network: "Network",
+                 bounds: list[tuple[int, int]], snapshots: list[dict],
+                 seconds: float, lat_min: int, air_min: int):
+        self.worker_index = worker_index
+        self.conn = conn
+        self.network = network
+        self.bounds = bounds
+        self.snapshots = snapshots
+        self.seconds = seconds
+        self.lat_min = lat_min
+        self.air_min = air_min
+        self.margin = lat_min + air_min
+        lo, hi = bounds[worker_index]
+        self.local = list(range(lo, hi))
+        self.local_set = frozenset(self.local)
+        self.done = {index: False for index in self.local}
+        self._cap = 0
+        self._outgoing: list[tuple] = []
+        self.packets_out = 0
+
+    def run(self) -> None:
+        network = self.network
+        nodes = network.nodes
+        base_delivered = network.delivered_packets
+        base_lost = network.lost_packets
+        base_deliveries = len(network.deliveries)
+        for index in self.local:
+            node = nodes[index]
+            node.radio.on_transmit = \
+                lambda payload, sender=node, src=index: \
+                self._transmit(sender, src, payload)
+            node.restore(self.snapshots[index],
+                         resolve_event=network.delivery_resolver(node))
+            node.begin_run(self.seconds)
+        rounds = 0
+        packets_in = 0
+        wait_s = 0.0
+        started = time.perf_counter()
+        try:
+            while True:
+                before = time.perf_counter()
+                message = self.conn.recv()
+                wait_s += time.perf_counter() - before
+                if message[0] == "finish":
+                    self._insert(message[1])
+                    break
+                _tag, window, packets = message
+                rounds += 1
+                packets_in += len(packets)
+                self._insert(packets)
+                self._cap = window
+                self._outgoing = []
+                self._run_window()
+                self.packets_out += len(self._outgoing)
+                self.conn.send(("report", self.worker_index,
+                                self._states(), self._outgoing))
+        finally:
+            for index in self.local:
+                nodes[index].abort_run()
+        stats = {
+            "worker": self.worker_index,
+            "nodes": list(self.bounds[self.worker_index]),
+            "rounds": rounds,
+            "packets_in": packets_in,
+            "packets_out": self.packets_out,
+            "sync_wait_s": round(wait_s, 6),
+            "wall_s": round(time.perf_counter() - started, 6),
+        }
+        finals = [(index, nodes[index].snapshot()) for index in self.local]
+        self.conn.send((
+            "final", self.worker_index, finals,
+            network.deliveries[base_deliveries:],
+            network.delivered_packets - base_delivered,
+            network.lost_packets - base_lost,
+            stats))
+
+    # -- packet routing -------------------------------------------------------
+
+    def _insert(self, packets: list[tuple]) -> None:
+        """Schedule coordinator-routed arrivals on their local receivers."""
+        network = self.network
+        for dst, when, sender_id, sent_at, payload in packets:
+            receiver = network.nodes[dst]
+            # A packet below the receiver's *horizon* is a protocol
+            # violation.  One between the horizon and the (possibly
+            # overshot — execution pauses at statement granularity) clock
+            # is legal: the receiver parked before opening its boundary
+            # event batch, so the arrival still joins that batch.
+            if (not self.done[dst] and when < receiver.time_cycles
+                    and when < receiver.pause_cycles):
+                raise RuntimeError(
+                    f"shard {self.worker_index}: packet for node "
+                    f"{receiver.node_id} arrives at {when} but the node's "
+                    f"horizon was {receiver.pause_cycles} (clock "
+                    f"{receiver.time_cycles}) — window protocol violation")
+            receiver.schedule_delivery(
+                when, sent_at, sender_id,
+                network._delivery(sender_id, receiver, payload, sent_at))
+
+    def _transmit(self, sender: "Node", src: int, payload: bytes) -> None:
+        """Shard-local replacement for ``Network._transmit``.
+
+        Local neighbours are scheduled directly — the identical code path
+        the single-process kernel uses — while packets for remote shards
+        are buffered for the coordinator, and the shard window is pulled
+        in so no local node outruns the earliest possible remote reply.
+        """
+        network = self.network
+        sent_at = sender.time_cycles
+        earliest_local = None
+        for dst in network.channel.neighbors(src, len(network.nodes)):
+            receiver = network.nodes[dst]
+            if receiver is sender:
+                continue
+            sequence = network._pair_seq.get((src, dst), 0)
+            network._pair_seq[(src, dst)] = sequence + 1
+            dropped, latency_us = network.channel.packet_fate(
+                src, dst, sequence)
+            if dropped:
+                network.lost_packets += 1
+                continue
+            when = sent_at + max(1, sender.cycles_for_us(latency_us))
+            if dst in self.local_set:
+                receiver.schedule_delivery(
+                    when, sent_at, sender.node_id,
+                    network._delivery(sender.node_id, receiver, payload,
+                                      sent_at))
+                if earliest_local is None or when < earliest_local:
+                    earliest_local = when
+            else:
+                self._outgoing.append(
+                    (dst, when, sender.node_id, sent_at, payload))
+                reply = when + self.margin
+                if reply < self._cap:
+                    self._cap = reply
+        bound = self._cap
+        if earliest_local is not None:
+            bound = min(bound, earliest_local + self.margin)
+        sender.shrink_pause(int(bound))
+
+    # -- the window run -------------------------------------------------------
+
+    def _run_window(self) -> None:
+        """Run the shard's nodes lockstep until every one reaches the cap."""
+        nodes = self.network.nodes
+        while True:
+            runnable = [index for index in self.local
+                        if not self.done[index]
+                        and nodes[index].time_cycles < self._cap]
+            if not runnable:
+                return
+            current_index = min(
+                runnable, key=lambda i: (nodes[i].time_cycles, i))
+            current = nodes[current_index]
+            horizon = min(current.end_cycles, self._cap)
+            peers = [index for index in self.local
+                     if index != current_index and not self.done[index]]
+            if peers:
+                bound = min(self._earliest_effect(nodes[index])
+                            for index in peers)
+                horizon = min(horizon, bound)
+            status = current.run_until(int(horizon))
+            if status != "paused":
+                self.done[current_index] = True
+
+    def _earliest_effect(self, peer: "Node") -> float:
+        """Mirror of ``Network._earliest_effect`` for shard-local peers."""
+        bound = math.inf
+        radio = peer.radio
+        if radio.transmitting:
+            bound = radio.tx_done_at + self.lat_min
+        action = peer.next_action_cycles()
+        if action is not None:
+            bound = min(bound, action + self.air_min + self.lat_min)
+        return bound
+
+    def _states(self) -> list[tuple]:
+        """Per-node lookahead state for the coordinator's window algebra."""
+        out = []
+        for index in self.local:
+            node = self.network.nodes[index]
+            radio = node.radio
+            out.append((index, node.time_cycles, node.next_action_cycles(),
+                        radio.transmitting, radio.tx_done_at,
+                        self.done[index]))
+        return out
+
+
+def _worker_main(worker_index: int, conn, network: "Network",
+                 bounds: list[tuple[int, int]], snapshots: list[dict],
+                 seconds: float, lat_min: int, air_min: int) -> None:
+    worker = _ShardWorker(worker_index, conn, network, bounds, snapshots,
+                          seconds, lat_min, air_min)
+    try:
+        worker.run()
+    except BaseException:
+        try:
+            conn.send(("error", worker_index, traceback.format_exc()))
+        except (OSError, ValueError):  # pragma: no cover - pipe torn down
+            pass
+    finally:
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+def run_sharded(network: "Network", seconds: float, workers: int) -> None:
+    """Run ``network`` partitioned across ``workers`` forked processes.
+
+    Called by :meth:`Network.run` for ``workers > 1`` (which validates the
+    worker count first).  On return the coordinator's own nodes hold the
+    final simulation state — restored from the workers' snapshots — and
+    ``network.deliveries``/packet counters/``shard_stats`` are merged, so
+    callers cannot tell the run apart from a single-process one.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ValueError(
+            "parallel config: workers > 1 requires the 'fork' start method "
+            "(POSIX); this platform does not support it")
+    context = multiprocessing.get_context("fork")
+    nodes = network.nodes
+    count = len(nodes)
+    channel = network.channel
+    lat_min = max(1, min(node.cycles_for_us(channel.latency_us)
+                         for node in nodes))
+    air_min = max(1, min(node.cycles_for_us(Radio.US_PER_BYTE)
+                         for node in nodes))
+    margin = lat_min + air_min
+    bounds = _partition(count, workers)
+    shard_of = [s for s, (lo, hi) in enumerate(bounds)
+                for _ in range(lo, hi)]
+    hops = _hop_distances(channel, count)
+    # Distance from each node to each shard: the fewest hops to any member.
+    shard_dist: list[list] = []
+    for j in range(count):
+        row = []
+        for lo, hi in bounds:
+            best = None
+            for i in range(lo, hi):
+                if i == j:
+                    continue
+                d = hops[j][i]
+                if d is not None and (best is None or d < best):
+                    best = d
+            row.append(best)
+        shard_dist.append(row)
+    end_of = [node.time_cycles + int(seconds * node.clock_hz)
+              for node in nodes]
+    max_end = max(end_of)
+
+    # Warm the shared per-program code cache before forking: every worker
+    # inherits the lowered functions and compiles nothing.
+    warmed: set = set()
+    for node in nodes:
+        if id(node.program) not in warmed:
+            node.interpreter.warm()
+            warmed.add(id(node.program))
+    snapshots = [node.snapshot() for node in nodes]
+
+    connections = []
+    processes = []
+    for w in range(workers):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_worker_main,
+            args=(w, child_conn, network, bounds, snapshots, seconds,
+                  lat_min, air_min),
+            daemon=True, name=f"avrora-shard-{w}")
+        process.start()
+        child_conn.close()
+        connections.append(parent_conn)
+        processes.append(process)
+
+    # Last-reported lookahead state per node: (time, action, transmitting,
+    # tx_done_at, done).  Fresh nodes can act immediately.
+    states: list[tuple] = [(node.time_cycles, node.time_cycles, False, 0,
+                            False) for node in nodes]
+    done = [False] * count
+    queued: list[list] = [[] for _ in range(workers)]
+    in_flight: list[list] = [[] for _ in range(workers)]
+    running = [False] * workers
+
+    def effect(j: int) -> float:
+        """Earliest instant node ``j`` could land a packet on a neighbour."""
+        _time, action, transmitting, tx_done, node_done = states[j]
+        if node_done:
+            return math.inf
+        bound = math.inf
+        if transmitting:
+            bound = tx_done + lat_min
+        if action is not None:
+            bound = min(bound, action + margin)
+        # Undelivered arrivals can wake the node: its reaction lands one
+        # margin after the arrival.  Pending until the shard's next report
+        # proves the packet reached the node's queue.
+        for packets in (queued[shard_of[j]], in_flight[shard_of[j]]):
+            for dst, when, _sender, _sent, _payload in packets:
+                if dst == j:
+                    bound = min(bound, when + margin)
+        return bound
+
+    def window(s: int) -> float:
+        lo, hi = bounds[s]
+        bound = math.inf
+        for j in range(count):
+            if lo <= j < hi:
+                continue
+            e = effect(j)
+            if e is math.inf:
+                continue
+            d = shard_dist[j][s]
+            if d is None:
+                continue
+            bound = min(bound, e + (d - 1) * margin)
+        return bound
+
+    try:
+        while not all(done):
+            granted = False
+            for s in range(workers):
+                lo, hi = bounds[s]
+                if running[s] or all(done[i] for i in range(lo, hi)):
+                    continue
+                cap = int(min(window(s), max_end + 1))
+                if not any(not done[i]
+                           and states[i][0] < min(cap, end_of[i])
+                           for i in range(lo, hi)):
+                    continue
+                connections[s].send(("run", cap, queued[s]))
+                in_flight[s].extend(queued[s])
+                queued[s] = []
+                running[s] = True
+                granted = True
+            active = [connections[s] for s in range(workers) if running[s]]
+            if not active:
+                if granted:  # pragma: no cover - granted implies running
+                    continue
+                raise RuntimeError(
+                    "sharded kernel stalled: no shard is running or "
+                    "grantable — conservative-window invariant violated")
+            for conn in _connection_wait(active):
+                message = conn.recv()
+                if message[0] == "error":
+                    raise RuntimeError(
+                        f"shard worker {message[1]} failed:\n{message[2]}")
+                _tag, w, node_states, outgoing = message
+                running[w] = False
+                in_flight[w] = []
+                for index, *state in node_states:
+                    states[index] = tuple(state)
+                    done[index] = state[-1]
+                for packet in outgoing:
+                    queued[shard_of[packet[0]]].append(packet)
+
+        shard_stats: list = [None] * workers
+        for s in range(workers):
+            connections[s].send(("finish", queued[s]))
+            queued[s] = []
+        for s in range(workers):
+            message = connections[s].recv()
+            if message[0] == "error":
+                raise RuntimeError(
+                    f"shard worker {message[1]} failed:\n{message[2]}")
+            _tag, w, finals, deliveries, delivered, lost, stats = message
+            for index, snap in finals:
+                node = nodes[index]
+                node.restore(snap,
+                             resolve_event=network.delivery_resolver(node))
+            network.deliveries.extend(deliveries)
+            network.delivered_packets += delivered
+            network.lost_packets += lost
+            shard_stats[w] = stats
+        network.shard_stats = shard_stats
+    finally:
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for process in processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - defensive teardown
+                process.terminate()
+                process.join(timeout=5.0)

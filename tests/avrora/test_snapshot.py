@@ -1,0 +1,257 @@
+"""Snapshot/restore round-trips: memory, node state, mid-run resume.
+
+The sharded network kernel (``repro.avrora.shard``) crosses process
+boundaries exclusively through ``MemorySystem.snapshot()`` and
+``Node.snapshot()``, so these round-trips are the foundation of its
+bit-identical guarantee — and of checkpointed warm-started simulations.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.avrora.memory import MemorySystem, Pointer
+from repro.avrora.node import Node
+from repro.cminor import typesys as ty
+from repro.tinyos import hardware as hw
+
+import sys
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).parent.parent))
+from helpers import make_program
+
+
+# ---------------------------------------------------------------------------
+# MemorySystem round-trips
+# ---------------------------------------------------------------------------
+
+
+class TestMemorySnapshot:
+    def test_globals_round_trip_bytes(self):
+        memory = MemorySystem()
+        counter = memory.allocate("counter", 2)
+        memory.write(Pointer(counter, 0), ty.UINT16, 0xBEEF)
+        snapshot = memory.snapshot()
+
+        memory.write(Pointer(counter, 0), ty.UINT16, 0)
+        memory.restore(snapshot)
+        assert memory.read(Pointer(counter, 0), ty.UINT16) == 0xBEEF
+        # Restore mutates in place: the engine's baked references survive.
+        assert memory.objects["counter"] is counter
+
+    def test_snapshot_is_picklable_plain_data(self):
+        memory = MemorySystem()
+        holder = memory.allocate("holder", 2)
+        target = memory.allocate("target", 4)
+        memory.write(Pointer(holder, 0), ty.PointerType(ty.UINT8),
+                     Pointer(target, 1))
+        snapshot = memory.snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+    def test_pointer_provenance_survives_into_fresh_system(self):
+        memory = MemorySystem()
+        holder = memory.allocate("holder", 2)
+        target = memory.allocate("target", 4)
+        memory.write(Pointer(target, 3), ty.UINT8, 42)
+        memory.write(Pointer(holder, 0), ty.PointerType(ty.UINT8),
+                     Pointer(target, 3))
+
+        fresh = MemorySystem()
+        fresh.restore(memory.snapshot())
+        loaded = fresh.read(Pointer(fresh.objects["holder"], 0),
+                            ty.PointerType(ty.UINT8))
+        assert isinstance(loaded, Pointer)
+        assert loaded.obj is fresh.objects["target"]
+        assert loaded.offset == 3
+        assert fresh.read(loaded, ty.UINT8) == 42
+
+    def test_string_literals_round_trip(self):
+        memory = MemorySystem()
+        string = memory.string_literal("hello, motes")
+        holder = memory.allocate("message", 2)
+        memory.write(Pointer(holder, 0), ty.PointerType(ty.UINT8),
+                     Pointer(string, 0))
+
+        fresh = MemorySystem()
+        fresh.restore(memory.snapshot())
+        loaded = fresh.read(Pointer(fresh.objects["message"], 0),
+                            ty.PointerType(ty.UINT8))
+        assert fresh.read_c_string(loaded) == "hello, motes"
+        # The literal is interned: a later request reuses the restored object.
+        assert fresh.string_literal("hello, motes") is loaded.obj
+
+    def test_heap_like_object_reachable_only_through_pointer(self):
+        """An object with no global name must be rediscovered through the
+        pointer shadow tables (the provenance walk), not lost."""
+        memory = MemorySystem()
+        anchor = memory.allocate("anchor", 2)
+        orphan = memory.allocate("main.buffer", 8, kind="local")
+        memory.write(Pointer(orphan, 5), ty.UINT8, 77)
+        memory.write(Pointer(anchor, 0), ty.PointerType(ty.UINT8),
+                     Pointer(orphan, 5))
+
+        fresh = MemorySystem()
+        fresh.restore(memory.snapshot())
+        loaded = fresh.read(Pointer(fresh.objects["anchor"], 0),
+                            ty.PointerType(ty.UINT8))
+        assert loaded.obj.name == "main.buffer"
+        assert loaded.obj.kind == "local"
+        assert fresh.read(loaded, ty.UINT8) == 77
+
+
+# ---------------------------------------------------------------------------
+# Node round-trips
+# ---------------------------------------------------------------------------
+
+
+BLINKY = """
+uint8_t leds_on = 0;
+uint16_t ticks = 0;
+
+__interrupt("TIMER1_COMPA") void fired(void) {
+  ticks = ticks + 1;
+  leds_on = (uint8_t)(leds_on ^ 1);
+  __hw_write8(%d, leds_on);
+}
+
+__spontaneous void main(void) {
+  __hw_write16(%d, 64);
+  __hw_write8(%d, 1);
+  __enable_interrupts();
+  while (1) {
+    __sleep();
+  }
+}
+""" % (hw.LED_PORT, hw.TIMER_RATE, hw.TIMER_CTRL)
+
+
+def _blinky_program():
+    program = make_program(BLINKY)
+    program.interrupt_vectors["TIMER1_COMPA"] = "fired"
+    return program
+
+
+def _observe(node: Node) -> dict:
+    return {
+        "time": node.time_cycles,
+        "busy": node.busy_cycles,
+        "sleep": node.sleep_cycles,
+        "statements": node.interpreter.statements_executed,
+        "interrupts": node.interrupts_delivered,
+        "led_changes": node.leds.state.changes,
+        "led_value": node.leds.state.value,
+    }
+
+
+class TestNodeSnapshot:
+    def test_idle_round_trip_preserves_queue_and_counters(self):
+        program = _blinky_program()
+        node = Node(program)
+        node.boot()
+        snapshot = node.snapshot()
+        assert snapshot["phase"] == "idle"
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+
+        fresh = Node(program)
+        fresh.restore(snapshot)
+        assert fresh.time_cycles == node.time_cycles
+        assert sorted(e[:2] for e in fresh._event_queue) == \
+            sorted(e[:2] for e in node._event_queue)
+
+    def test_pending_interrupt_deque_order_survives(self):
+        program = _blinky_program()
+        # Only vectors with a registered handler are ever queued.
+        program.interrupt_vectors["RADIO_RX"] = "fired"
+        program.interrupt_vectors["ADC"] = "fired"
+        node = Node(program)
+        node.boot()
+        node.interrupts_enabled = False
+        node.raise_interrupt("TIMER1_COMPA")
+        node.raise_interrupt("RADIO_RX")
+        node.raise_interrupt("ADC")
+        snapshot = node.snapshot()
+
+        fresh = Node(program)
+        fresh.restore(snapshot)
+        assert list(fresh.pending_interrupts) == \
+            ["TIMER1_COMPA", "RADIO_RX", "ADC"]
+        assert fresh.interrupts_enabled is False
+
+    def test_mid_computation_snapshot_is_rejected(self):
+        program = _blinky_program()
+        node = Node(program)
+        node.boot()
+        node.begin_run(0.5)
+        node.run_until(node.time_cycles + 1)  # parked almost immediately
+        if node._paused_in_sleep:  # pragma: no cover - timing-dependent
+            pytest.skip("node reached its sleep loop in one statement")
+        with pytest.raises(ValueError, match="mid-computation"):
+            node.snapshot()
+        node.abort_run()
+
+    def test_sleeping_snapshot_requires_resume_flag(self):
+        program = _blinky_program()
+        node = Node(program)
+        node.boot()
+        node.begin_run(0.5)
+        while not node._paused_in_sleep:
+            node.run_until(node.time_cycles + 5_000)
+        snapshot = node.snapshot()
+        assert snapshot["phase"] == "sleeping"
+        fresh = Node(program)
+        with pytest.raises(ValueError, match="resume=True"):
+            fresh.restore(snapshot)
+        node.abort_run()
+
+    def test_pause_snapshot_resume_is_byte_identical(self):
+        """The checkpoint scenario: pause mid-run, snapshot, restore into a
+        *fresh* node (fresh process in the sharded kernel), resume — the
+        final state must match an uninterrupted run exactly."""
+        program = _blinky_program()
+        seconds = 0.5
+
+        straight = Node(program)
+        straight.boot()
+        straight.begin_run(seconds)
+        assert straight.run_until(straight.end_cycles) == "finished"
+        expected = _observe(straight)
+
+        paused = Node(program)
+        paused.boot()
+        paused.begin_run(seconds)
+        while not paused._paused_in_sleep:
+            paused.run_until(paused.time_cycles + 5_000)
+        checkpoint = paused.snapshot()
+        checkpoint = pickle.loads(pickle.dumps(checkpoint))  # cross-process
+        paused.abort_run()
+
+        resumed = Node(program)
+        resumed.restore(checkpoint, resume=True)
+        assert resumed.time_cycles == checkpoint["time_cycles"]
+        assert resumed.run_until(checkpoint["end_cycles"]) == "finished"
+        assert _observe(resumed) == expected
+
+    def test_resume_continues_the_event_timeline(self):
+        """Ticks delivered before the checkpoint are not replayed and ticks
+        after it are not lost: the counts add up exactly."""
+        program = _blinky_program()
+        node = Node(program)
+        node.boot()
+        node.begin_run(0.5)
+        while not node._paused_in_sleep:
+            node.run_until(node.time_cycles + 5_000)
+        # Advance more slices until some ticks are behind the checkpoint.
+        while node.interrupts_delivered == 0 and \
+                node.time_cycles < node.end_cycles - node.clock_hz // 50:
+            node.run_until(node.time_cycles + node.clock_hz // 50)
+        checkpoint = node.snapshot()
+        ticks_before = checkpoint["interrupts_delivered"]
+        assert ticks_before > 0
+        node.abort_run()
+
+        resumed = Node(program)
+        resumed.restore(checkpoint, resume=True)
+        resumed.run_until(checkpoint["end_cycles"])
+        assert resumed.interrupts_delivered > ticks_before
