@@ -2,9 +2,10 @@
 
 Measures statements/second for the reference tree-walking interpreter
 ("before") and the compile-to-closures engine (:mod:`repro.avrora.engine`)
-— both with superblock fusion (the default) and with it disabled
-(``REPRO_AVRORA_SUPERBLOCKS=0``, the ablation column) — on three workload
-shapes:
+— with superblock fusion (the default), with fusion on but trace-level
+call inlining disabled (``REPRO_AVRORA_TRACES=0``, the trace-ablation
+column), and with fusion disabled entirely
+(``REPRO_AVRORA_SUPERBLOCKS=0``) — on three workload shapes:
 
 * ``tight_loop`` — a counting loop over a global accumulator,
 * ``function_calls`` — a call-heavy loop exercising frames and returns,
@@ -19,12 +20,20 @@ recorded in ``BENCH_interp.json`` at the repository root (CI uploads it as
 an artifact); run this module directly for a standalone measurement, or
 via pytest as part of the benchmark suite.
 
+The run also proves the persistent plan store's headline: plans exported
+by one in-memory "process" (a fresh ``Program``), persisted through
+:class:`~repro.avrora.codestore.PlanStore` and hydrated into another,
+warm the second engine to **zero** front-end lowerings
+(``warm_vs_cold`` in the recorded JSON).
+
 Set ``REPRO_BENCH_SMOKE=1`` to shrink the simulated window (CI smoke
 mode), ``REPRO_BENCH_MIN_SPEEDUP`` to tune the asserted fusion-off floor,
-and ``REPRO_BENCH_MIN_SPEEDUP_FUSED`` to tune the asserted best-workload
-floor with fusion on (the defaults are conservative so a loaded CI machine
-does not flake; an idle machine shows ~5x unfused and well above 8x fused
-on the loop workloads).
+``REPRO_BENCH_MIN_SPEEDUP_FUSED`` to tune the asserted best-workload
+floor with fusion on, and ``REPRO_BENCH_MIN_SPEEDUP_CALLS`` to tune the
+per-workload floor on ``function_calls`` with traces on (the defaults are
+conservative so a loaded CI machine does not flake; an idle machine shows
+~5x unfused, well above 8x fused on the loop workloads, and ~8x on
+``function_calls`` once traces inline the callee).
 """
 
 from __future__ import annotations
@@ -56,6 +65,12 @@ MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
 #: Asserted floor on the *best* workload's speedup with fusion enabled.
 MIN_SPEEDUP_FUSED = float(
     os.environ.get("REPRO_BENCH_MIN_SPEEDUP_FUSED", "6.0"))
+
+#: Asserted per-workload floor on ``function_calls`` with traces enabled
+#: (the call-boundary workload traces were built for; the recorded JSON
+#: from an idle machine clears 7x).
+MIN_SPEEDUP_CALLS = float(
+    os.environ.get("REPRO_BENCH_MIN_SPEEDUP_CALLS", "4.0"))
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_interp.json"
 
@@ -137,24 +152,30 @@ def _build(source: str, vectors: dict[str, str]) -> Program:
     return program
 
 
-def _make_node(program: Program, engine: str, superblocks: bool) -> Node:
-    """A node with the fusion switch pinned (not inherited from the
-    caller's environment), restored after engine construction reads it."""
-    previous = os.environ.get("REPRO_AVRORA_SUPERBLOCKS")
+def _make_node(program: Program, engine: str, superblocks: bool,
+               traces: bool = True) -> Node:
+    """A node with the fusion and trace switches pinned (not inherited
+    from the caller's environment), restored after engine construction
+    reads them."""
+    previous = {name: os.environ.get(name)
+                for name in ("REPRO_AVRORA_SUPERBLOCKS",
+                             "REPRO_AVRORA_TRACES")}
     os.environ["REPRO_AVRORA_SUPERBLOCKS"] = "1" if superblocks else "0"
+    os.environ["REPRO_AVRORA_TRACES"] = "1" if traces else "0"
     try:
         return Node(program, engine=engine)
     finally:
-        if previous is None:
-            os.environ.pop("REPRO_AVRORA_SUPERBLOCKS", None)
-        else:
-            os.environ["REPRO_AVRORA_SUPERBLOCKS"] = previous
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
 
 
 def _run(source: str, vectors: dict[str, str], engine: str, seconds: float,
-         superblocks: bool = True) -> tuple[Node, float]:
+         superblocks: bool = True, traces: bool = True) -> tuple[Node, float]:
     program = _build(source, vectors)
-    node = _make_node(program, engine, superblocks)
+    node = _make_node(program, engine, superblocks, traces)
     node.boot()
     start = time.perf_counter()
     node.run(seconds)
@@ -182,18 +203,22 @@ def measure() -> dict:
         "sim_seconds": seconds,
         "min_speedup_asserted": MIN_SPEEDUP,
         "min_speedup_fused_asserted": MIN_SPEEDUP_FUSED,
+        "min_speedup_calls_asserted": MIN_SPEEDUP_CALLS,
         "workloads": {},
     }
     for name, (source, vectors) in WORKLOADS.items():
         tree_node, tree_time = _run(source, vectors, "tree", seconds)
         compiled_node, compiled_time = _run(source, vectors, "compiled",
                                             seconds)
+        notrace_node, notrace_time = _run(source, vectors, "compiled",
+                                          seconds, traces=False)
         nosb_node, nosb_time = _run(source, vectors, "compiled", seconds,
                                     superblocks=False)
 
-        # Both compiled configurations must match the tree-walker exactly:
+        # Every compiled configuration must match the tree-walker exactly:
         # same statements, same cycles, same interrupt count.
         for label, node in (("compiled", compiled_node),
+                            ("compiled/notrace", notrace_node),
                             ("compiled/nosb", nosb_node)):
             assert tree_node.busy_cycles == node.busy_cycles, \
                 f"{name} ({label}): cycle totals diverge"
@@ -222,15 +247,22 @@ def measure() -> dict:
             "interrupts_delivered": tree_node.interrupts_delivered,
             "tree_seconds": round(tree_time, 4),
             "compiled_seconds": round(compiled_time, 4),
+            "compiled_notrace_seconds": round(notrace_time, 4),
             "compiled_nosb_seconds": round(nosb_time, 4),
             "tree_stmts_per_sec": round(statements / tree_time),
             "compiled_stmts_per_sec": round(statements / compiled_time),
+            "compiled_notrace_stmts_per_sec": round(
+                statements / notrace_time),
             "compiled_nosb_stmts_per_sec": round(statements / nosb_time),
             "speedup": round(tree_time / compiled_time, 2),
+            "speedup_notrace": round(tree_time / notrace_time, 2),
             "speedup_nosb": round(tree_time / nosb_time, 2),
             "superblocks": {
                 "superblocks": superblocks["superblocks"],
                 "loop_superblocks": superblocks["loop_superblocks"],
+                "traces": superblocks["traces"],
+                "inlined_call_sites": superblocks["inlined_call_sites"],
+                "inlined_calls": superblocks["inlined_calls"],
                 "entries_fast": superblocks["entries_fast"],
                 "entries_slow": superblocks["entries_slow"],
                 "bursts": superblocks["bursts"],
@@ -246,7 +278,59 @@ def measure() -> dict:
     results["max_speedup"] = max(speedups)
     results["min_speedup_nosb"] = min(speedups_nosb)
     results["max_speedup_nosb"] = max(speedups_nosb)
+    results["warm_vs_cold"] = measure_warm_vs_cold()
     return results
+
+
+def measure_warm_vs_cold() -> dict:
+    """Prove the persistent plan store's zero-lowering warm start.
+
+    Two independently parsed programs stand in for two processes (their
+    ASTs share nothing, exactly like a fresh ``python -m repro`` run): the
+    cold one lowers every function and persists the plans through a
+    :class:`PlanStore`; the warm one hydrates them back and compiles its
+    engine without a single front-end lowering.  Both then run the same
+    simulated window and must land on identical cycle counts.
+    """
+    import tempfile
+
+    from repro.avrora.codestore import PlanStore, plan_key
+
+    source, vectors = WORKLOADS["function_calls"]
+    seconds = min(_sim_seconds(), 0.25)
+    with tempfile.TemporaryDirectory(prefix="plan-store-") as root:
+        store = PlanStore(root)
+        key = plan_key("bench-function-calls", "mica2")
+
+        cold_program = _build(source, vectors)
+        cold_node = _make_node(cold_program, "compiled", True)
+        cold_node.boot()
+        cold_node.interpreter.warm()
+        cache = cold_program.analysis().code_cache()
+        cache.lower_all(cold_program, cache.costs)
+        cold_lowerings = cache.lowerings
+        store.store(key, cache.export_portable(cold_program))
+        cold_node.run(seconds)
+
+        warm_program = _build(source, vectors)
+        warm_cache = warm_program.analysis().code_cache()
+        warm_cache.hydrate_portable(warm_program, store.load(key))
+        warm_node = _make_node(warm_program, "compiled", True)
+        warm_node.boot()
+        warm_node.interpreter.warm()
+        warm_node.run(seconds)
+
+        assert warm_cache.lowerings == 0, \
+            f"warm start performed {warm_cache.lowerings} lowerings"
+        assert warm_node.time_cycles == cold_node.time_cycles, \
+            "warm start diverged from cold start"
+        return {
+            "workload": "function_calls",
+            "cold_lowerings": cold_lowerings,
+            "warm_lowerings": warm_cache.lowerings,
+            "warm_disk_loads": warm_cache.disk_loads,
+            "store": store.stats(),
+        }
 
 
 def _record(results: dict) -> None:
@@ -269,21 +353,35 @@ def test_interp_throughput() -> None:
     assert results["max_speedup"] >= MIN_SPEEDUP_FUSED, \
         f"best fused speedup {results['max_speedup']}x fell below the " \
         f"{MIN_SPEEDUP_FUSED}x floor: {results['workloads']}"
+    calls = results["workloads"]["function_calls"]
+    assert calls["speedup"] >= MIN_SPEEDUP_CALLS, \
+        f"function_calls speedup {calls['speedup']}x fell below the " \
+        f"per-workload {MIN_SPEEDUP_CALLS}x floor (traces formed: " \
+        f"{calls['superblocks']['traces']}): {calls}"
+    assert results["warm_vs_cold"]["warm_lowerings"] == 0
 
 
 def format_table(results: dict) -> str:
     lines = [
         f"interpreter throughput ({results['sim_seconds']}s simulated):",
         f"{'workload':<18} {'tree st/s':>12} {'no-fuse st/s':>13} "
-        f"{'fused st/s':>12} {'speedup':>8} {'fused %':>8}",
+        f"{'no-trace st/s':>14} {'fused st/s':>12} {'speedup':>8} "
+        f"{'fused %':>8}",
     ]
     for name, row in results["workloads"].items():
         fused_pct = row["superblocks"]["fused_fraction"] * 100
         lines.append(
             f"{name:<18} {row['tree_stmts_per_sec']:>12,} "
             f"{row['compiled_nosb_stmts_per_sec']:>13,} "
+            f"{row['compiled_notrace_stmts_per_sec']:>14,} "
             f"{row['compiled_stmts_per_sec']:>12,} {row['speedup']:>7}x "
             f"{fused_pct:>7.1f}%")
+    warm = results.get("warm_vs_cold")
+    if warm:
+        lines.append(
+            f"plan store: cold lowered {warm['cold_lowerings']} "
+            f"function(s); warm start lowered {warm['warm_lowerings']} "
+            f"({warm['warm_disk_loads']} hydrated from disk)")
     return "\n".join(lines)
 
 

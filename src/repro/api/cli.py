@@ -9,7 +9,8 @@ Usage::
                           [--processes N] [--json]
     python -m repro simulate APP [--variant NAME] [--seconds S]
                           [--nodes N] [--topology T] [--loss P] [--seed N]
-                          [--traffic default|base|none] [--workers N] [--json]
+                          [--traffic default|base|none] [--workers N]
+                          [--plan-cache DIR] [--json]
     python -m repro figures [--figure 2|3a|3b|3c] [--apps ...] [--json]
 
 Every command speaks the ``repro.api`` schemas: ``--json`` emits the
@@ -149,6 +150,22 @@ def format_sim_record(record: SimRecord) -> str:
             f"({superblocks.get('fused_fraction', 0.0) * 100:.1f}%), "
             f"{superblocks.get('entries_fast', 0):,} fast / "
             f"{superblocks.get('entries_slow', 0):,} slow entries")
+        if superblocks.get("traces"):
+            lines.append(
+                f"  traces     : {superblocks['traces']:,} formed, "
+                f"{superblocks.get('inlined_call_sites', 0):,} call sites "
+                f"inlined, {superblocks.get('inlined_calls', 0):,} calls "
+                f"executed inline")
+    cache = record.code_cache
+    if cache.get("functions"):
+        line = (f"  plan cache : {cache['functions']} plans, "
+                f"{cache.get('lowerings', 0)} lowered here, "
+                f"{cache.get('disk_loads', 0)} from disk")
+        if "store_hits" in cache:
+            line += (f" (store: {cache.get('store_hits', 0)} hit / "
+                     f"{cache.get('store_misses', 0)} miss, "
+                     f"{cache.get('store_stores', 0)} written)")
+        lines.append(line)
     if record.packets_sent:
         lines.append(
             f"  radio tx   : " + ", ".join(map(str, record.packets_sent)) +
@@ -228,7 +245,8 @@ def cmd_simulate(args, workbench: Workbench, out) -> int:
         app=args.app, variant=args.variant,
         node_count=args.nodes, seconds=args.seconds,
         traffic=traffic, topology=args.topology,
-        loss=args.loss, seed=args.seed, workers=args.workers))
+        loss=args.loss, seed=args.seed, workers=args.workers,
+        plan_cache=args.plan_cache))
     record = workbench.simulate(spec)
     if args.json:
         _emit_json(record.to_dict(), out)
@@ -320,6 +338,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--workers", type=int, default=1,
                        help="shard the network across N worker processes "
                             "(bit-identical to --workers 1)")
+    p_sim.add_argument("--plan-cache", default=None, metavar="DIR",
+                       help="persist lowered function plans under DIR so a "
+                            "repeat run skips the lowering front end "
+                            "(bit-identical to running without)")
     add_json(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 

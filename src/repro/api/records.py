@@ -152,6 +152,14 @@ class SimRecord:
             (``Network.shard_stats``): node range, window-grant rounds,
             boundary packet traffic, sync-wait and wall time.  Empty for
             in-process runs and records predating the field.
+        code_cache: Lowering/plan-cache telemetry: the shared in-process
+            ``CodeCache`` counters (``functions``, ``lowerings``,
+            ``plan_hits``, ``disk_loads``) plus, when a persistent plan
+            store was configured, its ``store_*`` counters and directory.
+            A warm start shows ``lowerings == 0`` here.  Execution
+            telemetry like ``workers``/``shards``: not part of the
+            simulation's identity.  Empty for records predating the
+            field.
     """
 
     app: str
@@ -175,6 +183,7 @@ class SimRecord:
     superblocks: dict = field(default_factory=dict, hash=False)
     workers: int = 1
     shards: tuple = field(default=(), hash=False)
+    code_cache: dict = field(default_factory=dict, hash=False)
 
     @property
     def duty_cycle(self) -> float:
@@ -207,6 +216,7 @@ class SimRecord:
             "superblocks": dict(self.superblocks),
             "workers": self.workers,
             "shards": [dict(shard) for shard in self.shards],
+            "code_cache": dict(self.code_cache),
         }
 
     @classmethod
@@ -231,4 +241,5 @@ class SimRecord:
             superblocks=dict(data.get("superblocks", {})),
             workers=data.get("workers", 1),
             shards=tuple(dict(shard) for shard in data.get("shards", ())),
+            code_cache=dict(data.get("code_cache", {})),
         )

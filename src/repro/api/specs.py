@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 from repro.avrora.network import TOPOLOGIES
 from repro.tinyos import suite
@@ -171,6 +173,12 @@ class SimSpec:
             simulation's identity: it is excluded from
             :meth:`content_key` and records cached under one worker
             count satisfy requests made with another.
+        plan_cache: Directory of the persistent lowering-plan store
+            (:class:`~repro.avrora.codestore.PlanStore`), or None to keep
+            lowering in-process only.  Like ``workers``, the cache merely
+            changes *how* the simulation executes (warm starts skip the
+            lowering front end); results are bit-identical either way, so
+            it is excluded from :meth:`content_key`.
     """
 
     app: str
@@ -182,8 +190,12 @@ class SimSpec:
     loss: float = 0.0
     seed: int = 0
     workers: int = 1
+    plan_cache: Optional[str] = None
 
     def __post_init__(self):
+        if self.plan_cache is not None:
+            # PathLike in, plain string out: specs stay JSON-serializable.
+            object.__setattr__(self, "plan_cache", os.fspath(self.plan_cache))
         _check_app(self.app)
         variant_by_name(self.variant)
         if self.node_count < 1:
@@ -228,9 +240,10 @@ class SimSpec:
         return BuildSpec(app=self.app, variant=self.variant)
 
     def content_key(self) -> str:
-        # ``workers`` is intentionally absent: the sharded kernel is
-        # bit-identical to the in-process one, so worker count is not
-        # part of what the simulation *is* — only of how it is executed.
+        # ``workers`` and ``plan_cache`` are intentionally absent: the
+        # sharded kernel and the persistent plan store are bit-identical
+        # to their in-process counterparts, so neither is part of what
+        # the simulation *is* — only of how it is executed.
         return _digest({
             "schema": SCHEMA_VERSION,
             "kind": "sim",
@@ -249,7 +262,7 @@ class SimSpec:
                 "node_count": self.node_count, "seconds": self.seconds,
                 "traffic": self.traffic, "topology": self.topology,
                 "loss": self.loss, "seed": self.seed,
-                "workers": self.workers}
+                "workers": self.workers, "plan_cache": self.plan_cache}
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimSpec":
@@ -259,4 +272,5 @@ class SimSpec:
                    topology=data.get("topology", "broadcast"),
                    loss=data.get("loss", 0.0),
                    seed=data.get("seed", 0),
-                   workers=data.get("workers", 1))
+                   workers=data.get("workers", 1),
+                   plan_cache=data.get("plan_cache"))

@@ -270,12 +270,56 @@ class Workbench:
 
     # -- simulation ------------------------------------------------------------
 
+    @staticmethod
+    def _plan_store_attach(spec: SimSpec, program) -> Optional[tuple]:
+        """Hydrate the program's code cache from the spec's persistent
+        plan store (if any); returns ``(store, key)`` for :meth:`simulate`
+        to persist back into, or None when no store is configured.
+        """
+        if spec.plan_cache is None:
+            return None
+        from repro.avrora.codestore import PlanStore, plan_key
+
+        store = PlanStore(spec.plan_cache)
+        key = plan_key(spec.build_spec().content_key(), program.platform)
+        payload = store.load(key)
+        if payload is not None:
+            program.analysis().code_cache().hydrate_portable(program, payload)
+        return store, key
+
+    @staticmethod
+    def _plan_store_persist(attach: Optional[tuple], program) -> dict:
+        """Persist the (now fully lowered) plans and assemble the record's
+        ``code_cache`` telemetry dictionary."""
+        cache = program.analysis().code_cache()
+        telemetry: dict = dict(cache.stats())
+        if attach is None:
+            return telemetry
+        store, key = attach
+        # Freshly lowered plans (a cold start, or functions the artifact
+        # did not cover) are worth persisting; an already-complete warm
+        # start skips the write.  ``cache.costs is None`` means nothing
+        # was lowered at all (tree engine) — nothing to persist.
+        if cache.costs is not None and cache.lowerings > 0:
+            cache.lower_all(program, cache.costs)
+            payload = cache.export_portable(program)
+            if payload is not None:
+                store.store(key, payload)
+        telemetry.update(
+            {f"store_{name}": value
+             for name, value in store.stats().items()},
+            store_dir=store.root)
+        return telemetry
+
     def simulate(self, spec: SimSpec) -> SimRecord:
         """Build (memoized) and simulate one application; returns a record.
 
         The simulation runs on the lockstep network kernel with the
         spec's topology, loss rate and seed; per-node packet and traffic
-        statistics land in the record.
+        statistics land in the record.  With ``spec.plan_cache`` set, the
+        program's lowering plans are hydrated from the persistent store
+        before the run (a warm start performs zero lowerings — including
+        the sharded kernel's pre-fork warm) and persisted after it.
         """
         key = spec.content_key()
         with self._lock:
@@ -283,6 +327,7 @@ class Workbench:
         if cached is not None:
             return cached
         result = self.build_result(spec.build_spec())
+        attach = self._plan_store_attach(spec, result.program)
         traffic = duty_cycle_context(spec.app) \
             if spec.traffic in (TRAFFIC_DEFAULT, TRAFFIC_BASE) else None
         channel = Channel(topology=spec.topology, loss=spec.loss,
@@ -292,6 +337,7 @@ class Workbench:
             node_count=spec.node_count, traffic=traffic, channel=channel,
             traffic_first_node_only=(spec.traffic == TRAFFIC_BASE),
             workers=spec.workers)
+        code_cache = self._plan_store_persist(attach, result.program)
         stats = network.node_stats()
         record = SimRecord(
             app=spec.app,
@@ -313,6 +359,7 @@ class Workbench:
             superblocks=network.superblock_stats(),
             workers=spec.workers,
             shards=tuple(network.shard_stats),
+            code_cache=code_cache,
         )
         with self._lock:
             return self._sim_records.setdefault(key, record)

@@ -41,6 +41,19 @@ Two mechanisms push past per-statement dispatch:
   the superblock falls back to the unfused per-statement ops — so every
   event, interrupt delivery and pause lands at exactly the cycle it would
   without fusion.  ``REPRO_AVRORA_SUPERBLOCKS=0`` disables fusion.
+* **traces** — superblocks extend *through* calls to leaf functions
+  (bodies with no further calls, no address-taken locals, no loops):
+  the callee's work closures are spliced inline under the caller's
+  poll-window guard, with the callee's frame slots flattened into extra
+  slots of the caller's frame, so one guard and one accounting
+  write-back cover the whole trace including every inlined call.
+  Because an inlined ``if`` may execute either branch, callee cycle and
+  statement accounting is *dynamic*: the guard checks the window
+  against the worst case, the inlined units accumulate the actually
+  executed cost, and a mid-trace fault repairs the accounting to
+  exactly what the per-statement path would have charged.
+  ``REPRO_AVRORA_TRACES=0`` disables trace formation (plain fusion
+  stays on).
 * **a shared code cache** — the node-independent front end of lowering
   (frame layout, per-statement cycle costs, fusability, parameter plans)
   is computed once per program in a :class:`CodeCache` hanging off the
@@ -48,7 +61,11 @@ Two mechanisms push past per-statement dispatch:
   N-node :class:`~repro.avrora.network.Network` shares one front-end
   lowering per function.  Only the final closure binding — which bakes
   node-local state (memory objects, event queue, clock) into the ops for
-  speed — remains per node.
+  speed — remains per node.  Plans also round-trip through a *portable*
+  form (``CodeCache.export_portable`` / ``hydrate_portable``) keyed by
+  statement order instead of process-local node ids, which the
+  disk-backed :class:`~repro.avrora.codestore.PlanStore` persists across
+  runs so a warm start performs zero lowerings.
 
 Semantics are kept **byte-identical** to the tree-walker (cycle counts,
 interrupt delivery points, check failures, radio traffic): ops charge the
@@ -122,9 +139,23 @@ _BURST_CHUNK = 1 << 16
 _FUSABLE_KINDS = (ast.Assign, ast.ExprStmt, ast.VarDecl, ast.Nop)
 
 
+#: Version of the lowering front end, stamped into persisted plan
+#: artifacts (see :mod:`repro.avrora.codestore`).  Bump whenever
+#: :class:`FunctionPlan`'s fields or the meaning of its facts change, so
+#: stale on-disk plans from an older lowering are rejected instead of
+#: silently mis-executing.
+LOWERING_VERSION = 2
+
+
 def _superblocks_enabled() -> bool:
     """Read the fusion switch (``REPRO_AVRORA_SUPERBLOCKS``, default on)."""
     value = os.environ.get("REPRO_AVRORA_SUPERBLOCKS", "1").strip().lower()
+    return value not in ("0", "false", "off", "no")
+
+
+def _traces_enabled() -> bool:
+    """Read the trace-inlining switch (``REPRO_AVRORA_TRACES``, default on)."""
+    value = os.environ.get("REPRO_AVRORA_TRACES", "1").strip().lower()
     return value not in ("0", "false", "off", "no")
 
 
@@ -301,11 +332,12 @@ class FunctionPlan:
     """
 
     __slots__ = ("name", "slots", "params", "default_return", "stmt_costs",
-                 "fusable", "loop_conds")
+                 "fusable", "loop_conds", "call_sites", "leaf_cost")
 
     def __init__(self, name: str, slots: dict[str, int], params: tuple,
                  default_return: Optional[int], stmt_costs: dict[int, int],
-                 fusable: frozenset[int], loop_conds: frozenset[int]):
+                 fusable: frozenset[int], loop_conds: frozenset[int],
+                 call_sites: dict[int, tuple], leaf_cost: Optional[int]):
         self.name = name
         #: Frame slot of every local / stray identifier (slot 0 = return).
         self.slots = slots
@@ -320,6 +352,18 @@ class FunctionPlan:
         #: (or absent) — the control-flow precondition for loop
         #: superblocks (If matters for rotated loops' if-break guards).
         self.loop_conds = loop_conds
+        #: ``node_id`` -> callee names, for otherwise-fusable statements
+        #: whose every call targets a non-builtin program function with
+        #: matching arity — the trace-inlining candidates.  Whether each
+        #: callee is actually inlinable (``leaf_cost`` below) is the
+        #: *callee's* plan's fact, checked at compile time.
+        self.call_sites = call_sites
+        #: Worst-case cycles one invocation of this function charges when
+        #: spliced inline as a trace leaf (body statements only, call
+        #: overhead excluded), or None when the body is not leaf-inlinable
+        #: (contains calls, loops, address-taken locals, non-trailing
+        #: returns, or any non-fusable statement kind).
+        self.leaf_cost = leaf_cost
 
 
 def _build_plan(func: ast.FunctionDef, program: Program,
@@ -343,16 +387,19 @@ def _build_plan(func: ast.FunctionDef, program: Program,
     stmt_costs: dict[int, int] = {}
     fusable: set[int] = set()
     loop_conds: set[int] = set()
+    call_free: set[int] = set()
+    call_sites: dict[int, tuple] = {}
     stray: list[str] = []
     stray_seen: set[str] = set()
+    builtins = program.builtins
     for stmt in walk_statements(func.body):
         cycles = costs.stmt_cycles(stmt)
-        has_call = False
+        calls: list[ast.Call] = []
         for expr in cache.statement_expressions(stmt, func.name):
             for node in walk_expression(expr):
                 cycles += costs.expr_cycles(node)
                 if isinstance(node, ast.Call):
-                    has_call = True
+                    calls.append(node)
                 elif isinstance(node, ast.Identifier) and \
                         node.name not in locals_ and \
                         node.name not in globals_ and \
@@ -360,8 +407,26 @@ def _build_plan(func: ast.FunctionDef, program: Program,
                     stray_seen.add(node.name)
                     stray.append(node.name)
         stmt_costs[stmt.node_id] = max(cycles, 1)
-        if not has_call and isinstance(stmt, _FUSABLE_KINDS):
-            fusable.add(stmt.node_id)
+        if not calls:
+            call_free.add(stmt.node_id)
+            if isinstance(stmt, _FUSABLE_KINDS):
+                fusable.add(stmt.node_id)
+        elif isinstance(stmt, _FUSABLE_KINDS):
+            # Trace candidate: every call must target a non-builtin
+            # program function with matching arity (builtins can
+            # schedule events or fail checks mid-statement, and an
+            # arity mismatch must raise exactly where the per-statement
+            # path raises it).
+            names = []
+            for call in calls:
+                callee = None if call.callee in builtins else \
+                    program.lookup_function(call.callee)
+                if callee is None or len(call.args) != len(callee.params):
+                    names = None
+                    break
+                names.append(call.callee)
+            if names:
+                call_sites[stmt.node_id] = tuple(names)
         if isinstance(stmt, (ast.While, ast.For, ast.If)):
             cond = stmt.cond
             if cond is None or not any(
@@ -382,9 +447,63 @@ def _build_plan(func: ast.FunctionDef, program: Program,
             f"{func.name}.{param.name}",
         ))
     default_return = 0 if not func.return_type.is_void() else None
+    leaf_cost = _leaf_cost(func, stmt_costs, call_free, taken)
     return FunctionPlan(func.name, slots, tuple(params), default_return,
                         stmt_costs, frozenset(fusable),
-                        frozenset(loop_conds))
+                        frozenset(loop_conds), call_sites, leaf_cost)
+
+
+def _leaf_cost(func: ast.FunctionDef, stmt_costs: dict[int, int],
+               call_free: set[int], taken) -> Optional[int]:
+    """Worst-case body cycles of a leaf-inlinable function, or None.
+
+    A function is a *trace leaf* when splicing its body inline under a
+    caller's poll-window guard is sound: no address-taken locals (their
+    memory objects would outlive the flattened slots), and a body made
+    only of call-free fusable statements and call-free ``if``s whose
+    branches are the same shape, plus one optional *trailing* return.
+    Loops, atomic sections, break/continue and mid-body returns all
+    disqualify — their control flow cannot run as a straight unit list.
+    The returned bound takes the more expensive branch of every ``if``,
+    so the caller's guard window covers any dynamic path.
+    """
+    if taken:
+        return None
+
+    def block_max(stmts) -> Optional[int]:
+        total = 0
+        for s in stmts:
+            if s.node_id not in call_free:
+                return None
+            if isinstance(s, _FUSABLE_KINDS):
+                total += stmt_costs[s.node_id]
+            elif isinstance(s, ast.If):
+                then_max = block_max(s.then_body.stmts)
+                if then_max is None:
+                    return None
+                else_max = 0
+                if s.else_body is not None:
+                    else_max = block_max(s.else_body.stmts)
+                    if else_max is None:
+                        return None
+                total += stmt_costs[s.node_id] + max(then_max, else_max)
+            else:
+                return None
+        return total
+
+    stmts = func.body.stmts
+    ret: Optional[ast.Return] = None
+    if stmts and isinstance(stmts[-1], ast.Return):
+        ret = stmts[-1]
+        if ret.node_id not in call_free:
+            return None
+        stmts = stmts[:-1]
+    cost = block_max(stmts)
+    if cost is None:
+        return None
+    if ret is not None:
+        cost += stmt_costs[ret.node_id]
+    return cost
 
 
 class CodeCache:
@@ -401,12 +520,14 @@ ProgramAnalysisCache` (see :meth:`code_cache
     records).
     """
 
-    __slots__ = ("plans", "lowerings", "plan_hits", "costs")
+    __slots__ = ("plans", "lowerings", "plan_hits", "disk_loads", "costs")
 
     def __init__(self) -> None:
         self.plans: dict[str, FunctionPlan] = {}
         self.lowerings = 0
         self.plan_hits = 0
+        #: Plans hydrated from a persistent store instead of lowered here.
+        self.disk_loads = 0
         #: The cost model the cached plans were costed with.  Plans bake
         #: per-statement cycle costs, so a node carrying a *different*
         #: model (``Node(costs=...)`` accepts arbitrary ones, e.g. for a
@@ -436,11 +557,100 @@ ProgramAnalysisCache` (see :meth:`code_cache
         else:
             self.plans.pop(func_name, None)
 
+    def lower_all(self, program: Program, costs) -> int:
+        """Lower every program function now; returns the plan count.
+
+        Used before :meth:`export_portable` so a persisted artifact
+        covers the whole program — a warm start then performs zero
+        lowerings no matter which functions the simulation reaches.
+        """
+        for name, func in program.functions.items():
+            if name not in self.plans:
+                self.plan_for(func, program, costs)
+        return len(self.plans)
+
+    def export_portable(self, program: Program) -> Optional[dict]:
+        """Serialize the cached plans into a process-independent form.
+
+        ``node_id``s are assigned per process, so the portable form keys
+        every per-statement fact by the statement's *index* in
+        ``walk_statements`` order instead; :meth:`hydrate_portable`
+        re-walks the (identical) AST to bind them back.  Returns None
+        when nothing has been lowered yet.
+        """
+        if not self.plans:
+            return None
+        from repro.cminor.visitor import walk_statements
+
+        functions: dict[str, dict] = {}
+        for name, plan in self.plans.items():
+            func = program.lookup_function(name)
+            if func is None:  # pragma: no cover - plans track functions
+                continue
+            order = [s.node_id for s in walk_statements(func.body)]
+            index_of = {nid: i for i, nid in enumerate(order)}
+            functions[name] = {
+                "slots": dict(plan.slots),
+                "params": tuple(plan.params),
+                "default_return": plan.default_return,
+                "stmt_costs": [plan.stmt_costs[nid] for nid in order],
+                "fusable": sorted(index_of[nid] for nid in plan.fusable),
+                "loop_conds": sorted(index_of[nid]
+                                     for nid in plan.loop_conds),
+                "call_sites": {index_of[nid]: names
+                               for nid, names in plan.call_sites.items()},
+                "leaf_cost": plan.leaf_cost,
+            }
+        return {"costs": self.costs, "functions": functions}
+
+    def hydrate_portable(self, program: Program, portable: dict) -> int:
+        """Rebind a portable export to this process's ASTs; returns count.
+
+        Statement counts are re-checked per function: a mismatch (the
+        program differs from the one that produced the artifact) rejects
+        that function and leaves it to lazy lowering.  Already-lowered
+        plans are never overwritten.
+        """
+        from repro.cminor.visitor import walk_statements
+
+        if self.costs is None:
+            self.costs = portable["costs"]
+        elif self.costs != portable["costs"]:
+            return 0
+        hydrated = 0
+        for name, data in portable["functions"].items():
+            if name in self.plans:
+                continue
+            func = program.lookup_function(name)
+            if func is None:
+                continue
+            order = [s.node_id for s in walk_statements(func.body)]
+            flat_costs = data["stmt_costs"]
+            if len(order) != len(flat_costs):
+                continue
+            plan = FunctionPlan(
+                name,
+                dict(data["slots"]),
+                tuple(tuple(p) for p in data["params"]),
+                data["default_return"],
+                {order[i]: c for i, c in enumerate(flat_costs)},
+                frozenset(order[i] for i in data["fusable"]),
+                frozenset(order[i] for i in data["loop_conds"]),
+                {order[int(i)]: tuple(names)
+                 for i, names in data["call_sites"].items()},
+                data["leaf_cost"],
+            )
+            self.plans[name] = plan
+            hydrated += 1
+        self.disk_loads += hydrated
+        return hydrated
+
     def stats(self) -> dict[str, int]:
         return {
             "functions": len(self.plans),
             "lowerings": self.lowerings,
             "plan_hits": self.plan_hits,
+            "disk_loads": self.disk_loads,
         }
 
 
@@ -531,16 +741,28 @@ class CompiledEngine:
         #: Superblock fusion switch (``REPRO_AVRORA_SUPERBLOCKS``), read at
         #: engine construction so tests can toggle it per node.
         self.superblocks_enabled = _superblocks_enabled()
+        #: Trace-inlining switch (``REPRO_AVRORA_TRACES``); traces build
+        #: on superblocks, so disabling fusion disables traces too.
+        self.traces_enabled = self.superblocks_enabled and _traces_enabled()
         #: Node-independent lowering plans shared with every other engine
         #: simulating this program (compile-once across a network).
         self.code_cache: CodeCache = self.program.analysis().code_cache()
         #: Superblocks formed at compile time (straight-line / loop).
         self.superblocks = 0
         self.loop_superblocks = 0
+        #: Trace superblocks formed (fused regions with >= 1 inlined
+        #: call) and call sites spliced inline, both compile-time counts.
+        self.traces = 0
+        self.inlined_sites = 0
         #: Runtime fast-path counters, mutated in place by the fused ops:
         #: [fast entries, slow entries, fused statements, bursts,
-        #:  burst iterations].
-        self._sb_cell = [0, 0, 0, 0, 0]
+        #:  burst iterations, inlined calls executed].
+        self._sb_cell = [0, 0, 0, 0, 0, 0]
+        #: Per-trace dynamic accumulator: [extra cycles, extra statements,
+        #: inlined calls], reset by each trace guard on entry.  Safe to
+        #: share engine-wide: fused trace runs are straight-line (no
+        #: polls, no nested machine runs), so they never nest.
+        self._acc = [0, 0, 0]
 
     @property
     def statements_executed(self) -> int:
@@ -548,17 +770,21 @@ class CompiledEngine:
 
     def superblock_stats(self) -> dict:
         """Superblock formation and fast-path hit-rate statistics."""
-        fast, slow, fused, bursts, iterations = self._sb_cell
+        fast, slow, fused, bursts, iterations, inlined = self._sb_cell
         total = self._stmt_cell[0]
         return {
             "engine": "compiled",
             "enabled": self.superblocks_enabled,
+            "traces_enabled": self.traces_enabled,
             "superblocks": self.superblocks,
             "loop_superblocks": self.loop_superblocks,
+            "traces": self.traces,
+            "inlined_call_sites": self.inlined_sites,
             "entries_fast": fast,
             "entries_slow": slow,
             "bursts": bursts,
             "burst_iterations": iterations,
+            "inlined_calls": inlined,
             "fused_statements": fused,
             "statements_total": total,
             "fused_fraction": round(fused / total, 4) if total else 0.0,
@@ -756,6 +982,15 @@ class _FunctionCompiler:
         self.atomic_depth = 0
         self.has_atomic = False
         self.sb_enabled = engine.superblocks_enabled
+        self.trace_enabled = engine.traces_enabled
+        #: Extra frame slots appended past the plan's layout, holding the
+        #: flattened frames of inlined trace callees (one block per call
+        #: site, so re-entrancy within one statement cannot alias).
+        self.extra_slots = 0
+        #: True while compiling a trace work closure: program calls then
+        #: lower to inline splices instead of CALL ops / machine runs.
+        self._inline_calls = False
+        self._acc = engine._acc
 
         # Hot-path bindings baked into the generated ops.  The event queue
         # and pending-interrupt containers are mutated in place by the node
@@ -804,7 +1039,8 @@ class _FunctionCompiler:
         self._compile_block(self.func.body)
         self._finalize()
         return CompiledFunction(self.func.name, self.ops,
-                                1 + len(self.slots), self.plan.params,
+                                1 + len(self.slots) + self.extra_slots,
+                                self.plan.params,
                                 self.plan.default_return, self.has_atomic)
 
     def _compile_block(self, block: ast.Block) -> None:
@@ -818,20 +1054,62 @@ class _FunctionCompiler:
         index = 0
         while index < total:
             stmt = stmts[index]
-            if stmt.node_id in fusable:
-                end = index + 1
-                while end < total and stmts[end].node_id in fusable:
+            if stmt.node_id in fusable or \
+                    self._site_extra(stmt) is not None:
+                end = index
+                extras = []
+                while end < total:
+                    s = stmts[end]
+                    if s.node_id in fusable:
+                        extras.append(0)
+                    else:
+                        extra = self._site_extra(s)
+                        if extra is None:
+                            break
+                        extras.append(extra)
                     end += 1
-                if end - index >= 2:
-                    self._compile_superblock(stmts[index:end])
+                # A run is worth a guard when it fuses >= 2 statements,
+                # or contains even a single trace statement (inlining
+                # one call already beats the CALL-op machinery).
+                if end - index >= 2 or any(extras):
+                    self._compile_superblock(stmts[index:end], extras)
                     index = end
                     continue
             self._compile_stmt(stmt)
             index += 1
 
+    # -- trace facts ------------------------------------------------------------
+
+    def _site_extra(self, stmt: ast.Stmt) -> Optional[int]:
+        """Worst-case inlined-callee cycles for one trace statement.
+
+        None when the statement is not a trace candidate: no recorded
+        call sites, tracing disabled, or any callee not leaf-inlinable
+        (recursive and non-leaf callees fail here — their plans carry
+        ``leaf_cost is None`` — and stay on the CALL-op path).
+        """
+        if not self.trace_enabled:
+            return None
+        names = self.plan.call_sites.get(stmt.node_id)
+        if not names:
+            return None
+        overhead = self.engine._overhead
+        extra = 0
+        for name in names:
+            func = self.program.lookup_function(name)
+            if func is None:
+                return None
+            plan = self.engine.code_cache.plan_for(func, self.program,
+                                                   self.costs)
+            if plan.leaf_cost is None:
+                return None
+            extra += overhead + plan.leaf_cost
+        return extra
+
     # -- superblocks ------------------------------------------------------------
 
-    def _compile_superblock(self, run: list) -> None:
+    def _compile_superblock(self, run: list,
+                            extras: Optional[list] = None) -> None:
         """Fuse one maximal straight-line run of fusable statements.
 
         Emits a guard op followed by the unchanged per-statement ops.  The
@@ -848,8 +1126,14 @@ class _FunctionCompiler:
         the simulation), the accounting is repaired to exactly what the
         per-statement path would have charged up to and including the
         faulting statement before the exception propagates.
+
+        ``extras`` carries the per-statement worst-case inlined-callee
+        cycles of a *trace* run (zero for plain statements): the guard
+        then checks the window against the worst case, while the actual
+        dynamic charge accumulates in the engine's trace accumulator.
         """
         self.engine.superblocks += 1
+        trace = extras is not None and any(extras)
         guard_index = len(self.ops)
         self.ops.append(None)  # patched below, after the slow path exists
         works = []
@@ -858,9 +1142,57 @@ class _FunctionCompiler:
         for stmt in run:
             total += self._stmt_cost(stmt)
             prefix.append(total)
-            works.append(self._compile_work(stmt))
+            if trace and self.plan.call_sites.get(stmt.node_id):
+                works.append(self._compile_trace_work(stmt))
+            else:
+                works.append(self._compile_work(stmt))
             self._compile_stmt(stmt)
         done = len(self.ops)
+
+        if trace:
+            self.engine.traces += 1
+            max_total = total + sum(extras)
+
+            def trace_op(frame: list, _n=self.node, _eq=self._eq,
+                         _pi=self._pending, _works=tuple(works),
+                         _nw=len(run), _static=total, _max=max_total,
+                         _prefix=tuple(prefix), _cell=self._cell,
+                         _sb=self._sb, _acc=self._acc,
+                         _slow=guard_index + 1, _done=done) -> int:
+                t = _n.time_cycles
+                limit = t + _max
+                end = _n.end_cycles
+                if (_pi or (_eq and _eq[0][0] <= limit)
+                        or (end and limit >= end) or _n.strict_memory):
+                    _sb[1] += 1
+                    return _slow
+                _sb[0] += 1
+                _acc[0] = 0
+                _acc[1] = 0
+                _acc[2] = 0
+                j = 0
+                try:
+                    while j < _nw:
+                        _works[j](frame)
+                        j += 1
+                except BaseException:
+                    # Per-statement equivalence: j completed/entered
+                    # caller statements (charge-then-execute, so the
+                    # faulting one is included) plus whatever the
+                    # inlined callees charged before the fault.
+                    _n.time_cycles = t + _prefix[j] + _acc[0]
+                    _cell[0] += j + 1 + _acc[1]
+                    _sb[2] += j + 1 + _acc[1]
+                    _sb[5] += _acc[2]
+                    raise
+                _n.time_cycles = t + _static + _acc[0]
+                _cell[0] += _nw + _acc[1]
+                _sb[2] += _nw + _acc[1]
+                _sb[5] += _acc[2]
+                return _done
+
+            self.ops[guard_index] = trace_op
+            return
 
         def op(frame: list, _n=self.node, _eq=self._eq, _pi=self._pending,
                _works=tuple(works), _nw=len(run), _total=total,
@@ -898,11 +1230,14 @@ class _FunctionCompiler:
 
         Eligible when the loop's condition is call-free (or absent) and
         every statement executed per iteration — the body plus, for
-        ``for`` loops, the update — is fusable.  ``base_cost`` is the
-        per-iteration charge outside the statements themselves (the
-        ``while`` branch cycles).  Returns
-        ``(works, prefix, iter_cost, iter_stmts)`` where ``prefix``
-        excludes ``base_cost``.
+        ``for`` loops, the update — is fusable or a trace statement
+        (every call inlinable).  ``base_cost`` is the per-iteration
+        charge outside the statements themselves (the ``while`` branch
+        cycles).  Returns
+        ``(works, prefix, iter_cost, iter_stmts, extra_max)`` where
+        ``prefix`` excludes ``base_cost`` and ``extra_max`` is the
+        worst-case inlined-callee cycles per iteration (0 for a plain
+        fusable loop).
         """
         if not self.sb_enabled or stmt.node_id not in self.plan.loop_conds:
             return None
@@ -912,16 +1247,28 @@ class _FunctionCompiler:
         if not run:
             return None
         fusable = self.plan.fusable
-        if any(s.node_id not in fusable for s in run):
-            return None
+        extras = []
+        for s in run:
+            if s.node_id in fusable:
+                extras.append(0)
+            else:
+                extra = self._site_extra(s)
+                if extra is None:
+                    return None
+                extras.append(extra)
+        trace = any(extras)
         works = []
         prefix = []
         total = 0
         for s in run:
             total += self._stmt_cost(s)
             prefix.append(total)
-            works.append(self._compile_work(s))
-        return tuple(works), tuple(prefix), base_cost + total, len(run)
+            if trace and self.plan.call_sites.get(s.node_id):
+                works.append(self._compile_trace_work(s))
+            else:
+                works.append(self._compile_work(s))
+        return (tuple(works), tuple(prefix), base_cost + total, len(run),
+                sum(extras))
 
     def _emit_burst(self, burst, cond: Optional[ExprFn], branch_cycles: int,
                     exit_label: _Label) -> None:
@@ -937,7 +1284,7 @@ class _FunctionCompiler:
         the condition is never evaluated twice for one iteration, so even
         out-of-bounds reads inside it are absorbed exactly once.
         """
-        works, prefix, iter_cost, iter_stmts = burst
+        works, prefix, iter_cost, iter_stmts, _ = burst
         self.engine.loop_superblocks += 1
         nxt = len(self.ops) + 1
 
@@ -1004,6 +1351,94 @@ class _FunctionCompiler:
 
         self._emit_pending(maker, exit_label)
 
+    def _emit_trace_burst(self, burst, cond: Optional[ExprFn],
+                          branch_cycles: int, exit_label: _Label) -> None:
+        """A loop superblock whose iterations contain inlined calls.
+
+        Mirrors :meth:`_emit_burst`, except the per-iteration cost is
+        dynamic: the iteration budget is computed against the worst case
+        (static cost + every callee's maximal body), while the actual
+        charge — accumulated by the inlined units in the engine's trace
+        accumulator — is written back at the end.  Conservatively
+        running fewer iterations per burst is invisible: the
+        per-statement machinery takes over at the same cycle.
+        """
+        works, prefix, iter_cost, iter_stmts, extra_max = burst
+        self.engine.loop_superblocks += 1
+        self.engine.traces += 1
+        nxt = len(self.ops) + 1
+
+        def maker(exit_index: int, _n=self.node, _eq=self._eq,
+                  _pi=self._pending, _cond=cond, _works=works,
+                  _nw=len(works), _prefix=prefix, _ic=iter_cost,
+                  _im=iter_cost + extra_max, _is=iter_stmts,
+                  _bc=branch_cycles, _cell=self._cell, _sb=self._sb,
+                  _acc=self._acc, _chunk=_BURST_CHUNK, _nxt=nxt) -> Op:
+            def op(frame: list) -> int:
+                if _pi or _n.strict_memory:
+                    return _nxt
+                t = _n.time_cycles
+                end = _n.end_cycles
+                if _eq:
+                    limit = _eq[0][0] - 1
+                    if end and end - 1 < limit:
+                        limit = end - 1
+                elif end:
+                    limit = end - 1
+                else:
+                    limit = t + _im * _chunk
+                k_max = (limit - t) // _im
+                if k_max <= 0:
+                    return _nxt
+                _acc[0] = 0
+                _acc[1] = 0
+                _acc[2] = 0
+                k = 0
+                j = -1
+                out = _nxt
+                try:
+                    while k < k_max:
+                        if _cond is not None and _cond(frame) == 0:
+                            out = exit_index
+                            break
+                        j = 0
+                        while j < _nw:
+                            _works[j](frame)
+                            j += 1
+                        j = -1
+                        k += 1
+                except BaseException:
+                    # Repair to the per-statement accounting: k complete
+                    # iterations plus the accumulated callee charges,
+                    # plus — when a work raised — the branch charge and
+                    # the statements up to the faulting one.
+                    if j < 0:
+                        _n.time_cycles = t + k * _ic + _acc[0]
+                        _cell[0] += k * _is + _acc[1]
+                        _sb[2] += k * _is + _acc[1]
+                    else:
+                        _n.time_cycles = t + k * _ic + _bc + _prefix[j] \
+                            + _acc[0]
+                        _cell[0] += k * _is + j + 1 + _acc[1]
+                        _sb[2] += k * _is + j + 1 + _acc[1]
+                    _sb[5] += _acc[2]
+                    if k or j >= 0:
+                        _sb[3] += 1
+                        _sb[4] += k
+                    raise
+                if k:
+                    _n.time_cycles = t + k * _ic + _acc[0]
+                    _cell[0] += k * _is + _acc[1]
+                    _sb[2] += k * _is + _acc[1]
+                    _sb[3] += 1
+                    _sb[4] += k
+                    _sb[5] += _acc[2]
+                return out
+
+            return op
+
+        self._emit_pending(maker, exit_label)
+
     def _rotated_burst_facts(self, stmt: ast.While, branch_cycles: int):
         """Fusion facts for a rotated loop, or None when ineligible.
 
@@ -1030,19 +1465,31 @@ class _FunctionCompiler:
             return None
         tail = body[1:]
         fusable = self.plan.fusable
-        if any(s.node_id not in fusable for s in tail):
-            return None
+        extras = []
+        for s in tail:
+            if s.node_id in fusable:
+                extras.append(0)
+            else:
+                extra = self._site_extra(s)
+                if extra is None:
+                    return None
+                extras.append(extra)
+        trace = any(extras)
         works = []
         prefix = []
         total = 0
         for s in tail:
             total += self._stmt_cost(s)
             prefix.append(total)
-            works.append(self._compile_work(s))
+            if trace and self.plan.call_sites.get(s.node_id):
+                works.append(self._compile_trace_work(s))
+            else:
+                works.append(self._compile_work(s))
         head_cost = branch_cycles + self._stmt_cost(guard)
         exit_cost = head_cost + self._stmt_cost(guard.then_body.stmts[0])
         return (self._compile_expr(guard.cond), tuple(works), tuple(prefix),
-                head_cost + total, 1 + len(tail), head_cost, exit_cost)
+                head_cost + total, 1 + len(tail), head_cost, exit_cost,
+                sum(extras))
 
     def _emit_rotated_burst(self, facts, exit_label: _Label) -> None:
         """The loop superblock for the rotated (if-break) loop shape.
@@ -1054,7 +1501,7 @@ class _FunctionCompiler:
         to the loop exit, at the same cycle the per-statement path would.
         """
         exit_cond, works, prefix, iter_cost, iter_stmts, head_cost, \
-            exit_cost = facts
+            exit_cost, _ = facts
         self.engine.loop_superblocks += 1
         nxt = len(self.ops) + 1
 
@@ -1171,6 +1618,99 @@ class _FunctionCompiler:
 
         self._emit_pending(maker, exit_label)
 
+    def _emit_trace_rotated_burst(self, facts, exit_label: _Label) -> None:
+        """The rotated-loop superblock with inlined calls in the tail.
+
+        Mirrors :meth:`_emit_rotated_burst` with the dynamic-accumulator
+        accounting of :meth:`_emit_trace_burst`: the iteration budget
+        uses the worst-case cost, the write-back uses the actual one.
+        The if-break guard condition is call-free, so the exit path's
+        cost stays static.
+        """
+        exit_cond, works, prefix, iter_cost, iter_stmts, head_cost, \
+            exit_cost, extra_max = facts
+        self.engine.loop_superblocks += 1
+        self.engine.traces += 1
+        nxt = len(self.ops) + 1
+
+        def maker(exit_index: int, _n=self.node, _eq=self._eq,
+                  _pi=self._pending, _ec=exit_cond, _works=works,
+                  _nw=len(works), _prefix=prefix, _ic=iter_cost,
+                  _im=iter_cost + extra_max, _is=iter_stmts, _hc=head_cost,
+                  _xc=exit_cost, _cell=self._cell, _sb=self._sb,
+                  _acc=self._acc, _chunk=_BURST_CHUNK, _nxt=nxt) -> Op:
+            def op(frame: list) -> int:
+                if _pi or _n.strict_memory:
+                    return _nxt
+                t = _n.time_cycles
+                end = _n.end_cycles
+                if _eq:
+                    limit = _eq[0][0] - 1
+                    if end and end - 1 < limit:
+                        limit = end - 1
+                elif end:
+                    limit = end - 1
+                else:
+                    limit = t + _im * _chunk
+                budget = limit - t
+                if _xc > _im:
+                    budget -= _xc - _im
+                k_max = budget // _im
+                if k_max <= 0:
+                    return _nxt
+                _acc[0] = 0
+                _acc[1] = 0
+                _acc[2] = 0
+                k = 0
+                j = -1
+                try:
+                    while k < k_max:
+                        j = -2
+                        if _ec(frame) != 0:
+                            _n.time_cycles = t + k * _ic + _xc + _acc[0]
+                            _cell[0] += k * _is + 2 + _acc[1]
+                            _sb[2] += k * _is + 2 + _acc[1]
+                            _sb[3] += 1
+                            _sb[4] += k
+                            _sb[5] += _acc[2]
+                            return exit_index
+                        j = 0
+                        while j < _nw:
+                            _works[j](frame)
+                            j += 1
+                        j = -1
+                        k += 1
+                except BaseException:
+                    if j == -2:
+                        _n.time_cycles = t + k * _ic + _hc + _acc[0]
+                        _cell[0] += k * _is + 1 + _acc[1]
+                        _sb[2] += k * _is + 1 + _acc[1]
+                    elif j >= 0:
+                        _n.time_cycles = t + k * _ic + _hc + _prefix[j] \
+                            + _acc[0]
+                        _cell[0] += k * _is + j + 2 + _acc[1]
+                        _sb[2] += k * _is + j + 2 + _acc[1]
+                    else:  # pragma: no cover - defensive
+                        _n.time_cycles = t + k * _ic + _acc[0]
+                        _cell[0] += k * _is + _acc[1]
+                        _sb[2] += k * _is + _acc[1]
+                    _sb[3] += 1
+                    _sb[4] += k
+                    _sb[5] += _acc[2]
+                    raise
+                if k:
+                    _n.time_cycles = t + k * _ic + _acc[0]
+                    _cell[0] += k * _is + _acc[1]
+                    _sb[2] += k * _is + _acc[1]
+                    _sb[3] += 1
+                    _sb[4] += k
+                    _sb[5] += _acc[2]
+                return _nxt
+
+            return op
+
+        self._emit_pending(maker, exit_label)
+
     def _compile_work(self, stmt: ast.Stmt) -> Callable[[list], None]:
         """The bare effect of one fusable statement.
 
@@ -1243,6 +1783,173 @@ class _FunctionCompiler:
                 frame[_slot] = value
 
         return work
+
+    # -- trace inlining ---------------------------------------------------------
+
+    def _compile_trace_work(self, stmt: ast.Stmt) -> Callable[[list], None]:
+        """The work closure of a trace statement: calls splice inline.
+
+        Identical to :meth:`_compile_work` except that, for the duration
+        of this one statement's compilation, program calls lower through
+        :meth:`_compile_inline_call` instead of entering a machine run.
+        The per-statement slow path behind the same guard is compiled
+        with the flag off, so a bailed window still runs the ordinary
+        CALL-op machinery.
+        """
+        self._inline_calls = True
+        try:
+            return self._compile_work(stmt)
+        finally:
+            self._inline_calls = False
+
+    def _compile_inline_call(self, expr: ast.Call) -> ExprFn:
+        """Splice a leaf callee's body inline into the caller's frame.
+
+        The callee's frame (return slot + locals/params) is flattened
+        into a fresh block of extra caller-frame slots, and its body is
+        compiled — with a sub-compiler whose slot map is shifted into
+        that block — to a list of *units* ``(frame, acc) -> None`` that
+        charge the trace accumulator exactly as the per-statement path
+        charges the node: cost-and-count first, then the effect.  The
+        call itself adds the function-entry overhead, resets the slot
+        block (every invocation starts from unset slots, like a fresh
+        frame), stores the raw argument values into the parameter slots
+        and runs the units; the return slot then holds the result, with
+        the same void-to-0 coercion as ``_invoke``.
+        """
+        engine = self.engine
+        func = self.program.lookup_function(expr.callee)
+        sub = _FunctionCompiler(engine, func)
+        plan = sub.plan
+        nslots = 1 + len(plan.slots)
+        base = 1 + len(self.slots) + self.extra_slots
+        self.extra_slots += nslots
+        sub.slots = {name: base + index
+                     for name, index in plan.slots.items()}
+        # Argument expressions belong to the *caller* (nested calls in
+        # them inline into their own slot blocks, allocated after this
+        # one, so the blocks never alias).
+        args = tuple(self._compile_expr(arg) for arg in expr.args)
+        param_slots = tuple(base + p[0] for p in plan.params)
+        body = func.body.stmts
+        units = []
+        if body and isinstance(body[-1], ast.Return):
+            units = self._leaf_units(sub, body[:-1])
+            units.append(self._leaf_return_unit(sub, body[-1], base))
+        else:
+            units = self._leaf_units(sub, body)
+        template = [_UNSET] * nslots
+        template[0] = plan.default_return
+        engine.inlined_sites += 1
+        acc = self._acc
+        overhead = engine._overhead
+        units = tuple(units)
+        template = tuple(template)
+
+        if len(args) == 1:
+            def call1(frame: list, _a0=args[0], _s0=param_slots[0],
+                      _b=base, _e=base + nslots, _tmpl=template,
+                      _units=units, _acc=acc, _oh=overhead) -> RuntimeValue:
+                v0 = _a0(frame)
+                _acc[0] += _oh
+                _acc[2] += 1
+                frame[_b:_e] = _tmpl
+                frame[_s0] = v0
+                for unit in _units:
+                    unit(frame, _acc)
+                value = frame[_b]
+                return value if value is not None else 0
+
+            return call1
+        if len(args) == 2:
+            def call2(frame: list, _a0=args[0], _a1=args[1],
+                      _s0=param_slots[0], _s1=param_slots[1], _b=base,
+                      _e=base + nslots, _tmpl=template, _units=units,
+                      _acc=acc, _oh=overhead) -> RuntimeValue:
+                v0 = _a0(frame)
+                v1 = _a1(frame)
+                _acc[0] += _oh
+                _acc[2] += 1
+                frame[_b:_e] = _tmpl
+                frame[_s0] = v0
+                frame[_s1] = v1
+                for unit in _units:
+                    unit(frame, _acc)
+                value = frame[_b]
+                return value if value is not None else 0
+
+            return call2
+
+        def call(frame: list, _args=args, _ps=param_slots, _b=base,
+                 _e=base + nslots, _tmpl=template, _units=units, _acc=acc,
+                 _oh=overhead) -> RuntimeValue:
+            values = [a(frame) for a in _args]
+            _acc[0] += _oh
+            _acc[2] += 1
+            frame[_b:_e] = _tmpl
+            for slot, value in zip(_ps, values):
+                frame[slot] = value
+            for unit in _units:
+                unit(frame, _acc)
+            value = frame[_b]
+            return value if value is not None else 0
+
+        return call
+
+    def _leaf_units(self, sub: "_FunctionCompiler", stmts: list) -> list:
+        """Compile a leaf body block into accumulator-charging units.
+
+        Each unit replicates one per-statement op minus the end-of-time
+        check and poll (both proven unobservable by the enclosing trace
+        guard): it adds the statement's cost and count to the
+        accumulator *before* running the effect, so a faulting effect
+        leaves the accumulator exactly where the per-statement path's
+        charge-then-execute order would.  ``if`` units charge before
+        evaluating the condition — the per-statement order — then run
+        the chosen branch's units.
+        """
+        units = []
+        for stmt in stmts:
+            cost = sub._stmt_cost(stmt)
+            if isinstance(stmt, ast.If):
+                cond = sub._compile_expr(stmt.cond)
+                then_units = tuple(self._leaf_units(sub,
+                                                    stmt.then_body.stmts))
+                else_units = tuple(
+                    self._leaf_units(sub, stmt.else_body.stmts)) \
+                    if stmt.else_body is not None else ()
+
+                def unit(frame: list, acc: list, _c=cost, _cond=cond,
+                         _t=then_units, _e=else_units) -> None:
+                    acc[0] += _c
+                    acc[1] += 1
+                    for inner in (_t if _cond(frame) != 0 else _e):
+                        inner(frame, acc)
+            else:
+                work = sub._compile_work(stmt)
+
+                def unit(frame: list, acc: list, _c=cost,
+                         _w=work) -> None:
+                    acc[0] += _c
+                    acc[1] += 1
+                    _w(frame)
+            units.append(unit)
+        return units
+
+    def _leaf_return_unit(self, sub: "_FunctionCompiler", stmt: ast.Return,
+                          ret_slot: int) -> Callable[[list, list], None]:
+        """The trailing-return unit: charge, then set the return slot."""
+        cost = sub._stmt_cost(stmt)
+        value = sub._compile_expr(stmt.value) if stmt.value is not None \
+            else None
+
+        def unit(frame: list, acc: list, _c=cost, _v=value,
+                 _rs=ret_slot) -> None:
+            acc[0] += _c
+            acc[1] += 1
+            frame[_rs] = _v(frame) if _v is not None else None
+
+        return unit
 
     # -- statements -------------------------------------------------------------
 
@@ -1577,11 +2284,18 @@ class _FunctionCompiler:
         burst = self._loop_burst(stmt, stmt.body.stmts,
                                  base_cost=branch_cycles)
         if burst is not None:
-            self._emit_burst(burst, cond, branch_cycles, exit_label)
+            if burst[4]:
+                self._emit_trace_burst(burst, cond, branch_cycles,
+                                       exit_label)
+            else:
+                self._emit_burst(burst, cond, branch_cycles, exit_label)
         else:
             rotated = self._rotated_burst_facts(stmt, branch_cycles)
             if rotated is not None:
-                self._emit_rotated_burst(rotated, exit_label)
+                if rotated[7]:
+                    self._emit_trace_rotated_burst(rotated, exit_label)
+                else:
+                    self._emit_rotated_burst(rotated, exit_label)
         cond_index = len(self.ops)
         body_index = cond_index + 1
 
@@ -1645,7 +2359,10 @@ class _FunctionCompiler:
         # is free), so the burst's per-iteration cost is body + update.
         burst = self._loop_burst(stmt, stmt.body.stmts, stmt.update)
         if burst is not None:
-            self._emit_burst(burst, cond, 0, exit_label)
+            if burst[4]:
+                self._emit_trace_burst(burst, cond, 0, exit_label)
+            else:
+                self._emit_burst(burst, cond, 0, exit_label)
         if cond is not None:
             cond_index = len(self.ops)
             body_index = cond_index + 1
@@ -2655,6 +3372,10 @@ class _FunctionCompiler:
 
     def _compile_call(self, expr: ast.Call) -> ExprFn:
         name = expr.callee
+        if self._inline_calls and name not in self.program.builtins:
+            # Compiling a trace work closure: the run former already
+            # proved every callee of this statement leaf-inlinable.
+            return self._compile_inline_call(expr)
         args = tuple(self._compile_expr(arg) for arg in expr.args)
         if name in self.program.builtins:
             call_builtin = self.engine.node.call_builtin

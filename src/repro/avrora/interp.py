@@ -109,12 +109,16 @@ class Interpreter:
         return {
             "engine": self.engine_name,
             "enabled": False,
+            "traces_enabled": False,
             "superblocks": 0,
             "loop_superblocks": 0,
+            "traces": 0,
+            "inlined_call_sites": 0,
             "entries_fast": 0,
             "entries_slow": 0,
             "bursts": 0,
             "burst_iterations": 0,
+            "inlined_calls": 0,
             "fused_statements": 0,
             "statements_total": impl.statements_executed,
             "fused_fraction": 0.0,
@@ -126,7 +130,8 @@ class Interpreter:
         stats = getattr(impl, "code_cache_stats", None)
         if stats is not None:
             return stats()
-        return {"functions": 0, "lowerings": 0, "plan_hits": 0}
+        return {"functions": 0, "lowerings": 0, "plan_hits": 0,
+                "disk_loads": 0}
 
     def warm(self) -> int:
         """Precompile every program function (no-op for the tree-walker)."""
@@ -145,6 +150,8 @@ class Interpreter:
             state["sb_cell"] = list(cell)
             state["superblocks"] = impl.superblocks
             state["loop_superblocks"] = impl.loop_superblocks
+            state["traces"] = impl.traces
+            state["inlined_sites"] = impl.inlined_sites
         return state
 
     def restore_state(self, state: dict) -> None:
@@ -161,9 +168,13 @@ class Interpreter:
             impl.statements_executed = state["statements"]
         sb_cell = getattr(impl, "_sb_cell", None)
         if sb_cell is not None and "sb_cell" in state:
-            sb_cell[:] = state["sb_cell"]
+            cell = list(state["sb_cell"])
+            cell.extend([0] * (len(sb_cell) - len(cell)))
+            sb_cell[:] = cell
             impl.superblocks = state["superblocks"]
             impl.loop_superblocks = state["loop_superblocks"]
+            impl.traces = state.get("traces", 0)
+            impl.inlined_sites = state.get("inlined_sites", 0)
 
 
 class TreeWalkInterpreter:

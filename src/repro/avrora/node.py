@@ -240,8 +240,10 @@ class Node:
         ``shrink_pause`` always queue one at the pause horizon), packet
         deliveries — appears on the event queue, so "no event before
         ``time + block_cycles``" proves a fused block cannot skip an
-        observable poll.  The engine inlines this expression into its
-        guard ops; keep the two in sync.
+        observable poll.  Trace superblocks guard with their *worst-case*
+        window (inlined callee branches take the more expensive side), so
+        the proof covers every dynamic path.  The engine inlines this
+        expression into its guard ops; keep the two in sync.
         """
         queue = self._event_queue
         return queue[0][0] if queue else None

@@ -54,20 +54,31 @@ def _observe(node: Node, network: Network) -> dict:
     }
 
 
-def _simulate(program, app_name: str, engine: str,
-              sequential: bool = False, superblocks: bool = True) -> dict:
-    network = Network(traffic=duty_cycle_context(app_name))
-    # Pin the fusion switch (don't inherit the ambient environment: the
-    # CI fusion-off leg must not silently turn the "fused" runs unfused).
-    previous = os.environ.get("REPRO_AVRORA_SUPERBLOCKS")
+def _pinned_node(program, engine: str, superblocks: bool, traces: bool,
+                 node_id: int = 1) -> Node:
+    """A node with the fusion switches pinned (don't inherit the ambient
+    environment: the CI fusion-off / traces-off legs must not silently
+    turn the "fused" runs unfused)."""
+    previous = {name: os.environ.get(name)
+                for name in ("REPRO_AVRORA_SUPERBLOCKS",
+                             "REPRO_AVRORA_TRACES")}
     os.environ["REPRO_AVRORA_SUPERBLOCKS"] = "1" if superblocks else "0"
+    os.environ["REPRO_AVRORA_TRACES"] = "1" if traces else "0"
     try:
-        node = Node(program, node_id=1, engine=engine)
+        return Node(program, node_id=node_id, engine=engine)
     finally:
-        if previous is None:
-            os.environ.pop("REPRO_AVRORA_SUPERBLOCKS", None)
-        else:
-            os.environ["REPRO_AVRORA_SUPERBLOCKS"] = previous
+        for name, value in previous.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+
+def _simulate(program, app_name: str, engine: str,
+              sequential: bool = False, superblocks: bool = True,
+              traces: bool = True) -> dict:
+    network = Network(traffic=duty_cycle_context(app_name))
+    node = _pinned_node(program, engine, superblocks, traces)
     node.boot()
     network.add_node(node)
     if sequential:
@@ -93,6 +104,8 @@ def test_figure_apps_identical_under_both_engines(app_name):
     tree = _simulate(build.program, app_name, "tree")
     compiled = _simulate(build.program, app_name, "compiled")
     assert tree == compiled
+    untraced = _simulate(build.program, app_name, "compiled", traces=False)
+    assert compiled == untraced
     unfused = _simulate(build.program, app_name, "compiled",
                         superblocks=False)
     assert compiled == unfused
@@ -270,3 +283,36 @@ __spontaneous void main(void) { __sleep(); }
         with pytest.raises(TypeError, match="argument"):
             node.interpreter.call("add", [1])
         assert node.interpreter.call("add", [1, 2]) == 3
+
+
+def test_lossy_lockstep_chain_identical_across_all_configurations():
+    """Seeded 3-node lossy chain: tree vs fused vs traces-off vs fusion-off.
+
+    The multi-node acceptance bar for trace inlining — cross-node packet
+    timing, per-node cycle totals and channel loss decisions must be
+    byte-identical in every engine configuration, under the full lockstep
+    kernel with a lossy seeded channel.
+    """
+    from repro.avrora.network import Channel
+
+    app_name = "Surge_Mica2"
+    build = BuildPipeline(BASELINE).build_named(app_name)
+
+    def run_chain(engine: str, superblocks: bool = True,
+                  traces: bool = True) -> list[dict]:
+        network = Network(traffic=duty_cycle_context(app_name),
+                          channel=Channel(topology="chain", loss=0.2,
+                                          seed=7))
+        for index in range(3):
+            node = _pinned_node(build.program, engine, superblocks,
+                                traces, node_id=index)
+            node.boot()
+            network.add_node(node)
+        network.run(SIM_SECONDS)
+        return [_observe(node, network) for node in network.nodes]
+
+    tree = run_chain("tree")
+    fused = run_chain("compiled")
+    assert tree == fused
+    assert fused == run_chain("compiled", traces=False)
+    assert fused == run_chain("compiled", superblocks=False)
