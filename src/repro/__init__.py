@@ -16,6 +16,9 @@ facade built on top of it.
 from repro.api import (
     BuildRecord,
     BuildSpec,
+    FaultPlan,
+    ScenarioRecord,
+    ScenarioSpec,
     SimRecord,
     SimSpec,
     SweepSpec,
@@ -23,7 +26,7 @@ from repro.api import (
 )
 from repro.core import BuildOutcome, SafeTinyOS, SimulationOutcome
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SafeTinyOS",
@@ -33,7 +36,10 @@ __all__ = [
     "BuildSpec",
     "SweepSpec",
     "SimSpec",
+    "ScenarioSpec",
+    "FaultPlan",
     "BuildRecord",
     "SimRecord",
+    "ScenarioRecord",
     "__version__",
 ]

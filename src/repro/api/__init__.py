@@ -29,16 +29,26 @@ Example::
                                       variants=("baseline", "safe-optimized")))
 """
 
-from repro.api.records import BuildRecord, SimRecord
-from repro.api.specs import SCHEMA_VERSION, BuildSpec, SimSpec, SweepSpec
+from repro.api.records import BuildRecord, ScenarioRecord, SimRecord
+from repro.api.specs import (
+    SCHEMA_VERSION,
+    BuildSpec,
+    ScenarioSpec,
+    SimSpec,
+    SweepSpec,
+)
 from repro.api.workbench import Workbench, run_network
+from repro.scenarios.faults import FaultPlan
 
 __all__ = [
     "BuildSpec",
     "SweepSpec",
     "SimSpec",
+    "ScenarioSpec",
+    "FaultPlan",
     "BuildRecord",
     "SimRecord",
+    "ScenarioRecord",
     "Workbench",
     "run_network",
     "SCHEMA_VERSION",

@@ -11,6 +11,10 @@ Usage::
                           [--nodes N] [--topology T] [--loss P] [--seed N]
                           [--traffic default|base|none] [--workers N]
                           [--plan-cache DIR] [--json]
+    python -m repro scenarios APP [--variants V,W,...] [--faults F,G,...]
+                          [--nodes N] [--seconds S] [--topology T]
+                          [--loss P] [--seed N] [--fault-seed N]
+                          [--traffic default|base|none] [--workers N] [--json]
     python -m repro figures [--figure 2|3a|3b|3c] [--apps ...] [--json]
 
 Every command speaks the ``repro.api`` schemas: ``--json`` emits the
@@ -35,17 +39,19 @@ from repro.api.figures import (
     figure3b_table,
     figure3c_table,
 )
-from repro.api.records import BuildRecord, SimRecord
+from repro.api.records import BuildRecord, ScenarioRecord, SimRecord
 from repro.api.specs import (
     TRAFFIC_DEFAULT,
     TRAFFIC_NONE,
     TRAFFIC_PROFILES,
     BuildSpec,
+    ScenarioSpec,
     SimSpec,
     SweepSpec,
 )
 from repro.api.workbench import Workbench
 from repro.avrora.network import TOPOLOGIES
+from repro.scenarios.faults import DEFAULT_FAULT_NAMES, FaultPlan, default_fault
 from repro.tinyos.suite import FIGURE_APPS, MICA2_APPS
 from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS
 from repro.toolchain.report import FigureTable
@@ -255,6 +261,63 @@ def cmd_simulate(args, workbench: Workbench, out) -> int:
     return 0
 
 
+# -- scenarios --------------------------------------------------------------
+
+
+def resolve_faults(token: str, node_count: int) -> list:
+    """Comma-separated fault shorthand names → canonical fault instances."""
+    names = [name.strip() for name in token.split(",") if name.strip()]
+    if not names:
+        raise UsageError(f"--faults needs at least one of "
+                         f"{','.join(DEFAULT_FAULT_NAMES)}")
+    return [default_fault(name, node_count) for name in names]
+
+
+def format_scenario_record(record: ScenarioRecord) -> str:
+    """The verdict matrix as an aligned fault × variant table."""
+    fault_width = max([len("fault")] + [len(f) for f in record.faults])
+    cell_widths = [max(len(variant), len("silent-corruption"))
+                   for variant in record.variants]
+    header = "fault".ljust(fault_width) + "".join(
+        f"  {variant.ljust(width)}"
+        for variant, width in zip(record.variants, cell_widths))
+    lines = [
+        f"{record.app}: {record.node_count} node(s), {record.seconds}s, "
+        f"{record.topology} topology, seed {record.seed}",
+        "",
+        header,
+        "-" * len(header),
+    ]
+    for fault, row in zip(record.faults, record.verdicts):
+        lines.append(fault.ljust(fault_width) + "".join(
+            f"  {verdict.ljust(width)}"
+            for verdict, width in zip(row, cell_widths)))
+    golden = record.golden
+    lines.append("")
+    lines.append(
+        f"golden runs: {golden.get('runs', 0)} executed, "
+        f"{golden.get('cache_hits', 0)} cache hit(s)  "
+        f"key: {record.content_key}")
+    return "\n".join(lines)
+
+
+def cmd_scenarios(args, workbench: Workbench, out) -> int:
+    faults = resolve_faults(args.faults, args.nodes)
+    spec = validated(lambda: ScenarioSpec(
+        app=args.app,
+        variants=tuple(resolve_variants(args.variants)),
+        plan=FaultPlan(faults=tuple(faults), seed=args.fault_seed),
+        node_count=args.nodes, seconds=args.seconds,
+        traffic=args.traffic, topology=args.topology,
+        loss=args.loss, seed=args.seed, workers=args.workers))
+    record = workbench.run_scenario(spec)
+    if args.json:
+        _emit_json(record.to_dict(), out)
+    else:
+        out.write(format_scenario_record(record) + "\n")
+    return 0
+
+
 # -- figures ----------------------------------------------------------------
 
 
@@ -344,6 +407,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "(bit-identical to running without)")
     add_json(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_scen = sub.add_parser(
+        "scenarios",
+        help="run seeded fault injections across build variants")
+    p_scen.add_argument("app", help="figure label, e.g. Surge_Mica2")
+    p_scen.add_argument("--variants", default="baseline,safe-optimized",
+                        help="figure3 | figure2 | all | comma-separated "
+                             "names (matrix columns)")
+    p_scen.add_argument("--faults", default="bit-flip,payload,packet",
+                        help="comma-separated fault kinds: " +
+                             ",".join(DEFAULT_FAULT_NAMES))
+    p_scen.add_argument("--nodes", type=int, default=2)
+    p_scen.add_argument("--seconds", type=float,
+                        default=DEFAULT_DUTY_CYCLE_SECONDS)
+    p_scen.add_argument("--topology", default="chain", choices=TOPOLOGIES)
+    p_scen.add_argument("--loss", type=float, default=0.0,
+                        help="per-link packet loss probability in [0, 1)")
+    p_scen.add_argument("--seed", type=int, default=0,
+                        help="channel seed shared by every run")
+    p_scen.add_argument("--fault-seed", type=int, default=0,
+                        help="seed of the fault plan's injection decisions")
+    p_scen.add_argument("--traffic", default=TRAFFIC_DEFAULT,
+                        choices=list(TRAFFIC_PROFILES),
+                        help="synthetic traffic profile (default: the "
+                             "app's duty-cycle context on every node)")
+    p_scen.add_argument("--workers", type=int, default=1,
+                        help="shard each run across N worker processes "
+                             "(verdicts bit-identical to --workers 1)")
+    add_json(p_scen)
+    p_scen.set_defaults(func=cmd_scenarios)
 
     p_fig = sub.add_parser("figures", help="reproduce the paper's figure tables")
     p_fig.add_argument("--figure", default="all",

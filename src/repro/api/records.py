@@ -243,3 +243,96 @@ class SimRecord:
             shards=tuple(dict(shard) for shard in data.get("shards", ())),
             code_cache=dict(data.get("code_cache", {})),
         )
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """One finished fault scenario: the variant × fault verdict matrix.
+
+    Attributes:
+        app: Application every variant built.
+        content_key: The producing
+            :class:`~repro.api.specs.ScenarioSpec`'s content key.
+        node_count: Motes per simulated network.
+        seconds: Virtual seconds per run.
+        topology: Channel topology the runs were wired in.
+        seed: Channel seed shared by every run.
+        variants: Matrix columns, in build order.
+        faults: Matrix rows — human-readable fault labels from
+            ``FaultPlan.labels()`` (unique within the plan).
+        verdicts: ``verdicts[fault_index][variant_index]`` — one of
+            ``detected`` / ``crash`` / ``silent-corruption`` / ``benign``
+            (see :mod:`repro.scenarios.runner`).  A pure function of the
+            spec: bit-identical across reruns and worker counts.
+        details: Per-cell diagnostics keyed ``"<fault label>|<variant>"``
+            (failure totals, halted/diverged node positions, memory
+            violations) — worker-invariant by construction.
+        golden: Golden-run cache statistics of the producing runner:
+            ``{"runs": ..., "cache_hits": ...}``.  Execution telemetry,
+            not identity.
+        workers: Worker processes the runs actually used (informational,
+            like :class:`SimRecord`'s).
+    """
+
+    app: str
+    content_key: str
+    node_count: int
+    seconds: float
+    topology: str
+    seed: int
+    variants: tuple[str, ...]
+    faults: tuple[str, ...]
+    verdicts: tuple[tuple[str, ...], ...]
+    details: dict = field(default_factory=dict, hash=False)
+    golden: dict = field(default_factory=dict, hash=False)
+    workers: int = 1
+
+    def verdict(self, fault: str, variant: str) -> str:
+        """The verdict for one (fault label, variant) cell."""
+        return self.verdicts[self.faults.index(fault)][
+            self.variants.index(variant)]
+
+    def counts(self, variant: str) -> dict[str, int]:
+        """How many faults landed in each verdict class for ``variant``."""
+        column = self.variants.index(variant)
+        tally: dict[str, int] = {}
+        for row in self.verdicts:
+            tally[row[column]] = tally.get(row[column], 0) + 1
+        return tally
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": "scenario-record",
+            "schema": SCHEMA_VERSION,
+            "app": self.app,
+            "content_key": self.content_key,
+            "node_count": self.node_count,
+            "seconds": self.seconds,
+            "topology": self.topology,
+            "seed": self.seed,
+            "variants": list(self.variants),
+            "faults": list(self.faults),
+            "verdicts": [list(row) for row in self.verdicts],
+            "details": {key: dict(value)
+                        for key, value in self.details.items()},
+            "golden": dict(self.golden),
+            "workers": self.workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioRecord":
+        return cls(
+            app=data["app"],
+            content_key=data["content_key"],
+            node_count=data["node_count"],
+            seconds=data["seconds"],
+            topology=data.get("topology", "chain"),
+            seed=data.get("seed", 0),
+            variants=tuple(data["variants"]),
+            faults=tuple(data["faults"]),
+            verdicts=tuple(tuple(row) for row in data["verdicts"]),
+            details={key: dict(value)
+                     for key, value in data.get("details", {}).items()},
+            golden=dict(data.get("golden", {})),
+            workers=data.get("workers", 1),
+        )

@@ -26,6 +26,7 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.avrora.network import TOPOLOGIES
+from repro.scenarios.faults import FaultPlan
 from repro.tinyos import suite
 from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS
 from repro.toolchain.lower import variant_passes
@@ -274,3 +275,148 @@ class SimSpec:
                    seed=data.get("seed", 0),
                    workers=data.get("workers", 1),
                    plan_cache=data.get("plan_cache"))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Run one seeded fault plan against N build variants of one app.
+
+    The scenario layer's request object: every (variant, fault) pair in
+    the cross product runs the *same* simulation — same topology, same
+    channel seed, same plan seed — differing only in which safety passes
+    the build carries, so the resulting verdict matrix isolates what the
+    variant contributes.
+
+    Defaults differ from :class:`SimSpec` where adversity demands it:
+    two nodes in a ``chain``, because payload corruption and packet loss
+    act on *cross-node* transmissions, which a single-node broadcast
+    never has.  The default duty-cycle traffic context stays on — it
+    exercises every node's receive path from the first second, while the
+    application's own multihop exchange supplies the real cross-node
+    packets the corruptor mutates.
+
+    Attributes:
+        app: Registered application, built once per variant.
+        variants: Build variants to compare, in matrix-column order.
+        plan: The seeded :class:`~repro.scenarios.faults.FaultPlan`; one
+            simulation runs per fault, per variant.
+        node_count: Motes in the network (>= 1; every fault targeting a
+            node position must fit).
+        seconds: Virtual seconds per run (> 0).
+        traffic: Synthetic-traffic profile, as in :class:`SimSpec`.
+        topology: Channel wiring, as in :class:`SimSpec`.
+        loss: Per-link drop probability in [0, 1).
+        seed: Channel seed (the plan's fault seed is separate, in
+            ``plan.seed``).
+        workers: Sharded-kernel worker count — an execution knob,
+            excluded from :meth:`content_key` like :class:`SimSpec`'s.
+    """
+
+    app: str
+    variants: tuple[str, ...]
+    plan: FaultPlan
+    node_count: int = 2
+    seconds: float = DEFAULT_DUTY_CYCLE_SECONDS
+    traffic: str = TRAFFIC_DEFAULT
+    topology: str = "chain"
+    loss: float = 0.0
+    seed: int = 0
+    workers: int = 1
+
+    def __post_init__(self):
+        object.__setattr__(self, "variants", tuple(self.variants))
+        _check_app(self.app)
+        if not self.variants:
+            raise ValueError(
+                f"{self.describe()}: needs at least one variant")
+        for variant in self.variants:
+            variant_by_name(variant)
+        if not isinstance(self.plan, FaultPlan):
+            raise TypeError(
+                f"{self.describe()}: plan must be a FaultPlan, "
+                f"got {type(self.plan).__name__}")
+        if self.node_count < 1:
+            raise ValueError(
+                f"{self.describe()}: node_count must be >= 1, "
+                f"got {self.node_count}")
+        if self.plan.max_node() >= self.node_count:
+            raise ValueError(
+                f"{self.describe()}: plan targets node "
+                f"{self.plan.max_node()} but the network has only "
+                f"{self.node_count} node(s)")
+        if not self.seconds > 0:
+            raise ValueError(
+                f"{self.describe()}: seconds must be positive, "
+                f"got {self.seconds}")
+        if self.traffic not in TRAFFIC_PROFILES:
+            raise ValueError(
+                f"{self.describe()}: traffic must be one of "
+                f"{TRAFFIC_PROFILES}, got {self.traffic!r}")
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"{self.describe()}: topology must be one of "
+                f"{TOPOLOGIES}, got {self.topology!r}")
+        if not 0.0 <= self.loss < 1.0:
+            raise ValueError(
+                f"{self.describe()}: loss must be in [0, 1), "
+                f"got {self.loss}")
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise ValueError(
+                f"{self.describe()}: seed must be a non-negative integer, "
+                f"got {self.seed!r}")
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ValueError(
+                f"{self.describe()}: parallel config: workers must be "
+                f">= 1, got {self.workers!r}")
+        if self.workers > self.node_count:
+            raise ValueError(
+                f"{self.describe()}: parallel config: workers "
+                f"({self.workers}) must not exceed the node count "
+                f"({self.node_count})")
+
+    def describe(self) -> str:
+        return (f"ScenarioSpec({self.app} × {len(self.variants)} "
+                f"variant(s) × {len(self.plan.faults)} fault(s))")
+
+    def build_specs(self) -> list[BuildSpec]:
+        """One build per variant, in matrix-column order."""
+        return [BuildSpec(app=self.app, variant=variant)
+                for variant in self.variants]
+
+    def content_key(self) -> str:
+        # ``workers`` is excluded for the same reason as in SimSpec: the
+        # verdict matrix is bit-identical at every worker count.
+        return _digest({
+            "schema": SCHEMA_VERSION,
+            "kind": "scenario",
+            "builds": [spec.content_key() for spec in self.build_specs()],
+            "plan": self.plan.to_dict(),
+            "node_count": self.node_count,
+            "seconds": self.seconds,
+            "traffic": self.traffic,
+            "topology": self.topology,
+            "loss": self.loss,
+            "seed": self.seed,
+        })
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": "scenario", "schema": SCHEMA_VERSION,
+                "app": self.app, "variants": list(self.variants),
+                "plan": self.plan.to_dict(),
+                "node_count": self.node_count, "seconds": self.seconds,
+                "traffic": self.traffic, "topology": self.topology,
+                "loss": self.loss, "seed": self.seed,
+                "workers": self.workers}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        return cls(app=data["app"], variants=tuple(data["variants"]),
+                   plan=FaultPlan.from_dict(data["plan"]),
+                   node_count=data.get("node_count", 2),
+                   seconds=data.get("seconds",
+                                    DEFAULT_DUTY_CYCLE_SECONDS),
+                   traffic=data.get("traffic", TRAFFIC_DEFAULT),
+                   topology=data.get("topology", "chain"),
+                   loss=data.get("loss", 0.0),
+                   seed=data.get("seed", 0),
+                   workers=data.get("workers", 1))

@@ -33,13 +33,14 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
-from repro.api.records import BuildRecord, SimRecord
+from repro.api.records import BuildRecord, ScenarioRecord, SimRecord
 from repro.api.specs import (
     TRAFFIC_BASE,
     TRAFFIC_DEFAULT,
     BuildSpec,
+    ScenarioSpec,
     SimSpec,
     SweepSpec,
 )
@@ -58,7 +59,9 @@ def run_network(program, *, seconds: float, node_count: int = 1,
                 traffic: Optional[TrafficGenerator] = None,
                 channel: Optional[Channel] = None,
                 traffic_first_node_only: bool = False,
-                workers: int = 1) -> Network:
+                workers: int = 1,
+                prepare: Optional[Callable[[Network], None]] = None,
+                ) -> Network:
     """Boot ``node_count`` motes running ``program`` and co-simulate them.
 
     Nodes advance in lockstep over the given ``channel`` (default:
@@ -68,7 +71,10 @@ def run_network(program, *, seconds: float, node_count: int = 1,
     — what ``MultiHopRouterM`` treats as the collection root).
     ``traffic_first_node_only`` installs the synthetic traffic generator
     on the first node only.  ``workers > 1`` shards the topology across
-    that many worker processes with bit-identical results.
+    that many worker processes with bit-identical results.  ``prepare``
+    runs against the fully assembled network after the nodes boot and
+    before the clock starts — the scenario layer's hook for arming
+    fault injections.
     """
     if node_count < 1:
         raise ValueError(f"node_count must be >= 1, got {node_count}")
@@ -80,6 +86,8 @@ def run_network(program, *, seconds: float, node_count: int = 1,
         node.boot()
         network.add_node(
             node, traffic=(index == 0 or not traffic_first_node_only))
+    if prepare is not None:
+        prepare(network)
     network.run(seconds, workers=workers)
     return network
 
@@ -109,6 +117,11 @@ class Workbench:
         self._records: dict[str, BuildRecord] = {}
         self._results: dict[str, BuildResult] = {}
         self._sim_records: dict[str, SimRecord] = {}
+        self._scenario_records: dict[str, ScenarioRecord] = {}
+        # Created on first use (lazy import keeps api importable without
+        # the scenarios package and vice versa); session-persistent so
+        # its golden-run fingerprint cache spans scenarios.
+        self._scenario_runner = None
         self._snapshots: dict[str, dict] = {}
         # Unregistered builds (custom Application objects / ad-hoc variants)
         # have no content key; they are memoized by identity for the session,
@@ -364,6 +377,47 @@ class Workbench:
         with self._lock:
             return self._sim_records.setdefault(key, record)
 
+    # -- scenarios -------------------------------------------------------------
+
+    def run_scenario(self, spec: ScenarioSpec) -> ScenarioRecord:
+        """Execute one fault plan across build variants; returns the matrix.
+
+        Builds are memoized as usual; each variant then gets one fault-free
+        golden run (cached on the session-persistent scenario runner) plus
+        one faulted run per fault in the plan, and every (variant, fault)
+        cell is classified against the verdict lattice of
+        :mod:`repro.scenarios.runner`.  The record is memoized by the
+        spec's content key — like simulations, a scenario is a pure
+        function of its spec, so equal specs share one execution.
+        """
+        key = spec.content_key()
+        with self._lock:
+            cached = self._scenario_records.get(key)
+        if cached is not None:
+            return cached
+        with self._lock:
+            if self._scenario_runner is None:
+                from repro.scenarios.runner import ScenarioRunner
+                self._scenario_runner = ScenarioRunner(self)
+            runner = self._scenario_runner
+        outcome = runner.run(spec)
+        record = ScenarioRecord(
+            app=spec.app,
+            content_key=key,
+            node_count=spec.node_count,
+            seconds=spec.seconds,
+            topology=spec.topology,
+            seed=spec.seed,
+            variants=spec.variants,
+            faults=tuple(spec.plan.labels()),
+            verdicts=outcome["verdicts"],
+            details=outcome["details"],
+            golden=outcome["golden"],
+            workers=spec.workers,
+        )
+        with self._lock:
+            return self._scenario_records.setdefault(key, record)
+
     # -- engine ----------------------------------------------------------------
 
     @staticmethod
@@ -426,6 +480,8 @@ class Workbench:
             self._records.clear()
             self._results.clear()
             self._sim_records.clear()
+            self._scenario_records.clear()
+            self._scenario_runner = None
             self._snapshots.clear()
             self._unregistered.clear()
             self._object_snapshots.clear()

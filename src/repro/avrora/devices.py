@@ -399,8 +399,27 @@ class Uart(Device):
         self.tx_busy = False
         self.node.raise_interrupt(hw.VECTOR_UART_TX)
 
+    #: Largest frame the serial bridge accepts in one injection: one TOS
+    #: wire message (header + payload + crc).  Matches
+    #: ``repro.tinyos.messages.TOS_MSG_WIRE_LENGTH``, restated here so the
+    #: device layer does not import the TinyOS library layer.
+    MAX_FRAME_LENGTH = 36
+
     def inject_frame(self, payload: bytes) -> None:
-        """Queue a frame to be fed to the program one byte at a time."""
+        """Queue a frame to be fed to the program one byte at a time.
+
+        Frames longer than one TOS wire message are rejected up front
+        (mirroring ``encode_tos_msg``): a silently accepted oversized
+        frame would smear into the next one on the byte-serial link and
+        make scenario injections ambiguous.  Malformed *content* — bad
+        length fields, wrong CRCs — passes through untouched; that is
+        the program's problem to survive.
+        """
+        if len(payload) > self.MAX_FRAME_LENGTH:
+            raise ValueError(
+                f"inject_frame: frame of {len(payload)} bytes does not fit "
+                f"one TOS wire message (MAX_FRAME_LENGTH is "
+                f"{self.MAX_FRAME_LENGTH})")
         self.pending_rx.extend(payload)
         self.node.schedule(self.node.cycles_for_us(self.US_PER_BYTE),
                            self._rx_next)

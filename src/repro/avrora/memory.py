@@ -26,7 +26,49 @@ _object_ids = itertools.count(1)
 
 
 class MemoryError_(Exception):
-    """Raised on accesses outside any object (a caught safety violation)."""
+    """Raised on accesses outside any object (a caught safety violation).
+
+    Beyond the human-readable message, the error carries the structured
+    context of the faulting access — which object was overrun, at what
+    offset, by how many bytes, reading or writing — so callers building
+    verdict tables (``repro.scenarios``) can triage corruptions without
+    parsing strings.  Errors raised for non-access reasons (null or
+    non-pointer dereference, unknown variable) leave the fields at their
+    ``None`` defaults.
+
+    Attributes:
+        access: ``"read"`` or ``"write"`` for an out-of-bounds access.
+        access_size: Bytes the access covered.
+        offset: Byte offset of the access within the owning object.
+        object_name: Name of the owning :class:`MemoryObject`.
+        object_kind: Its kind (``"global"``, ``"local"``, ``"string"``).
+        object_size: Its allocated size in bytes.
+    """
+
+    def __init__(self, message: str, *, access: Optional[str] = None,
+                 access_size: Optional[int] = None,
+                 offset: Optional[int] = None,
+                 object_name: Optional[str] = None,
+                 object_kind: Optional[str] = None,
+                 object_size: Optional[int] = None):
+        super().__init__(message)
+        self.access = access
+        self.access_size = access_size
+        self.offset = offset
+        self.object_name = object_name
+        self.object_kind = object_kind
+        self.object_size = object_size
+
+    def context(self) -> dict:
+        """The structured access context as a plain JSON-ready dict."""
+        return {
+            "access": self.access,
+            "access_size": self.access_size,
+            "offset": self.offset,
+            "object_name": self.object_name,
+            "object_kind": self.object_kind,
+            "object_size": self.object_size,
+        }
 
 
 @dataclass
@@ -112,7 +154,10 @@ class MemorySystem:
         if not pointer.in_bounds(size):
             raise MemoryError_(
                 f"out-of-bounds read of {size} bytes at {pointer!r} "
-                f"(object is {pointer.obj.size} bytes)")
+                f"(object is {pointer.obj.size} bytes)",
+                access="read", access_size=size, offset=pointer.offset,
+                object_name=pointer.obj.name, object_kind=pointer.obj.kind,
+                object_size=pointer.obj.size)
         if ctype.is_pointer():
             stored = pointer.obj.pointer_slots.get(pointer.offset)
             if stored is not None:
@@ -134,7 +179,10 @@ class MemorySystem:
         if not pointer.in_bounds(size):
             raise MemoryError_(
                 f"out-of-bounds write of {size} bytes at {pointer!r} "
-                f"(object is {pointer.obj.size} bytes)")
+                f"(object is {pointer.obj.size} bytes)",
+                access="write", access_size=size, offset=pointer.offset,
+                object_name=pointer.obj.name, object_kind=pointer.obj.kind,
+                object_size=pointer.obj.size)
         if isinstance(value, Pointer):
             pointer.obj.pointer_slots[pointer.offset] = value
             raw = _POINTER_SENTINEL
@@ -156,6 +204,47 @@ class MemorySystem:
             chars.append(chr(byte))
             offset += 1
         return "".join(chars)
+
+    # -- fault injection --------------------------------------------------------
+
+    def flip_bit(self, object_name: str, offset: int, bit: int) -> str:
+        """Flip one bit of a global object, modelling an SEU-style upset.
+
+        The shadow-pointer representation makes a literal byte XOR wrong
+        for slots holding pointers (the raw bytes are a sentinel): when
+        ``offset`` is a pointer slot, the stored :class:`Pointer` is
+        advanced by ``1 << bit`` bytes instead — the same observable
+        outcome a bit flip in a real address register has.  Returns a
+        short description of what was flipped (for scenario records).
+        Raises :class:`KeyError` for unknown objects and
+        :class:`ValueError` for offsets outside the object.
+        """
+        obj = self.objects.get(object_name)
+        if obj is None:
+            raise KeyError(
+                f"flip_bit: unknown global {object_name!r}; known: "
+                f"{sorted(self.objects)[:10]}...")
+        if not 0 <= offset < obj.size:
+            raise ValueError(
+                f"flip_bit: offset {offset} outside {object_name!r} "
+                f"({obj.size} bytes)")
+        if not 0 <= bit < 8 * self.pointer_size:
+            raise ValueError(
+                f"flip_bit: bit must be in [0, {8 * self.pointer_size}), "
+                f"got {bit}")
+        slot_offset = offset - (offset % self.pointer_size)
+        stored = obj.pointer_slots.get(slot_offset)
+        if stored is not None:
+            delta = 1 << bit
+            obj.pointer_slots[slot_offset] = stored.advanced(delta)
+            return (f"pointer {object_name}+{slot_offset} "
+                    f"({stored!r}) advanced by {delta}")
+        if bit >= 8:
+            raise ValueError(
+                f"flip_bit: bit {bit} exceeds one byte and "
+                f"{object_name}+{offset} holds no pointer")
+        obj.data[offset] ^= 1 << bit
+        return f"byte {object_name}+{offset} xor {1 << bit:#04x}"
 
     # -- snapshot / restore -----------------------------------------------------
 

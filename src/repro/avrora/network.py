@@ -308,6 +308,15 @@ class Network:
 
     def __post_init__(self):
         self._sequential = False
+        #: Optional payload-corruption hook installed by a fault-injection
+        #: layer (``repro.scenarios``): ``corruptor(src, dst, sequence,
+        #: payload) -> Optional[bytes]`` runs after :meth:`Channel.packet_fate`
+        #: on every surviving packet and may return a replacement payload
+        #: (``None`` keeps the original).  To stay partition-invariant it
+        #: must be a pure function of its arguments.  ``None`` (the
+        #: default) costs one attribute test per transmission — nothing on
+        #: the statement-execution hot path.
+        self.corruptor = None
         self._active: list[Node] = []
         self._index: dict[int, int] = {}
         #: Per-directed-link packet sequence counters feeding
@@ -359,10 +368,15 @@ class Network:
             if dropped:
                 self.lost_packets += 1
                 continue
+            delivered = payload
+            if self.corruptor is not None:
+                mutated = self.corruptor(src, dst, sequence, payload)
+                if mutated is not None:
+                    delivered = mutated
             when = sent_at + max(1, sender.cycles_for_us(latency_us))
             receiver.schedule_delivery(
                 when, sent_at, sender.node_id,
-                self._delivery(sender.node_id, receiver, payload, sent_at))
+                self._delivery(sender.node_id, receiver, delivered, sent_at))
             if earliest is None or when < earliest:
                 earliest = when
         if earliest is not None and len(self._active) > 1:

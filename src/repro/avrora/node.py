@@ -116,6 +116,12 @@ class Node:
 
         #: Per-node traffic generator installed by the network (if any).
         self.traffic_generator = None
+        #: Extensible event resolver installed by a fault-injection layer
+        #: (``repro.scenarios``): maps ``("scenario", ...)`` descriptors
+        #: back to callbacks after a restore.  ``None`` when no scenario
+        #: is armed — the hot path never touches it.
+        self.scenario_resolver: Optional[
+            Callable[[tuple], Optional[Callable[[], None]]]] = None
 
         # -- resumable execution (run_until) ---------------------------------
         #: Local time at which the node must pause (0 = run to end_cycles).
@@ -481,6 +487,8 @@ class Node:
         callback = self.bus.resolve_event(desc)
         if callback is None and self.traffic_generator is not None:
             callback = self.traffic_generator.resolve_event(desc, self)
+        if callback is None and self.scenario_resolver is not None:
+            callback = self.scenario_resolver(desc)
         if callback is None and resolve_event is not None:
             callback = resolve_event(desc)
         if callback is None:

@@ -208,17 +208,26 @@ class _ShardWorker:
             if dropped:
                 network.lost_packets += 1
                 continue
+            # The payload-corruption hook applies here exactly as in
+            # ``Network._transmit``: the corruptor is a pure function of
+            # (src, dst, sequence, payload), so local and boundary-routed
+            # deliveries of the same packet corrupt identically.
+            delivered = payload
+            if network.corruptor is not None:
+                mutated = network.corruptor(src, dst, sequence, payload)
+                if mutated is not None:
+                    delivered = mutated
             when = sent_at + max(1, sender.cycles_for_us(latency_us))
             if dst in self.local_set:
                 receiver.schedule_delivery(
                     when, sent_at, sender.node_id,
-                    network._delivery(sender.node_id, receiver, payload,
+                    network._delivery(sender.node_id, receiver, delivered,
                                       sent_at))
                 if earliest_local is None or when < earliest_local:
                     earliest_local = when
             else:
                 self._outgoing.append(
-                    (dst, when, sender.node_id, sent_at, payload))
+                    (dst, when, sender.node_id, sent_at, delivered))
                 reply = when + self.margin
                 if reply < self._cap:
                     self._cap = reply

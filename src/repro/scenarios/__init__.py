@@ -1,0 +1,46 @@
+"""Fault-injection and adversarial scenarios for Safe TinyOS builds.
+
+The paper's central claim is behavioural: a safe build *detects* memory
+corruption that an unsafe build silently absorbs.  This package makes
+that claim testable as data.  A :class:`~repro.scenarios.faults.FaultPlan`
+describes a seeded, reproducible set of adversities — bit flips in node
+memory, payload corruption past the CRC, crafted malformed packets,
+node kills and reboot-rejoin churn — and the
+:class:`~repro.scenarios.runner.ScenarioRunner` (imported lazily by
+``Workbench.run_scenario`` to keep this package free of api-layer
+imports) executes the same plan under multiple build variants, compares
+each run against a fault-free golden run of the same variant, and
+classifies every (variant, fault) cell as ``detected``, ``crash``,
+``silent-corruption`` or ``benign``.
+"""
+
+from repro.scenarios.faults import (
+    DEFAULT_FAULT_NAMES,
+    KILL_HALT_CODE,
+    BitFlipFault,
+    Fault,
+    FaultPlan,
+    NodeKillFault,
+    NodeRebootFault,
+    PacketInjectFault,
+    PayloadCorruptFault,
+    default_fault,
+    fault_from_dict,
+)
+from repro.scenarios.injector import ScenarioInjector, craft_packet
+
+__all__ = [
+    "DEFAULT_FAULT_NAMES",
+    "KILL_HALT_CODE",
+    "BitFlipFault",
+    "Fault",
+    "FaultPlan",
+    "NodeKillFault",
+    "NodeRebootFault",
+    "PacketInjectFault",
+    "PayloadCorruptFault",
+    "ScenarioInjector",
+    "craft_packet",
+    "default_fault",
+    "fault_from_dict",
+]

@@ -1,0 +1,98 @@
+"""Fault and FaultPlan specs: validation, round trips, canonical labels."""
+
+import pytest
+
+from repro.scenarios.faults import (
+    DEFAULT_FAULT_NAMES,
+    BitFlipFault,
+    FaultPlan,
+    NodeKillFault,
+    NodeRebootFault,
+    PacketInjectFault,
+    PayloadCorruptFault,
+    default_fault,
+    fault_from_dict,
+)
+
+
+class TestFaultSpecs:
+    def test_every_kind_round_trips_through_dict(self):
+        faults = [
+            BitFlipFault(node=1, object="G__x", offset=3, bit=6, at_ms=250),
+            PayloadCorruptFault(probability=0.5, flips=2, fix_crc=False),
+            PacketInjectFault(node=1, via="uart", at_ms=700,
+                              am_type=9, claimed_length=200, dest=7),
+            NodeKillFault(node=2, at_ms=900),
+            NodeRebootFault(node=2, checkpoint_ms=100, at_ms=400),
+        ]
+        for fault in faults:
+            assert fault_from_dict(fault.to_dict()) == fault
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(KeyError, match="unknown fault kind"):
+            fault_from_dict({"kind": "cosmic_ray"})
+
+    def test_validation_rejects_malformed_faults(self):
+        with pytest.raises(ValueError, match="at_ms"):
+            BitFlipFault(at_ms=0)
+        with pytest.raises(ValueError, match="probability"):
+            PayloadCorruptFault(probability=0.0)
+        with pytest.raises(ValueError, match="via"):
+            PacketInjectFault(via="carrier-pigeon")
+        with pytest.raises(ValueError, match="claimed_length"):
+            PacketInjectFault(claimed_length=300)
+        with pytest.raises(ValueError, match="after"):
+            NodeRebootFault(checkpoint_ms=500, at_ms=500)
+
+    def test_input_faults_are_marked(self):
+        assert not BitFlipFault().perturbs_inputs
+        assert not PayloadCorruptFault().perturbs_inputs
+        assert PacketInjectFault().perturbs_inputs
+        assert NodeKillFault().perturbs_inputs
+        assert NodeRebootFault().perturbs_inputs
+
+    def test_induced_nodes_cover_churn_and_injection_targets(self):
+        assert BitFlipFault(node=1).induced_nodes() == ()
+        assert PacketInjectFault(node=1).induced_nodes() == (1,)
+        assert NodeKillFault(node=2).induced_nodes() == (2,)
+        assert NodeRebootFault(node=2).induced_nodes() == (2,)
+
+
+class TestFaultPlan:
+    def test_round_trip_and_canonical_serialization(self):
+        plan = FaultPlan(faults=(BitFlipFault(), PayloadCorruptFault()),
+                         seed=7)
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone == plan
+        assert clone.to_dict() == plan.to_dict()
+
+    def test_empty_plan_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one fault"):
+            FaultPlan(faults=())
+
+    def test_non_fault_entries_are_rejected(self):
+        with pytest.raises(ValueError, match="Fault objects"):
+            FaultPlan(faults=({"kind": "bit_flip"},))
+
+    def test_labels_disambiguate_repeats(self):
+        plan = FaultPlan(faults=(NodeKillFault(node=0, at_ms=100),
+                                 NodeKillFault(node=0, at_ms=200),
+                                 PayloadCorruptFault()))
+        assert plan.labels() == ["kill@n0", "kill@n0#2", "payload-corrupt"]
+
+    def test_max_node_spans_targeted_faults_only(self):
+        plan = FaultPlan(faults=(PayloadCorruptFault(),))
+        assert plan.max_node() == -1
+        plan = FaultPlan(faults=(BitFlipFault(node=1), NodeKillFault(node=3)))
+        assert plan.max_node() == 3
+
+    def test_default_faults_cover_every_shorthand(self):
+        for name in DEFAULT_FAULT_NAMES:
+            fault = default_fault(name, node_count=3)
+            assert fault_from_dict(fault.to_dict()) == fault
+        with pytest.raises(KeyError, match="unknown fault name"):
+            default_fault("meteor")
+
+    def test_default_churn_targets_last_node(self):
+        assert default_fault("kill", node_count=4).node == 3
+        assert default_fault("reboot", node_count=4).node == 3

@@ -1,0 +1,197 @@
+"""Injection primitives: bit flips, structured memory errors, crafted
+frames, labelled UART rejection, and the corruptor's purity contract."""
+
+import pytest
+
+from repro.avrora.devices import Uart
+from repro.avrora.memory import MemoryError_, MemorySystem, Pointer
+from repro.avrora.network import _mix64, crc16
+from repro.cminor import typesys as ty
+from repro.scenarios.faults import PacketInjectFault, PayloadCorruptFault
+from repro.scenarios.injector import ScenarioInjector, craft_packet
+from repro.tinyos import messages as msgs
+
+
+class TestFlipBit:
+    def test_plain_byte_flip_xors_one_bit(self):
+        mem = MemorySystem(pointer_size=2)
+        obj = mem.allocate("G__buf", 4)
+        obj.data[2] = 0b0001_0000
+        what = mem.flip_bit("G__buf", 2, 4)
+        assert obj.data[2] == 0
+        assert "G__buf+2" in what
+
+    def test_pointer_slot_flip_advances_the_stored_pointer(self):
+        """Flipping bits of a pointer slot must move the *pointer*, not
+        XOR the sentinel bytes the shadow representation stores."""
+        mem = MemorySystem(pointer_size=2)
+        target = mem.allocate("G__msg", 43)
+        holder = mem.allocate("G__ptr", 2)
+        ptr_type = ty.PointerType(ty.UINT8)
+        mem.write(Pointer(holder, 0), ptr_type, Pointer(target, 0))
+        mem.flip_bit("G__ptr", 0, 5)
+        stored = mem.read(Pointer(holder, 0), ptr_type)
+        assert isinstance(stored, Pointer)
+        assert stored.obj is target
+        assert stored.offset == 32
+
+    def test_pointer_slot_flip_resolves_unaligned_offsets(self):
+        mem = MemorySystem(pointer_size=2)
+        target = mem.allocate("G__msg", 43)
+        holder = mem.allocate("G__ptr", 2)
+        ptr_type = ty.PointerType(ty.UINT8)
+        mem.write(Pointer(holder, 0), ptr_type, Pointer(target, 4))
+        # Offset 1 lands inside the 2-byte pointer slot at offset 0.
+        mem.flip_bit("G__ptr", 1, 0)
+        assert mem.read(Pointer(holder, 0), ptr_type).offset == 5
+
+    def test_unknown_object_and_bad_ranges_are_rejected(self):
+        mem = MemorySystem(pointer_size=2)
+        mem.allocate("G__x", 2)
+        with pytest.raises(KeyError, match="unknown global"):
+            mem.flip_bit("G__missing", 0, 0)
+        with pytest.raises(ValueError, match="outside"):
+            mem.flip_bit("G__x", 2, 0)
+        with pytest.raises(ValueError, match="bit"):
+            mem.flip_bit("G__x", 0, 16)
+        # Bits 8..15 only make sense for pointer slots.
+        with pytest.raises(ValueError, match="holds no pointer"):
+            mem.flip_bit("G__x", 0, 9)
+
+
+class TestMemoryErrorContext:
+    def test_out_of_bounds_write_carries_structured_context(self):
+        mem = MemorySystem(pointer_size=2)
+        obj = mem.allocate("G__buf", 4)
+        with pytest.raises(MemoryError_) as error:
+            mem.write(Pointer(obj, 3), ty.UINT16, 7)
+        context = error.value.context()
+        assert context == {
+            "access": "write", "access_size": 2, "offset": 3,
+            "object_name": "G__buf", "object_kind": "global",
+            "object_size": 4,
+        }
+
+    def test_out_of_bounds_read_carries_structured_context(self):
+        mem = MemorySystem(pointer_size=2)
+        obj = mem.allocate("G__buf", 4)
+        with pytest.raises(MemoryError_) as error:
+            mem.read(Pointer(obj, -1), ty.UINT8)
+        assert error.value.access == "read"
+        assert error.value.offset == -1
+        assert error.value.object_name == "G__buf"
+
+    def test_non_access_errors_default_to_none(self):
+        error = MemoryError_("dereference of null pointer")
+        assert error.context() == {
+            "access": None, "access_size": None, "offset": None,
+            "object_name": None, "object_kind": None, "object_size": None,
+        }
+
+
+class TestUartInjectFrame:
+    def test_oversized_frame_is_rejected_with_labelled_error(self):
+        uart = Uart()
+        with pytest.raises(ValueError, match="inject_frame.*37 bytes.*"
+                                             "MAX_FRAME_LENGTH"):
+            uart.inject_frame(bytes(37))
+
+    def test_wire_sized_frame_is_accepted(self):
+        class _StubNode:
+            @staticmethod
+            def cycles_for_us(us):
+                return int(us)
+
+            @staticmethod
+            def schedule(delay, callback):
+                pass
+
+        uart = Uart()
+        uart.node = _StubNode()
+        uart.inject_frame(bytes(msgs.TOS_MSG_WIRE_LENGTH))
+        assert len(uart.pending_rx) == msgs.TOS_MSG_WIRE_LENGTH
+
+    def test_limit_matches_the_wire_format(self):
+        assert Uart.MAX_FRAME_LENGTH == msgs.TOS_MSG_WIRE_LENGTH
+
+
+class TestCraftPacket:
+    def test_frame_lies_about_length_under_a_valid_crc(self):
+        fault = PacketInjectFault(claimed_length=255)
+        frame = craft_packet(fault)
+        assert len(frame) == msgs.TOS_MSG_WIRE_LENGTH
+        assert frame[4] == 255
+        crc = crc16(frame[:msgs.TOS_MSG_WIRE_LENGTH - 2])
+        assert frame[-2] == crc & 0xFF
+        assert frame[-1] == (crc >> 8) & 0xFF
+
+    def test_frame_passes_group_and_address_filters_by_default(self):
+        frame = craft_packet(PacketInjectFault())
+        dest = frame[0] | (frame[1] << 8)
+        assert dest == msgs.TOS_BCAST_ADDR
+        assert frame[3] == msgs.TOS_DEFAULT_GROUP
+
+
+class TestCorruptorPurity:
+    """Satellite: corruption decisions are pure functions of
+    (seed, src, dst, sequence) — the partition-invariance contract."""
+
+    def _corruptor(self, seed=0, **kwargs):
+        injector = ScenarioInjector(PayloadCorruptFault(**kwargs), seed=seed)
+        return injector._corruptor(injector.fault)
+
+    def _frame(self, payload_byte=0x11):
+        from repro.avrora.network import encode_tos_msg
+        return encode_tos_msg(msgs.TOS_BCAST_ADDR, 9,
+                              bytes([payload_byte] * 10))
+
+    def test_same_packet_identity_corrupts_identically(self):
+        frame = self._frame()
+        first = self._corruptor()(0, 1, 5, frame)
+        second = self._corruptor()(0, 1, 5, frame)
+        assert first == second
+        assert first != frame
+
+    def test_decision_depends_only_on_link_identity(self):
+        frame = self._frame()
+        corrupt = self._corruptor()
+        by_identity = {(src, dst, seq): corrupt(src, dst, seq, frame)
+                       for src in (0, 1) for dst in (0, 1)
+                       for seq in (0, 1, 2)}
+        replay = self._corruptor()
+        for (src, dst, seq), expected in by_identity.items():
+            assert replay(src, dst, seq, frame) == expected
+
+    def test_seed_changes_the_corruption_stream(self):
+        frame = self._frame()
+        assert self._corruptor(seed=0)(0, 1, 5, frame) != \
+            self._corruptor(seed=1)(0, 1, 5, frame)
+
+    def test_fixed_crc_still_validates(self):
+        frame = self._frame()
+        corrupted = self._corruptor()(0, 1, 5, frame)
+        wire = msgs.TOS_MSG_WIRE_LENGTH
+        crc = crc16(corrupted[:wire - 2])
+        assert corrupted[wire - 2] == crc & 0xFF
+        assert corrupted[wire - 1] == (crc >> 8) & 0xFF
+        # Exactly one payload byte differs; the header is untouched.
+        diffs = [i for i in range(wire - 2)
+                 if corrupted[i] != frame[i]]
+        assert len(diffs) == 1 and 5 <= diffs[0] < 5 + msgs.TOSH_DATA_LENGTH
+
+    def test_probability_gate_is_pure(self):
+        corrupt = self._corruptor(probability=0.5)
+        frame = self._frame()
+        fates = [corrupt(0, 1, seq, frame) is not None
+                 for seq in range(64)]
+        replay = self._corruptor(probability=0.5)
+        assert fates == [replay(0, 1, seq, frame) is not None
+                         for seq in range(64)]
+        # A 0.5 gate over 64 packets corrupts some and spares some.
+        assert any(fates) and not all(fates)
+
+    def test_mix64_matches_channel_hash_domain_separation(self):
+        # The corruptor salts its seed; the raw channel stream at the same
+        # seed must not be reproduced (domain separation).
+        from repro.scenarios.injector import _CORRUPT_SALT
+        assert _mix64(0 ^ _CORRUPT_SALT, 0, 1, 5) != _mix64(0, 0, 1, 5)
