@@ -17,8 +17,9 @@ from repro.api.workbench import Workbench
 
 
 @pytest.fixture(scope="session")
-def workbench() -> Workbench:
-    return Workbench()
+def workbench():
+    with Workbench() as bench:
+        yield bench
 
 
 def pytest_addoption(parser):

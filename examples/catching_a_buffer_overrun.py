@@ -25,8 +25,6 @@ from repro.scenarios import BitFlipFault, PayloadCorruptFault
 
 
 def main() -> None:
-    bench = Workbench()
-
     # One state-corrupting bit flip (pointer slots move the stored
     # pointer; the default flips bit 5, advancing it by 32 bytes) plus
     # in-flight payload corruption with the CRC patched so the link
@@ -39,7 +37,8 @@ def main() -> None:
         seconds=2.0,
     )
 
-    record = bench.run_scenario(spec)
+    with Workbench() as bench:
+        record = bench.run_scenario(spec)
     print(format_scenario_record(record))
 
     # The per-cell details show the mechanism behind each verdict.

@@ -99,8 +99,9 @@ def main() -> None:
     # "fig2-ccured-inline-cxprop-gcc" variant; one Workbench call replays it.
     from repro.api import BuildSpec, Workbench
 
-    record = Workbench().build(BuildSpec(app=name,
-                                         variant="fig2-ccured-inline-cxprop-gcc"))
+    with Workbench() as bench:
+        record = bench.build(
+            BuildSpec(app=name, variant="fig2-ccured-inline-cxprop-gcc"))
     print(f"  Workbench record: {record.code_bytes} B code, "
           f"{record.ram_bytes} B RAM, "
           f"{record.checks_surviving}/{record.checks_inserted} checks "

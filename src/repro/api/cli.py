@@ -16,6 +16,8 @@ Usage::
                           [--loss P] [--seed N] [--fault-seed N]
                           [--traffic default|base|none] [--workers N] [--json]
     python -m repro figures [--figure 2|3a|3b|3c] [--apps ...] [--json]
+    python -m repro serve [--store DIR] [--host H] [--port P] [--workers N]
+    python -m repro gc --store DIR [--budget-bytes N] [--json]
 
 Every command speaks the ``repro.api`` schemas: ``--json`` emits the
 ``to_dict()`` form of the spec's records (round-trippable through
@@ -23,6 +25,20 @@ Every command speaks the ``repro.api`` schemas: ``--json`` emits the
 tables are printed.  ``sweep --variants figure3`` is the paper's full
 Figure-3 configuration set (the unsafe baseline plus the seven figure
 bars), matching ``benchmarks/bench_pipeline_sweep.py``.
+
+``build``, ``sweep``, ``simulate`` and ``scenarios`` additionally accept:
+
+``--store DIR``
+    Route the session through a persistent content-addressed
+    :class:`~repro.store.ArtifactStore`: previously recorded identical
+    specs are served from disk without executing a single pass, and new
+    records (plus front-end prefix snapshots) are written back.
+``--remote URL``
+    Submit the spec to a ``python -m repro serve`` job service instead of
+    executing locally; racing identical submissions share one build.
+``--stats``
+    Append execution counters (passes, builds, lowerings, store hits)
+    proving what actually ran — a warm store shows zeros across the board.
 """
 
 from __future__ import annotations
@@ -39,8 +55,10 @@ from repro.api.figures import (
     figure3b_table,
     figure3c_table,
 )
+from repro.api.client import RemoteClient, RemoteError
 from repro.api.records import BuildRecord, ScenarioRecord, SimRecord
 from repro.api.specs import (
+    SCHEMA_VERSION,
     TRAFFIC_DEFAULT,
     TRAFFIC_NONE,
     TRAFFIC_PROFILES,
@@ -51,6 +69,7 @@ from repro.api.specs import (
 )
 from repro.api.workbench import Workbench
 from repro.avrora.network import TOPOLOGIES
+from repro.store import ArtifactStore
 from repro.scenarios.faults import DEFAULT_FAULT_NAMES, FaultPlan, default_fault
 from repro.tinyos.suite import FIGURE_APPS, MICA2_APPS
 from repro.toolchain.contexts import DEFAULT_DUTY_CYCLE_SECONDS
@@ -120,6 +139,53 @@ def validated(factory):
 def _emit_json(payload: object, out) -> None:
     json.dump(payload, out, indent=2)
     out.write("\n")
+
+
+def _remote(args) -> RemoteClient:
+    return RemoteClient(args.remote, timeout=args.timeout)
+
+
+def _gather_stats(args, workbench: Workbench) -> dict:
+    """Execution counters for ``--stats``: local session or remote service."""
+    if getattr(args, "remote", None):
+        return _remote(args).stats()
+    return workbench.stats()
+
+
+def format_stats(stats: dict) -> str:
+    """Human form of the counter-proof (see ``Workbench.stats``)."""
+    if "workbench" in stats:  # job-service stats envelope
+        service = (f"service    : {stats.get('submitted', 0)} submitted, "
+                   f"{stats.get('dedup_inflight', 0)} in-flight dedup, "
+                   f"{stats.get('dedup_done', 0)} completed dedup")
+        return service + "\n" + format_stats(stats["workbench"])
+    line = (f"executed   : {stats.get('passes_executed', 0)} passes, "
+            f"{stats.get('builds_executed', 0)} builds, "
+            f"{stats.get('simulations_executed', 0)} simulations, "
+            f"{stats.get('lowerings', 0)} lowerings")
+    store = stats.get("store") or {}
+    if store:
+        line += (f"\nstore      : {store.get('record_hits', 0)} record hit(s) "
+                 f"/ {store.get('record_misses', 0)} miss(es), "
+                 f"{store.get('snapshot_hits', 0)} snapshot hit(s), "
+                 f"{store.get('stores', 0)} written, "
+                 f"{store.get('evicted', 0)} evicted")
+    return line
+
+
+def _emit_record(args, out, payload: object, text: str,
+                 workbench: Workbench) -> int:
+    """Shared ``--json``/``--stats`` output tail of the record commands."""
+    stats = _gather_stats(args, workbench) if args.stats else None
+    if args.json:
+        if stats is not None:
+            payload = {"record": payload, "stats": stats}
+        _emit_json(payload, out)
+    else:
+        out.write(text + "\n")
+        if stats is not None:
+            out.write(format_stats(stats) + "\n")
+    return 0
 
 
 def format_build_records(records: Sequence[BuildRecord]) -> str:
@@ -221,28 +287,29 @@ def cmd_list(args, workbench: Workbench, out) -> int:
 
 def cmd_build(args, workbench: Workbench, out) -> int:
     spec = validated(lambda: BuildSpec(app=args.app, variant=args.variant))
-    record = workbench.build(spec)
-    if args.json:
-        _emit_json(record.to_dict(), out)
+    if args.remote:
+        record = BuildRecord.from_dict(_remote(args).run(spec))
     else:
-        out.write(format_build_records([record]) + "\n")
-    return 0
+        record = workbench.build(spec)
+    return _emit_record(args, out, record.to_dict(),
+                        format_build_records([record]), workbench)
 
 
 def cmd_sweep(args, workbench: Workbench, out) -> int:
     spec = validated(lambda: SweepSpec(
         apps=tuple(resolve_apps(args.apps)),
         variants=tuple(resolve_variants(args.variants))))
-    if args.processes:
+    if args.remote:
+        records = [BuildRecord.from_dict(data)
+                   for data in _remote(args).run(spec)["records"]]
+    elif args.processes:
         records = workbench.submit(spec, processes=args.processes).result()
     else:
         records = workbench.sweep(spec)
-    if args.json:
-        _emit_json({"spec": spec.to_dict(),
-                    "records": [record.to_dict() for record in records]}, out)
-    else:
-        out.write(format_build_records(records) + "\n")
-    return 0
+    payload = {"spec": spec.to_dict(),
+               "records": [record.to_dict() for record in records]}
+    return _emit_record(args, out, payload,
+                        format_build_records(records), workbench)
 
 
 def cmd_simulate(args, workbench: Workbench, out) -> int:
@@ -253,12 +320,12 @@ def cmd_simulate(args, workbench: Workbench, out) -> int:
         traffic=traffic, topology=args.topology,
         loss=args.loss, seed=args.seed, workers=args.workers,
         plan_cache=args.plan_cache))
-    record = workbench.simulate(spec)
-    if args.json:
-        _emit_json(record.to_dict(), out)
+    if args.remote:
+        record = SimRecord.from_dict(_remote(args).run(spec))
     else:
-        out.write(format_sim_record(record) + "\n")
-    return 0
+        record = workbench.simulate(spec)
+    return _emit_record(args, out, record.to_dict(),
+                        format_sim_record(record), workbench)
 
 
 # -- scenarios --------------------------------------------------------------
@@ -309,12 +376,38 @@ def cmd_scenarios(args, workbench: Workbench, out) -> int:
         plan=FaultPlan(faults=tuple(faults), seed=args.fault_seed),
         node_count=args.nodes, seconds=args.seconds,
         traffic=args.traffic, topology=args.topology,
-        loss=args.loss, seed=args.seed, workers=args.workers))
-    record = workbench.run_scenario(spec)
-    if args.json:
-        _emit_json(record.to_dict(), out)
+        loss=args.loss, seed=args.seed, workers=args.workers,
+        plan_cache=args.plan_cache))
+    if args.remote:
+        record = ScenarioRecord.from_dict(_remote(args).run(spec))
     else:
-        out.write(format_scenario_record(record) + "\n")
+        record = workbench.run_scenario(spec)
+    return _emit_record(args, out, record.to_dict(),
+                        format_scenario_record(record), workbench)
+
+
+# -- the store and the job service ------------------------------------------
+
+
+def cmd_serve(args, workbench: Workbench, out) -> int:
+    from repro.api.server import serve
+
+    serve(args.store, host=args.host, port=args.port, workers=args.workers)
+    return 0
+
+
+def cmd_gc(args, workbench: Workbench, out) -> int:
+    store = ArtifactStore(args.store, schema=SCHEMA_VERSION)
+    report = store.gc(args.budget_bytes)
+    if args.json:
+        _emit_json(report, out)
+    else:
+        budget = report["budget_bytes"]
+        out.write(
+            f"{args.store}: {report['entries']} entrie(s), "
+            f"{report['bytes_before']} -> {report['bytes_after']} bytes "
+            f"({report['evicted']} evicted, budget "
+            f"{'none' if budget < 0 else budget})\n")
     return 0
 
 
@@ -359,6 +452,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", action="store_true",
                        help="emit JSON records instead of a table")
 
+    def add_store(p):
+        p.add_argument("--store", default=None, metavar="DIR",
+                       help="persistent content-addressed artifact store; "
+                            "previously recorded identical specs are served "
+                            "from disk without executing a single pass")
+        p.add_argument("--remote", default=None, metavar="URL",
+                       help="submit the spec to a `repro serve` job service "
+                            "instead of executing locally")
+        p.add_argument("--timeout", type=float, default=300.0,
+                       help="seconds to wait for a --remote result")
+        p.add_argument("--stats", action="store_true",
+                       help="append execution counters (passes, builds, "
+                            "lowerings, store hits) proving what ran")
+
     p_list = sub.add_parser("list", help="registered applications and variants")
     add_json(p_list)
     p_list.set_defaults(func=cmd_list)
@@ -368,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_build.add_argument("--variant", default=SAFE_OPTIMIZED.name,
                          help=f"build variant (default: {SAFE_OPTIMIZED.name})")
     add_json(p_build)
+    add_store(p_build)
     p_build.set_defaults(func=cmd_build)
 
     p_sweep = sub.add_parser("sweep", help="build an N-app × M-variant sweep")
@@ -378,6 +486,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--processes", type=int, default=0,
                          help="run on a process pool with N workers")
     add_json(p_sweep)
+    add_store(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_sim = sub.add_parser("simulate", help="build and simulate one application")
@@ -406,6 +515,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "repeat run skips the lowering front end "
                             "(bit-identical to running without)")
     add_json(p_sim)
+    add_store(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_scen = sub.add_parser(
@@ -435,7 +545,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_scen.add_argument("--workers", type=int, default=1,
                         help="shard each run across N worker processes "
                              "(verdicts bit-identical to --workers 1)")
+    p_scen.add_argument("--plan-cache", default=None, metavar="DIR",
+                        help="persist lowered function plans under DIR so "
+                             "the golden and faulted runs of a repeated "
+                             "matrix lower nothing")
     add_json(p_scen)
+    add_store(p_scen)
     p_scen.set_defaults(func=cmd_scenarios)
 
     p_fig = sub.add_parser("figures", help="reproduce the paper's figure tables")
@@ -447,15 +562,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated seconds per duty-cycle measurement (3c)")
     add_json(p_fig)
     p_fig.set_defaults(func=cmd_figures)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the async job service over HTTP")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="artifact store shared by every client "
+                              "(omit for an in-memory session)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8400,
+                         help="listening port (0 picks an ephemeral one)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="job executor threads")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_gc = sub.add_parser(
+        "gc", help="evict least-recently-used artifact-store entries")
+    p_gc.add_argument("--store", required=True, metavar="DIR")
+    p_gc.add_argument("--budget-bytes", type=int, default=None,
+                      help="evict stalest entries until the store fits "
+                           "(omit for a pure measurement pass)")
+    add_json(p_gc)
+    p_gc.set_defaults(func=cmd_gc)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     out = out if out is not None else sys.stdout
-    with Workbench() as workbench:
+    # ``serve`` and ``gc`` manage the store directory themselves — the
+    # record commands route their session workbench through it.
+    store = getattr(args, "store", None) \
+        if args.command not in ("serve", "gc") else None
+    with Workbench(store=store) as workbench:
         try:
             return args.func(args, workbench, out)
         except UsageError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+        except RemoteError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 3

@@ -1,0 +1,105 @@
+"""A stdlib HTTP client for the :mod:`repro.api.server` job service.
+
+The CLI's ``--remote URL`` paths route through :class:`RemoteClient`:
+specs are serialized with their own ``to_dict``, submitted, and the
+resulting record dictionaries are rehydrated by the caller (the spec
+kinds map one-to-one onto record classes).  Only :mod:`urllib.request`
+is used — the client works anywhere the package imports.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional, Union
+
+from repro.api.specs import BuildSpec, ScenarioSpec, SimSpec, SweepSpec
+
+_Spec = Union[BuildSpec, SweepSpec, SimSpec, ScenarioSpec]
+
+#: Matches the server's default ``/result`` blocking window.
+DEFAULT_TIMEOUT_S = 60.0
+
+
+class RemoteError(RuntimeError):
+    """An HTTP-level or job-level failure reported by the job service."""
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        super().__init__(message)
+        self.status = status
+
+
+class RemoteClient:
+    """Talks JSON to one job service at ``base_url``.
+
+    ``run`` is the one-call path the CLI uses: submit, block on the
+    result, return the record dict.  ``submit``/``status``/``result``
+    expose the asynchronous protocol directly.
+    """
+
+    def __init__(self, base_url: str, *,
+                 timeout: float = DEFAULT_TIMEOUT_S):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------------
+
+    def _request(self, path: str, body: Optional[dict] = None,
+                 timeout: Optional[float] = None) -> dict:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers)
+        # The socket timeout pads the server's own blocking window so the
+        # server's 504 arrives before the socket gives up.
+        socket_timeout = (timeout if timeout is not None else self.timeout) + 10
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=socket_timeout) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, UnicodeDecodeError):
+                pass
+            raise RemoteError(
+                f"{url} -> HTTP {exc.code}" + (f": {detail}" if detail else ""),
+                status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise RemoteError(f"cannot reach {url}: {exc.reason}") from exc
+        if not isinstance(payload, dict):
+            raise RemoteError(f"{url} returned non-object JSON")
+        return payload
+
+    # -- protocol --------------------------------------------------------------
+
+    def healthz(self) -> bool:
+        return bool(self._request("/healthz").get("ok"))
+
+    def submit(self, spec: Union[_Spec, dict]) -> dict:
+        """Submit a spec (object or dict); returns the job description."""
+        data = spec if isinstance(spec, dict) else spec.to_dict()
+        return self._request("/submit", body={"spec": data})
+
+    def status(self, key: str) -> dict:
+        return self._request(f"/status/{key}")
+
+    def result(self, key: str, *, timeout: Optional[float] = None) -> dict:
+        """The finished record dict; blocks server-side while the job runs."""
+        window = timeout if timeout is not None else self.timeout
+        return self._request(f"/result/{key}?timeout={window}",
+                             timeout=window)
+
+    def run(self, spec: Union[_Spec, dict], *,
+            timeout: Optional[float] = None) -> dict:
+        """Submit and wait: the synchronous convenience path."""
+        job = self.submit(spec)
+        return self.result(job["key"], timeout=timeout)
+
+    def stats(self) -> dict:
+        return self._request("/stats")

@@ -1,0 +1,282 @@
+"""A thin async job service over one shared :class:`Workbench`.
+
+``python -m repro serve --store DIR`` starts an HTTP front end that turns
+spec dictionaries into records: clients POST a serialized spec to
+``/submit`` and poll (or block on) ``/result/<key>``.  Three properties
+make the service cheap to run and cheap to call:
+
+* **Content-keyed jobs.**  A job's identity *is* its spec's content key,
+  so submitting the same spec twice — from one client or from two racing
+  clients — never creates a second job: the second submission attaches to
+  the first job's future (``dedup_inflight``), and a spec whose job
+  already finished is answered from the completed future (``dedup_done``).
+* **One workbench, one store.**  Every job runs through a single
+  :class:`~repro.api.workbench.Workbench` bound to the server's artifact
+  store, so the session caches, prefix snapshots and disk store are shared
+  across all clients — a spec any client ever built is a warm hit for
+  every later client, across server restarts.
+* **Stdlib only.**  The server is a
+  :class:`~http.server.ThreadingHTTPServer` plus a
+  :class:`~concurrent.futures.ThreadPoolExecutor`; the workbench's
+  execution lock serializes the heavy pass pipelines, so concurrency buys
+  admission and store-served reads, not parallel builds.
+
+Protocol (all bodies JSON)::
+
+    POST /submit          {"spec": {...}} or a bare spec dict
+                          -> {"key", "kind", "state"}
+    GET  /status/<key>    -> {"key", "kind", "state"}   (pending|running|
+                                                         done|failed)
+    GET  /result/<key>    -> the record dict; blocks up to ?timeout=S
+                             (default 60) while the job runs
+    GET  /stats           -> service + workbench + store counters
+    GET  /healthz         -> {"ok": true}
+
+Errors: 400 for an undecodable or unknown-kind spec, 404 for an unknown
+key, 504 when a result times out, 500 (with the exception text) when the
+job itself failed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.api.specs import (
+    BuildSpec,
+    ScenarioSpec,
+    SimSpec,
+    SweepSpec,
+    spec_from_dict,
+)
+from repro.api.workbench import Workbench
+
+logger = logging.getLogger(__name__)
+
+#: Default seconds a ``/result`` request blocks on a running job.
+RESULT_TIMEOUT_S = 60.0
+
+
+class _Job:
+    """One submitted spec: its future plus displayable metadata."""
+
+    __slots__ = ("key", "kind", "future")
+
+    def __init__(self, key: str, kind: str, future: "Future[dict]"):
+        self.key = key
+        self.kind = kind
+        self.future = future
+
+    def state(self) -> str:
+        if not self.future.done():
+            return "running" if self.future.running() else "pending"
+        return "failed" if self.future.exception() is not None else "done"
+
+    def describe(self) -> dict:
+        return {"key": self.key, "kind": self.kind, "state": self.state()}
+
+
+class JobService:
+    """Content-keyed job table in front of one :class:`Workbench`.
+
+    The service owns the workbench unless one is passed in (tests share a
+    pre-warmed session that way).  ``submit`` is the only mutating entry
+    point; everything else reads the job table.
+    """
+
+    def __init__(self, store_dir: Optional[str] = None, *,
+                 workbench: Optional[Workbench] = None, workers: int = 2):
+        self.workbench = workbench if workbench is not None \
+            else Workbench(store=store_dir)
+        self._jobs: dict[str, _Job] = {}
+        self._lock = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-job")
+        self.submitted = 0
+        self.dedup_inflight = 0
+        self.dedup_done = 0
+
+    # -- job execution ---------------------------------------------------------
+
+    def _run(self, spec) -> dict:
+        """Execute one spec on the shared workbench; returns a plain dict."""
+        if isinstance(spec, BuildSpec):
+            return self.workbench.build(spec).to_dict()
+        if isinstance(spec, SweepSpec):
+            return {"kind": "sweep-result",
+                    "records": [record.to_dict()
+                                for record in self.workbench.sweep(spec)]}
+        if isinstance(spec, SimSpec):
+            return self.workbench.simulate(spec).to_dict()
+        if isinstance(spec, ScenarioSpec):
+            return self.workbench.run_scenario(spec).to_dict()
+        raise TypeError(f"unsupported spec type {type(spec).__name__}")
+
+    def submit(self, data: dict) -> dict:
+        """Queue one spec dict; identical in-flight specs share a job.
+
+        Returns the job description.  Raises ``ValueError``/``TypeError``
+        (mapped to HTTP 400 by the handler) for malformed specs.
+        """
+        spec = spec_from_dict(data)
+        key = spec.content_key()
+        with self._lock:
+            self.submitted += 1
+            job = self._jobs.get(key)
+            if job is not None:
+                if job.future.done() and job.future.exception() is None:
+                    self.dedup_done += 1
+                elif job.future.exception() is None:
+                    self.dedup_inflight += 1
+                else:
+                    # A failed job is retryable: resubmit replaces it.
+                    job = None
+            if job is None:
+                job = _Job(key, data.get("kind", "?"),
+                           self._executor.submit(self._run, spec))
+                self._jobs[key] = job
+        return job.describe()
+
+    # -- job table reads -------------------------------------------------------
+
+    def job(self, key: str) -> Optional[_Job]:
+        with self._lock:
+            return self._jobs.get(key)
+
+    def result(self, key: str,
+               timeout: float = RESULT_TIMEOUT_S) -> Optional[dict]:
+        """The finished record for ``key``; blocks while the job runs.
+
+        Returns None for an unknown key; re-raises the job's exception if
+        it failed; raises :class:`concurrent.futures.TimeoutError` when
+        the job outlives ``timeout``.
+        """
+        job = self.job(key)
+        if job is None:
+            return None
+        return job.future.result(timeout=timeout)
+
+    def stats(self) -> dict:
+        with self._lock:
+            jobs = [job.describe() for job in self._jobs.values()]
+        states: dict[str, int] = {}
+        for job in jobs:
+            states[job["state"]] = states.get(job["state"], 0) + 1
+        return {
+            "submitted": self.submitted,
+            "dedup_inflight": self.dedup_inflight,
+            "dedup_done": self.dedup_done,
+            "jobs": states,
+            "workbench": self.workbench.stats(),
+        }
+
+    def shutdown(self) -> None:
+        self._executor.shutdown(wait=True)
+        self.workbench.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Maps the JSON protocol onto a :class:`JobService` (``server.service``)."""
+
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------------
+
+    @property
+    def service(self) -> JobService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if urlparse(self.path).path != "/submit":
+            return self._error(404, f"no such endpoint: {self.path}")
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            data = json.loads(self.rfile.read(length).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return self._error(400, f"undecodable request body: {exc}")
+        if isinstance(data, dict) and isinstance(data.get("spec"), dict):
+            data = data["spec"]
+        if not isinstance(data, dict):
+            return self._error(400, "expected a spec object")
+        try:
+            job = self.service.submit(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            return self._error(400, f"invalid spec: {exc}")
+        self._reply(200, job)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        if url.path == "/healthz":
+            return self._reply(200, {"ok": True})
+        if url.path == "/stats":
+            return self._reply(200, self.service.stats())
+        if len(parts) == 2 and parts[0] == "status":
+            job = self.service.job(parts[1])
+            if job is None:
+                return self._error(404, f"unknown job key {parts[1]!r}")
+            return self._reply(200, job.describe())
+        if len(parts) == 2 and parts[0] == "result":
+            query = parse_qs(url.query)
+            try:
+                timeout = float(query.get("timeout", [RESULT_TIMEOUT_S])[0])
+            except ValueError:
+                return self._error(400, "timeout must be a number")
+            try:
+                record = self.service.result(parts[1], timeout=timeout)
+            except FutureTimeout:
+                return self._error(
+                    504, f"job {parts[1]!r} still running after {timeout}s")
+            except Exception as exc:  # job raised: surface it to the client
+                return self._error(500, f"job failed: {exc}")
+            if record is None:
+                return self._error(404, f"unknown job key {parts[1]!r}")
+            return self._reply(200, record)
+        return self._error(404, f"no such endpoint: {url.path}")
+
+
+def build_httpd(service: JobService, host: str = "127.0.0.1",
+                port: int = 8400) -> ThreadingHTTPServer:
+    """A ready-to-serve HTTP server bound to ``service`` (port 0 = ephemeral)."""
+    httpd = ThreadingHTTPServer((host, port), _Handler)
+    httpd.service = service  # type: ignore[attr-defined]
+    return httpd
+
+
+def serve(store_dir: Optional[str], host: str = "127.0.0.1",
+          port: int = 8400, workers: int = 2) -> None:
+    """Run the job service until interrupted (the ``repro serve`` command)."""
+    service = JobService(store_dir, workers=workers)
+    httpd = build_httpd(service, host, port)
+    bound = httpd.server_address
+    print(f"repro job service on http://{bound[0]}:{bound[1]} "
+          f"(store: {store_dir or 'none — in-memory session only'})")
+    try:
+        httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        httpd.server_close()
+        service.shutdown()

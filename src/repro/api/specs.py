@@ -310,6 +310,11 @@ class ScenarioSpec:
             ``plan.seed``).
         workers: Sharded-kernel worker count — an execution knob,
             excluded from :meth:`content_key` like :class:`SimSpec`'s.
+        plan_cache: Directory of the persistent lowering-plan store, as
+            in :class:`SimSpec` — the golden and every faulted run
+            hydrate their lowering plans from it, so a repeated scenario
+            matrix in a fresh session lowers nothing.  An execution knob,
+            excluded from :meth:`content_key`.
     """
 
     app: str
@@ -322,8 +327,12 @@ class ScenarioSpec:
     loss: float = 0.0
     seed: int = 0
     workers: int = 1
+    plan_cache: Optional[str] = None
 
     def __post_init__(self):
+        if self.plan_cache is not None:
+            # PathLike in, plain string out: specs stay JSON-serializable.
+            object.__setattr__(self, "plan_cache", os.fspath(self.plan_cache))
         object.__setattr__(self, "variants", tuple(self.variants))
         _check_app(self.app)
         if not self.variants:
@@ -384,8 +393,9 @@ class ScenarioSpec:
                 for variant in self.variants]
 
     def content_key(self) -> str:
-        # ``workers`` is excluded for the same reason as in SimSpec: the
-        # verdict matrix is bit-identical at every worker count.
+        # ``workers`` and ``plan_cache`` are excluded for the same reason
+        # as in SimSpec: the verdict matrix is bit-identical at every
+        # worker count and with or without hydrated lowering plans.
         return _digest({
             "schema": SCHEMA_VERSION,
             "kind": "scenario",
@@ -406,7 +416,7 @@ class ScenarioSpec:
                 "node_count": self.node_count, "seconds": self.seconds,
                 "traffic": self.traffic, "topology": self.topology,
                 "loss": self.loss, "seed": self.seed,
-                "workers": self.workers}
+                "workers": self.workers, "plan_cache": self.plan_cache}
 
     @classmethod
     def from_dict(cls, data: dict) -> "ScenarioSpec":
@@ -419,4 +429,33 @@ class ScenarioSpec:
                    topology=data.get("topology", "chain"),
                    loss=data.get("loss", 0.0),
                    seed=data.get("seed", 0),
-                   workers=data.get("workers", 1))
+                   workers=data.get("workers", 1),
+                   plan_cache=data.get("plan_cache"))
+
+
+#: ``to_dict()["kind"]`` → spec class, the job service's dispatch table.
+SPEC_KINDS = {
+    "build": BuildSpec,
+    "sweep": SweepSpec,
+    "sim": SimSpec,
+    "scenario": ScenarioSpec,
+}
+
+
+def spec_from_dict(data: dict):
+    """Rebuild any spec from its ``to_dict()`` form, dispatching on ``kind``.
+
+    The job service's single deserialization entry point: one JSON object
+    over the wire names any of the four request kinds.  Unknown kinds
+    raise :class:`ValueError`; field validation then happens in the spec
+    constructor as usual.
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"spec must be a JSON object, got "
+                        f"{type(data).__name__}")
+    kind = data.get("kind")
+    cls = SPEC_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown spec kind {kind!r}; known: "
+                         f"{sorted(SPEC_KINDS)}")
+    return cls.from_dict(data)

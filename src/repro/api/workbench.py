@@ -37,6 +37,7 @@ from typing import Callable, Optional, Union
 
 from repro.api.records import BuildRecord, ScenarioRecord, SimRecord
 from repro.api.specs import (
+    SCHEMA_VERSION,
     TRAFFIC_BASE,
     TRAFFIC_DEFAULT,
     BuildSpec,
@@ -47,11 +48,13 @@ from repro.api.specs import (
 from repro.avrora.network import Channel, Network, TrafficGenerator
 from repro.avrora.node import Node
 from repro.nesc.application import Application
+from repro.store import ArtifactStore, snapshot_key
 from repro.tinyos import suite
 from repro.toolchain.config import BuildVariant
 from repro.toolchain.contexts import duty_cycle_context
+from repro.toolchain.passes import executed_pass_count
 from repro.toolchain.pipeline import BuildResult
-from repro.toolchain.sweep import SweepRunner
+from repro.toolchain.sweep import SweepRunner, persistent_prefixes
 from repro.toolchain.variants import all_variant_names, variant_by_name
 
 
@@ -100,6 +103,51 @@ def is_registered_variant(variant: BuildVariant) -> bool:
         return False
 
 
+def plan_store_attach(plan_cache: Optional[str], build_key: str,
+                      program) -> Optional[tuple]:
+    """Hydrate a program's code cache from a persistent plan store.
+
+    Shared by :meth:`Workbench.simulate` and the scenario runner's golden
+    and faulted runs.  Returns ``(store, key)`` for
+    :func:`plan_store_persist` to write back into, or None when no plan
+    cache is configured.
+    """
+    if plan_cache is None:
+        return None
+    from repro.avrora.codestore import PlanStore, plan_key
+
+    store = PlanStore(plan_cache)
+    key = plan_key(build_key, program.platform)
+    payload = store.load(key)
+    if payload is not None:
+        program.analysis().code_cache().hydrate_portable(program, payload)
+    return store, key
+
+
+def plan_store_persist(attach: Optional[tuple], program) -> dict:
+    """Persist the (now fully lowered) plans and assemble the record's
+    ``code_cache`` telemetry dictionary."""
+    cache = program.analysis().code_cache()
+    telemetry: dict = dict(cache.stats())
+    if attach is None:
+        return telemetry
+    store, key = attach
+    # Freshly lowered plans (a cold start, or functions the artifact
+    # did not cover) are worth persisting; an already-complete warm
+    # start skips the write.  ``cache.costs is None`` means nothing
+    # was lowered at all (tree engine) — nothing to persist.
+    if cache.costs is not None and cache.lowerings > 0:
+        cache.lower_all(program, cache.costs)
+        payload = cache.export_portable(program)
+        if payload is not None:
+            store.store(key, payload)
+    telemetry.update(
+        {f"store_{name}": value
+         for name, value in store.stats().items()},
+        store_dir=store.root)
+    return telemetry
+
+
 class Workbench:
     """Cache-routed execution engine for builds, sweeps and simulations.
 
@@ -108,12 +156,23 @@ class Workbench:
             snapshots (disable only to benchmark the unshared baseline).
         processes: Default worker-process count for :meth:`submit`
             (defaults to ``min(4, cpu_count)`` at submit time).
+        store: Persistent artifact store — a directory path or a
+            :class:`repro.store.ArtifactStore` — shared across sessions.
+            Records are looked up there before any pass runs (a warm hit
+            executes nothing, proven by :meth:`stats`), newly built
+            records and persistent prefix snapshots are written back, and
+            a novel variant of a known application resumes from a stored
+            front-end snapshot instead of re-flattening.
     """
 
     def __init__(self, *, share_front_end: bool = True,
-                 processes: Optional[int] = None):
+                 processes: Optional[int] = None,
+                 store: Union[str, os.PathLike, ArtifactStore, None] = None):
         self.share_front_end = share_front_end
         self.processes = processes
+        if store is not None and not isinstance(store, ArtifactStore):
+            store = ArtifactStore(os.fspath(store), schema=SCHEMA_VERSION)
+        self.store: Optional[ArtifactStore] = store
         self._records: dict[str, BuildRecord] = {}
         self._results: dict[str, BuildResult] = {}
         self._sim_records: dict[str, SimRecord] = {}
@@ -123,13 +182,26 @@ class Workbench:
         # its golden-run fingerprint cache spans scenarios.
         self._scenario_runner = None
         self._snapshots: dict[str, dict] = {}
+        # Snapshot-store keys already persisted (or hydrated) this session,
+        # so repeat builds do not rewrite identical entries.
+        self._snapshot_keys_done: set[str] = set()
         # Unregistered builds (custom Application objects / ad-hoc variants)
         # have no content key; they are memoized by identity for the session,
         # pinning the application object so ``id`` stays unambiguous.
         self._unregistered: dict[tuple, tuple[object, BuildResult]] = {}
         self._object_snapshots: dict[int, dict[str, dict]] = {}
         self._lock = threading.Lock()
+        # Serializes the heavy execution paths (pass pipelines, network
+        # runs) so concurrent driving threads — the job service runs each
+        # request on its own thread — never race on the shared snapshot
+        # store or a shared program.  Re-entrant because simulations and
+        # scenarios build through the same engine on the same thread.
+        self._execute_lock = threading.RLock()
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._builds_executed = 0
+        self._simulations_executed = 0
+        self._scenarios_executed = 0
+        self._passes_at_init = executed_pass_count()
 
     # -- introspection ---------------------------------------------------------
 
@@ -173,7 +245,8 @@ class Workbench:
             record = self._records.get(key)
         if record is not None:
             return record
-        self._execute([spec])
+        if self._missing_after_store([spec]):
+            self._execute([spec])
         with self._lock:
             return self._records[key]
 
@@ -192,6 +265,9 @@ class Workbench:
             result = self._results.get(key)
         if result is not None:
             return result
+        # The artifact store holds records, not live programs — a full
+        # result always builds in-process (resuming from any stored
+        # front-end snapshot of the application).
         self._execute([spec])
         with self._lock:
             return self._results[key]
@@ -211,6 +287,7 @@ class Workbench:
         with self._lock:
             missing = [s for s in specs
                        if s.content_key() not in self._records]
+        missing = self._missing_after_store(missing)
         if missing:
             self._execute(missing)
         with self._lock:
@@ -231,12 +308,16 @@ class Workbench:
             with self._lock:
                 missing = [s for s in specs
                            if s.content_key() not in self._records]
-            for variant_names, apps in self._grouped(missing):
-                runner = SweepRunner(
-                    apps, [variant_by_name(name) for name in variant_names],
-                    share_front_end=self.share_front_end, processes=workers)
-                for build in runner.run():
-                    self._admit(build)
+            missing = self._missing_after_store(missing)
+            with self._execute_lock:
+                for variant_names, apps in self._grouped(missing):
+                    runner = SweepRunner(
+                        apps,
+                        [variant_by_name(name) for name in variant_names],
+                        share_front_end=self.share_front_end,
+                        processes=workers)
+                    for build in runner.run():
+                        self._admit(build)
             with self._lock:
                 return [self._records[s.content_key()] for s in specs]
 
@@ -267,10 +348,11 @@ class Workbench:
             cached = self._unregistered.get(key)
         if cached is not None:
             return cached[1]
-        runner = SweepRunner([app], [variant],
-                             share_front_end=self.share_front_end,
-                             snapshot_store=store)
-        build = runner.run().builds[0]
+        with self._execute_lock:
+            runner = SweepRunner([app], [variant],
+                                 share_front_end=self.share_front_end,
+                                 snapshot_store=store)
+            build = runner.run().builds[0]
         with self._lock:
             self._unregistered[key] = (app, build.result)
             if not isinstance(app, str):
@@ -283,47 +365,6 @@ class Workbench:
 
     # -- simulation ------------------------------------------------------------
 
-    @staticmethod
-    def _plan_store_attach(spec: SimSpec, program) -> Optional[tuple]:
-        """Hydrate the program's code cache from the spec's persistent
-        plan store (if any); returns ``(store, key)`` for :meth:`simulate`
-        to persist back into, or None when no store is configured.
-        """
-        if spec.plan_cache is None:
-            return None
-        from repro.avrora.codestore import PlanStore, plan_key
-
-        store = PlanStore(spec.plan_cache)
-        key = plan_key(spec.build_spec().content_key(), program.platform)
-        payload = store.load(key)
-        if payload is not None:
-            program.analysis().code_cache().hydrate_portable(program, payload)
-        return store, key
-
-    @staticmethod
-    def _plan_store_persist(attach: Optional[tuple], program) -> dict:
-        """Persist the (now fully lowered) plans and assemble the record's
-        ``code_cache`` telemetry dictionary."""
-        cache = program.analysis().code_cache()
-        telemetry: dict = dict(cache.stats())
-        if attach is None:
-            return telemetry
-        store, key = attach
-        # Freshly lowered plans (a cold start, or functions the artifact
-        # did not cover) are worth persisting; an already-complete warm
-        # start skips the write.  ``cache.costs is None`` means nothing
-        # was lowered at all (tree engine) — nothing to persist.
-        if cache.costs is not None and cache.lowerings > 0:
-            cache.lower_all(program, cache.costs)
-            payload = cache.export_portable(program)
-            if payload is not None:
-                store.store(key, payload)
-        telemetry.update(
-            {f"store_{name}": value
-             for name, value in store.stats().items()},
-            store_dir=store.root)
-        return telemetry
-
     def simulate(self, spec: SimSpec) -> SimRecord:
         """Build (memoized) and simulate one application; returns a record.
 
@@ -332,25 +373,34 @@ class Workbench:
         statistics land in the record.  With ``spec.plan_cache`` set, the
         program's lowering plans are hydrated from the persistent store
         before the run (a warm start performs zero lowerings — including
-        the sharded kernel's pre-fork warm) and persisted after it.
+        the sharded kernel's pre-fork warm) and persisted after it.  With
+        a session :attr:`store`, a previously recorded identical spec is
+        served straight from disk — no build, no simulation.
         """
         key = spec.content_key()
         with self._lock:
             cached = self._sim_records.get(key)
         if cached is not None:
             return cached
-        result = self.build_result(spec.build_spec())
-        attach = self._plan_store_attach(spec, result.program)
-        traffic = duty_cycle_context(spec.app) \
-            if spec.traffic in (TRAFFIC_DEFAULT, TRAFFIC_BASE) else None
-        channel = Channel(topology=spec.topology, loss=spec.loss,
-                          seed=spec.seed)
-        network = run_network(
-            result.program, seconds=spec.seconds,
-            node_count=spec.node_count, traffic=traffic, channel=channel,
-            traffic_first_node_only=(spec.traffic == TRAFFIC_BASE),
-            workers=spec.workers)
-        code_cache = self._plan_store_persist(attach, result.program)
+        stored = self._record_from_store(key, SimRecord.from_dict)
+        if stored is not None:
+            with self._lock:
+                return self._sim_records.setdefault(key, stored)
+        with self._execute_lock:
+            result = self.build_result(spec.build_spec())
+            attach = plan_store_attach(
+                spec.plan_cache, spec.build_spec().content_key(),
+                result.program)
+            traffic = duty_cycle_context(spec.app) \
+                if spec.traffic in (TRAFFIC_DEFAULT, TRAFFIC_BASE) else None
+            channel = Channel(topology=spec.topology, loss=spec.loss,
+                              seed=spec.seed)
+            network = run_network(
+                result.program, seconds=spec.seconds,
+                node_count=spec.node_count, traffic=traffic, channel=channel,
+                traffic_first_node_only=(spec.traffic == TRAFFIC_BASE),
+                workers=spec.workers)
+            code_cache = plan_store_persist(attach, result.program)
         stats = network.node_stats()
         record = SimRecord(
             app=spec.app,
@@ -375,7 +425,11 @@ class Workbench:
             code_cache=code_cache,
         )
         with self._lock:
-            return self._sim_records.setdefault(key, record)
+            self._simulations_executed += 1
+            record = self._sim_records.setdefault(key, record)
+        if self.store is not None:
+            self.store.store_record(key, record.to_dict())
+        return record
 
     # -- scenarios -------------------------------------------------------------
 
@@ -395,12 +449,17 @@ class Workbench:
             cached = self._scenario_records.get(key)
         if cached is not None:
             return cached
+        stored = self._record_from_store(key, ScenarioRecord.from_dict)
+        if stored is not None:
+            with self._lock:
+                return self._scenario_records.setdefault(key, stored)
         with self._lock:
             if self._scenario_runner is None:
                 from repro.scenarios.runner import ScenarioRunner
                 self._scenario_runner = ScenarioRunner(self)
             runner = self._scenario_runner
-        outcome = runner.run(spec)
+        with self._execute_lock:
+            outcome = runner.run(spec)
         record = ScenarioRecord(
             app=spec.app,
             content_key=key,
@@ -416,7 +475,11 @@ class Workbench:
             workers=spec.workers,
         )
         with self._lock:
-            return self._scenario_records.setdefault(key, record)
+            self._scenarios_executed += 1
+            record = self._scenario_records.setdefault(key, record)
+        if self.store is not None:
+            self.store.store_record(key, record.to_dict())
+        return record
 
     # -- engine ----------------------------------------------------------------
 
@@ -436,14 +499,28 @@ class Workbench:
         return list(groups.items())
 
     def _execute(self, specs: list[BuildSpec]) -> None:
-        """Run builds in-process via the sweep runner and admit the results."""
-        for variant_names, apps in self._grouped(specs):
-            runner = SweepRunner(
-                apps, [variant_by_name(name) for name in variant_names],
-                share_front_end=self.share_front_end,
-                snapshot_store=self._snapshots)
-            for build in runner.run():
-                self._admit(build)
+        """Run builds in-process via the sweep runner and admit the results.
+
+        With a session :attr:`store`, each application's persistent prefix
+        snapshots are hydrated from disk first (so even a cold session
+        skips the nesC front end for known applications) and any snapshots
+        this execution minted are persisted back afterwards.
+        """
+        with self._execute_lock:
+            for variant_names, apps in self._grouped(specs):
+                variants = [variant_by_name(name) for name in variant_names]
+                if self.store is not None:
+                    for app in apps:
+                        self._hydrate_snapshots(app, variants)
+                runner = SweepRunner(
+                    apps, variants,
+                    share_front_end=self.share_front_end,
+                    snapshot_store=self._snapshots)
+                for build in runner.run():
+                    self._admit(build)
+                if self.store is not None:
+                    for app in apps:
+                        self._persist_snapshots(app, variants)
 
     def _admit(self, build) -> None:
         """Merge one :class:`~repro.toolchain.sweep.SweepBuild` into the caches."""
@@ -458,6 +535,7 @@ class Workbench:
                                           passes=passes,
                                           wall_time_s=wall_time_s)
         with self._lock:
+            self._builds_executed += 1
             existing = self._records.get(key)
             if existing is None or (not existing.passes and passes):
                 # First admission wins, except that an in-process rebuild
@@ -466,6 +544,124 @@ class Workbench:
                 self._records[key] = record
             if build.result is not None and key not in self._results:
                 self._results[key] = build.result
+            admitted = self._records[key]
+        if self.store is not None:
+            self.store.store_record(key, admitted.to_dict())
+
+    # -- artifact store --------------------------------------------------------
+
+    def _record_from_store(self, key: str, loader) -> Optional[object]:
+        """One record from the artifact store, deserialized, or None."""
+        if self.store is None:
+            return None
+        payload = self.store.load_record(key)
+        if payload is None:
+            return None
+        return loader(payload)
+
+    def _missing_after_store(self, specs: list[BuildSpec]) -> list[BuildSpec]:
+        """Admit store-served build records; return the specs still missing.
+
+        This is the warm-hit fast path: a spec served here executes zero
+        passes and zero lowerings (:meth:`stats` proves it).
+        """
+        if self.store is None:
+            return list(specs)
+        missing: list[BuildSpec] = []
+        for spec in specs:
+            key = spec.content_key()
+            record = self._record_from_store(key, BuildRecord.from_dict)
+            if record is None:
+                missing.append(spec)
+                continue
+            with self._lock:
+                self._records.setdefault(key, record)
+        return missing
+
+    def _snapshot_entries(self, app: str,
+                          variants: list[BuildVariant]) -> list[tuple]:
+        """(store key, prefix) for every persistent snapshot point."""
+        entries: list[tuple] = []
+        seen: set[tuple[str, ...]] = set()
+        for variant in variants:
+            for prefix in persistent_prefixes(variant):
+                if prefix in seen:
+                    continue
+                seen.add(prefix)
+                entries.append(
+                    (snapshot_key(app, prefix, SCHEMA_VERSION), prefix))
+        return entries
+
+    def _hydrate_snapshots(self, app: str,
+                           variants: list[BuildVariant]) -> None:
+        """Fill the session snapshot store from disk before building.
+
+        Builds resume from the *longest* snapshotted prefix, so for each
+        variant disk is probed longest-first and the probe stops at the
+        first hit — shorter prefixes could never be resumed from anyway.
+        """
+        snapshots = self._snapshots.setdefault(app, {})
+        for variant in variants:
+            for prefix in reversed(persistent_prefixes(variant)):
+                if prefix in snapshots:
+                    break  # the longest available prefix wins
+                key = snapshot_key(app, prefix, SCHEMA_VERSION)
+                if key in self._snapshot_keys_done:
+                    continue
+                payload = self.store.load_snapshot(key)
+                # Hit or miss, never consult disk for this key again: a
+                # miss means the build right below mints (and persists)
+                # the snapshot itself.
+                self._snapshot_keys_done.add(key)
+                if payload is not None:
+                    snapshots[prefix] = payload
+                    break
+
+    def _persist_snapshots(self, app: str,
+                           variants: list[BuildVariant]) -> None:
+        """Write snapshots this session minted at persistent points."""
+        snapshots = self._snapshots.get(app, {})
+        for key, prefix in self._snapshot_entries(app, variants):
+            snapshot = snapshots.get(prefix)
+            if snapshot is None:
+                continue
+            if key in self._snapshot_keys_done and \
+                    self.store.has_snapshot(key):
+                continue
+            self.store.store_snapshot(key, snapshot)
+            self._snapshot_keys_done.add(key)
+
+    # -- telemetry -------------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Counter-proof of what this session actually executed.
+
+        ``passes_executed`` counts passes run by this process since the
+        workbench was constructed (prefix-snapshot resumes and store hits
+        never run a pass), ``lowerings`` counts simulator front-end
+        lowerings across the session's live programs, and ``store`` is
+        the artifact store's hit/miss/store/eviction counters.  A warm
+        store serving a previously recorded spec shows zeros across the
+        board — that is the claim the CI smoke legs assert.
+        """
+        with self._lock:
+            results = list(self._results.values())
+            counters = {
+                "builds_executed": self._builds_executed,
+                "simulations_executed": self._simulations_executed,
+                "scenarios_executed": self._scenarios_executed,
+            }
+            store_stats = dict(self.store.stats()) \
+                if self.store is not None else {}
+        lowerings = 0
+        for result in results:
+            lowerings += result.program.analysis().code_cache().lowerings
+        return {
+            "passes_executed": executed_pass_count() - self._passes_at_init,
+            **counters,
+            "lowerings": lowerings,
+            "store": store_stats,
+        }
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -483,6 +679,7 @@ class Workbench:
             self._scenario_records.clear()
             self._scenario_runner = None
             self._snapshots.clear()
+            self._snapshot_keys_done.clear()
             self._unregistered.clear()
             self._object_snapshots.clear()
 

@@ -624,9 +624,21 @@ ProgramAnalysisCache` (see :meth:`code_cache
             func = program.lookup_function(name)
             if func is None:
                 continue
-            order = [s.node_id for s in walk_statements(func.body)]
+            slots = data["slots"]
+            order = []
+            names_match = True
+            for stmt in walk_statements(func.body):
+                order.append(stmt.node_id)
+                # Compilation frames resolve declarations through the
+                # plan's slot map — a declaration the artifact does not
+                # name (e.g. differently numbered inliner temps) means
+                # the artifact came from a different lowering of this
+                # function; reject it and lower lazily.
+                if isinstance(stmt, ast.VarDecl) and stmt.name not in slots:
+                    names_match = False
+                    break
             flat_costs = data["stmt_costs"]
-            if len(order) != len(flat_costs):
+            if not names_match or len(order) != len(flat_costs):
                 continue
             plan = FunctionPlan(
                 name,

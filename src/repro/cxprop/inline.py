@@ -15,6 +15,7 @@ early returns are left alone.
 from __future__ import annotations
 
 import itertools
+import re
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -44,7 +45,28 @@ DEFAULT_CALLER_LIMIT = 400
 #: call so failure identifiers remain recognizable and code stays small).
 NEVER_INLINE = {"__ccured_fail"}
 
-_temp_counter = itertools.count(1)
+_MARKER_RE = re.compile(r"__(?:inl|call)(\d+)")
+
+
+def _temp_markers(program: Program):
+    """A fresh temp-name counter, deterministic per program content.
+
+    Temp names (``__callN`` hoists, ``__inlN_x`` inlined locals) must be a
+    pure function of the program being transformed — not of how many other
+    programs this process transformed before it — or two builds of one
+    spec in one process diverge, and portable code-cache artifacts
+    (:meth:`repro.avrora.engine.CodeCache.export_portable`) written by one
+    build would name slots the next build's AST does not contain.  The
+    counter restarts above any marker already present, so re-running a
+    transform on an already-transformed program never reuses a name.
+    """
+    highest = 0
+    for func in program.iter_functions():
+        for name in local_types(func):
+            match = _MARKER_RE.match(name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+    return itertools.count(highest + 1)
 
 
 @dataclass
@@ -96,14 +118,16 @@ def normalize_calls(program: Program) -> int:
     Returns the number of calls hoisted.
     """
     hoisted = 0
+    counter = _temp_markers(program)
     for func in program.iter_functions():
-        hoisted += _normalize_function(program, func)
+        hoisted += _normalize_function(program, func, counter)
     if hoisted:
         check_program(program)
     return hoisted
 
 
-def _normalize_function(program: Program, func: ast.FunctionDef) -> int:
+def _normalize_function(program: Program, func: ast.FunctionDef,
+                        counter) -> int:
     hoisted = 0
 
     def rewrite(stmt: ast.Stmt):
@@ -119,7 +143,7 @@ def _normalize_function(program: Program, func: ast.FunctionDef) -> int:
             callee = program.lookup_function(expr.callee)
             if callee is None or callee.return_type.is_void():
                 return expr
-            temp_name = f"__call{next(_temp_counter)}"
+            temp_name = f"__call{next(counter)}"
             decl = ast.VarDecl(temp_name, callee.return_type, expr)
             decl.loc = expr.loc
             prefix.append(decl)
@@ -224,6 +248,8 @@ class Inliner:
 
     def run(self) -> InlineReport:
         self.report.calls_hoisted = normalize_calls(self.program)
+        # Seeded after normalization so the floor covers its __call temps.
+        self._temp_counter = _temp_markers(self.program)
         order = self.graph.bottom_up_order()
         # Process callers bottom-up so that inlined code is itself fully
         # inlined already (one pass gives transitive inlining).
@@ -273,7 +299,7 @@ class Inliner:
     def _expand(self, caller: ast.FunctionDef, stmt: ast.Stmt, call: ast.Call,
                 target: Optional[ast.Expr],
                 callee: ast.FunctionDef) -> list[ast.Stmt]:
-        marker = next(_temp_counter)
+        marker = next(self._temp_counter)
         rename = {}
         for param in callee.params:
             rename[param.name] = f"__inl{marker}_{param.name}"

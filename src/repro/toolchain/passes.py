@@ -263,6 +263,17 @@ class BuildTrace:
 #: executed pass.  Used by tests and ad-hoc tracing.
 PassObserver = Callable[[Pass, PassReport, PassContext], None]
 
+#: Process-wide count of passes *actually executed* by any PassManager.
+#: Passes replayed from a prefix snapshot never run, so they never count —
+#: which is what makes this the honest "did the store/front-end cache do
+#: its job" probe behind ``Workbench.stats()["passes_executed"]``.
+_EXECUTED_PASSES = 0
+
+
+def executed_pass_count() -> int:
+    """Total passes executed in this process (monotonic; compare deltas)."""
+    return _EXECUTED_PASSES
+
 
 class PassManager:
     """Executes a pass list over a :class:`PassContext`.
@@ -282,9 +293,11 @@ class PassManager:
         self.observer = observer
 
     def run(self, ctx: PassContext) -> BuildTrace:
+        global _EXECUTED_PASSES
         trace = BuildTrace()
         started = time.perf_counter()
         for pass_ in self.passes:
+            _EXECUTED_PASSES += 1
             before = self._snapshot(ctx.program)
             t0 = time.perf_counter()
             outcome = pass_.run(ctx.program, ctx)

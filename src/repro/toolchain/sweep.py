@@ -154,6 +154,21 @@ def _persistent_points(plans: Sequence[_Plan]) -> set[tuple[str, ...]]:
     return points
 
 
+def persistent_prefixes(variant: BuildVariant) -> list[tuple[str, ...]]:
+    """One variant's persistent snapshot points, shortest prefix first.
+
+    These are the pass-list prefixes a cross-call (or cross-session —
+    :class:`repro.store.ArtifactStore` persists them to disk) snapshot
+    store keeps alive for the variant: every prefix ending at a nesC
+    front-end or CCured stage.  A build of the variant resumes from the
+    longest such prefix present in the store.
+    """
+    passes = variant_passes(variant)
+    keys = tuple(pass_.cache_key(variant) for pass_ in passes)
+    plan = _Plan(variant, passes, keys)
+    return sorted(_persistent_points([plan]), key=len)
+
+
 def _build_one_app(app_name: str, variants: Sequence[BuildVariant],
                    share_front_end: bool, keep_results: bool,
                    measure_sizes: bool = False,

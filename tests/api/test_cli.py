@@ -132,3 +132,53 @@ class TestFiguresCommand:
         assert row["application"] == "BlinkTask_Mica2"
         assert row["baseline"] > 0
         assert row["safe-optimized"] is not None
+
+
+class TestStoreFlag:
+    def test_warm_build_executes_nothing(self, tmp_path):
+        store = str(tmp_path / "artifacts")
+        status, _ = run_cli("build", "BlinkTask_Mica2", "--store", store)
+        assert status == 0
+
+        status, output = run_cli("build", "BlinkTask_Mica2",
+                                 "--store", store, "--stats", "--json")
+        assert status == 0
+        payload = json.loads(output)
+        stats = payload["stats"]
+        assert stats["passes_executed"] == 0
+        assert stats["builds_executed"] == 0
+        assert stats["lowerings"] == 0
+        assert stats["store"]["record_hits"] == 1
+        BuildRecord.from_dict(payload["record"])  # round-trippable
+
+    def test_cold_and_warm_emit_byte_identical_records(self, tmp_path):
+        store = str(tmp_path / "artifacts")
+        _, cold = run_cli("build", "BlinkTask_Mica2", "--json",
+                          "--store", store)
+        _, warm = run_cli("build", "BlinkTask_Mica2", "--json",
+                          "--store", store)
+        assert cold == warm
+
+    def test_stats_table_mode_prints_counters(self, tmp_path):
+        store = str(tmp_path / "artifacts")
+        run_cli("build", "BlinkTask_Mica2", "--store", store)
+        status, output = run_cli("build", "BlinkTask_Mica2",
+                                 "--store", store, "--stats")
+        assert status == 0
+        assert "executed   : 0 passes" in output
+        assert "1 record hit(s)" in output
+
+    def test_gc_command_reports_and_evicts(self, tmp_path):
+        store = str(tmp_path / "artifacts")
+        run_cli("build", "BlinkTask_Mica2", "--store", store)
+        status, output = run_cli("gc", "--store", store, "--json")
+        assert status == 0
+        report = json.loads(output)
+        assert report["entries"] > 0 and report["evicted"] == 0
+
+        status, output = run_cli("gc", "--store", store,
+                                 "--budget-bytes", "1", "--json")
+        assert status == 0
+        report = json.loads(output)
+        assert report["evicted"] > 0
+        assert report["bytes_after"] <= 1

@@ -1,0 +1,190 @@
+"""Job service over HTTP: dedup, store sharing, protocol errors, CLI client."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.api.cli import main
+from repro.api.client import RemoteClient, RemoteError
+from repro.api.records import BuildRecord
+from repro.api.server import JobService, build_httpd
+from repro.api.specs import BuildSpec, SimSpec, spec_from_dict
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = JobService(str(tmp_path / "artifacts"), workers=4)
+    yield service
+    service.shutdown()
+
+
+@pytest.fixture
+def client(service):
+    httpd = build_httpd(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield RemoteClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+    httpd.shutdown()
+    httpd.server_close()
+
+
+BUILD = BuildSpec(app="BlinkTask_Mica2", variant="safe-flid")
+
+
+class TestSpecFromDict:
+    def test_round_trips_every_kind(self):
+        for spec in (BUILD, SimSpec(app="BlinkTask_Mica2", seconds=0.05)):
+            assert spec_from_dict(spec.to_dict()) == spec
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown spec kind"):
+            spec_from_dict({"kind": "nonsense"})
+
+    def test_non_dict_raises(self):
+        with pytest.raises(TypeError):
+            spec_from_dict(["not", "a", "dict"])
+
+
+class TestProtocol:
+    def test_healthz(self, client):
+        assert client.healthz()
+
+    def test_submit_status_result_roundtrip(self, client):
+        job = client.submit(BUILD)
+        assert job["key"] == BUILD.content_key()
+        assert job["kind"] == "build"
+        record = BuildRecord.from_dict(client.result(job["key"]))
+        assert record.app == "BlinkTask_Mica2"
+        assert client.status(job["key"])["state"] == "done"
+
+    def test_bare_spec_dict_accepted(self, client):
+        job = client.submit(BUILD.to_dict())
+        assert job["key"] == BUILD.content_key()
+
+    def test_invalid_spec_is_400(self, client):
+        with pytest.raises(RemoteError) as info:
+            client.submit({"kind": "nonsense"})
+        assert info.value.status == 400
+
+    def test_undecodable_body_is_400(self, client):
+        with pytest.raises(RemoteError) as info:
+            client._request("/submit", body={"spec": "not an object"})
+        assert info.value.status == 400
+
+    def test_unknown_key_is_404(self, client):
+        for path in ("/status/deadbeef", "/result/deadbeef"):
+            with pytest.raises(RemoteError) as info:
+                client._request(path)
+            assert info.value.status == 404
+
+    def test_unknown_endpoint_is_404(self, client):
+        with pytest.raises(RemoteError) as info:
+            client._request("/nope")
+        assert info.value.status == 404
+
+    def test_failing_job_is_500_with_detail(self, service, client,
+                                            monkeypatch):
+        def explode(spec):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(service, "_run", explode)
+        with pytest.raises(RemoteError) as info:
+            client.run(BUILD)
+        assert info.value.status == 500
+        assert "boom" in str(info.value)
+
+
+class TestDeduplication:
+    def test_two_racing_identical_submissions_build_once(self, service,
+                                                         client):
+        results = [None, None]
+
+        def submit(index):
+            results[index] = client.run(BUILD)
+
+        threads = [threading.Thread(target=submit, args=(index,))
+                   for index in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert json.dumps(results[0], sort_keys=True) == \
+            json.dumps(results[1], sort_keys=True)
+        stats = client.stats()
+        assert stats["submitted"] == 2
+        assert stats["dedup_inflight"] + stats["dedup_done"] == 1
+        assert stats["workbench"]["builds_executed"] == 1
+
+    def test_resubmit_after_completion_reuses_the_job(self, client):
+        first = client.run(BUILD)
+        second = client.run(BUILD)
+        assert first == second
+        stats = client.stats()
+        assert stats["dedup_done"] == 1
+        assert stats["workbench"]["builds_executed"] == 1
+
+    def test_failed_job_is_retryable(self, service, client, monkeypatch):
+        original = JobService._run
+        calls: list = []
+
+        def flaky(self, spec):
+            calls.append(spec)
+            if len(calls) == 1:
+                raise RuntimeError("transient")
+            return original(self, spec)
+
+        monkeypatch.setattr(JobService, "_run", flaky)
+        with pytest.raises(RemoteError) as info:
+            client.run(BUILD)
+        assert info.value.status == 500
+        # The resubmission replaced the failed job instead of being
+        # deduplicated onto a poisoned future.
+        record = client.run(BUILD)
+        assert record["app"] == "BlinkTask_Mica2"
+        stats = client.stats()
+        assert stats["submitted"] == 2
+        assert stats["dedup_inflight"] == 0 and stats["dedup_done"] == 0
+
+    def test_server_store_warms_across_service_restarts(self, tmp_path):
+        store = str(tmp_path / "artifacts")
+        first = JobService(store)
+        try:
+            first._run(BUILD)
+            assert first.workbench.stats()["builds_executed"] == 1
+        finally:
+            first.shutdown()
+        second = JobService(store)
+        try:
+            second._run(BUILD)
+            stats = second.workbench.stats()
+            assert stats["builds_executed"] == 0
+            assert stats["passes_executed"] == 0
+        finally:
+            second.shutdown()
+
+
+class TestCliRemote:
+    def test_build_remote_round_trips_the_record(self, client):
+        out = io.StringIO()
+        assert main(["build", "BlinkTask_Mica2", "--variant", "safe-flid",
+                     "--remote", client.base_url, "--json"], out=out) == 0
+        record = BuildRecord.from_dict(json.loads(out.getvalue()))
+        assert record.content_key == BUILD.content_key()
+
+    def test_remote_stats_come_from_the_service(self, client):
+        client.run(BUILD)
+        out = io.StringIO()
+        assert main(["build", "BlinkTask_Mica2", "--variant", "safe-flid",
+                     "--remote", client.base_url, "--json", "--stats"],
+                    out=out) == 0
+        payload = json.loads(out.getvalue())
+        assert payload["stats"]["dedup_done"] == 1
+        assert payload["stats"]["workbench"]["builds_executed"] == 1
+
+    def test_unreachable_service_exits_3(self, capsys):
+        assert main(["build", "BlinkTask_Mica2",
+                     "--remote", "http://127.0.0.1:9",
+                     "--timeout", "1"]) == 3
+        assert "error:" in capsys.readouterr().err
