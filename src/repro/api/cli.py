@@ -10,13 +10,14 @@ Usage::
     python -m repro simulate APP [--variant NAME] [--seconds S]
                           [--nodes N] [--topology T] [--loss P] [--seed N]
                           [--traffic default|base|none] [--workers N]
-                          [--plan-cache DIR] [--json]
+                          [--plan-cache DIR] [--chaos SPEC] [--json]
     python -m repro scenarios APP [--variants V,W,...] [--faults F,G,...]
                           [--nodes N] [--seconds S] [--topology T]
                           [--loss P] [--seed N] [--fault-seed N]
                           [--traffic default|base|none] [--workers N] [--json]
     python -m repro figures [--figure 2|3a|3b|3c] [--apps ...] [--json]
     python -m repro serve [--store DIR] [--host H] [--port P] [--workers N]
+                          [--job-timeout S]
     python -m repro gc --store DIR [--budget-bytes N] [--json]
 
 Every command speaks the ``repro.api`` schemas: ``--json`` emits the
@@ -68,6 +69,7 @@ from repro.api.specs import (
     SweepSpec,
 )
 from repro.api.workbench import Workbench
+from repro.avrora.chaos import ChaosPolicy
 from repro.avrora.network import TOPOLOGIES
 from repro.store import ArtifactStore
 from repro.scenarios.faults import DEFAULT_FAULT_NAMES, FaultPlan, default_fault
@@ -260,6 +262,15 @@ def format_sim_record(record: SimRecord) -> str:
                 f"{shard.get('packets_out', 0)} out boundary packets, "
                 f"sync {shard.get('sync_wait_s', 0.0):.2f}s of "
                 f"{shard.get('wall_s', 0.0):.2f}s wall")
+    recovery = record.recovery
+    if recovery.get("respawns") or recovery.get("checkpoints"):
+        lines.append(
+            f"  recovery   : {recovery.get('respawns', 0)} respawn(s), "
+            f"{recovery.get('replayed_rounds', 0)} round(s) replayed, "
+            f"{recovery.get('checkpoints', 0)} checkpoint(s) "
+            f"({recovery.get('checkpoint_bytes', 0):,} B), "
+            f"{recovery.get('chaos_kills', 0)} chaos kill(s), "
+            f"{recovery.get('recovery_wall_s', 0.0):.2f}s recovering")
     return "\n".join(lines)
 
 
@@ -319,7 +330,8 @@ def cmd_simulate(args, workbench: Workbench, out) -> int:
         node_count=args.nodes, seconds=args.seconds,
         traffic=traffic, topology=args.topology,
         loss=args.loss, seed=args.seed, workers=args.workers,
-        plan_cache=args.plan_cache))
+        plan_cache=args.plan_cache,
+        chaos=ChaosPolicy.parse(args.chaos or "")))
     if args.remote:
         record = SimRecord.from_dict(_remote(args).run(spec))
     else:
@@ -392,7 +404,8 @@ def cmd_scenarios(args, workbench: Workbench, out) -> int:
 def cmd_serve(args, workbench: Workbench, out) -> int:
     from repro.api.server import serve
 
-    serve(args.store, host=args.host, port=args.port, workers=args.workers)
+    serve(args.store, host=args.host, port=args.port, workers=args.workers,
+          job_timeout_s=args.job_timeout)
     return 0
 
 
@@ -514,6 +527,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persist lowered function plans under DIR so a "
                             "repeat run skips the lowering front end "
                             "(bit-identical to running without)")
+    p_sim.add_argument("--chaos", default=None, metavar="SPEC",
+                       help="kill shard workers at chosen window rounds, "
+                            "e.g. '1@3' or '0@5,1@40' (or the JSON form); "
+                            "checkpointed recovery keeps the results "
+                            "bit-identical — requires --workers > 1 to "
+                            "have anything to kill")
     add_json(p_sim)
     add_store(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
@@ -573,6 +592,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="listening port (0 picks an ephemeral one)")
     p_serve.add_argument("--workers", type=int, default=2,
                          help="job executor threads")
+    p_serve.add_argument("--job-timeout", type=float, default=None,
+                         metavar="S",
+                         help="per-job wall-clock limit in seconds; a job "
+                              "exceeding it fails with error_kind=timeout "
+                              "(default: no limit)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_gc = sub.add_parser(

@@ -5,11 +5,24 @@ specs are serialized with their own ``to_dict``, submitted, and the
 resulting record dictionaries are rehydrated by the caller (the spec
 kinds map one-to-one onto record classes).  Only :mod:`urllib.request`
 is used — the client works anywhere the package imports.
+
+Transport failures are retried with exponential backoff and jitter.
+This is safe because the protocol is idempotent end to end: submits are
+deduplicated by content key server-side, and every GET is a pure read,
+so re-sending a request whose response was lost cannot double-run a job.
+Retryable failures are connection-level errors (``URLError``) and the
+5xx statuses a proxy or a draining server emits transiently (500, 502,
+503); a 504 from ``/result`` means "job still running", and 4xx means
+the request itself is wrong — neither is retried.  Exhausted retries and
+malformed responses surface as :class:`RemoteServiceError` carrying the
+URL, the attempt count and the server's retry-after hint.
 """
 
 from __future__ import annotations
 
 import json
+import random
+import time
 import urllib.error
 import urllib.request
 from typing import Optional, Union
@@ -21,6 +34,19 @@ _Spec = Union[BuildSpec, SweepSpec, SimSpec, ScenarioSpec]
 #: Matches the server's default ``/result`` blocking window.
 DEFAULT_TIMEOUT_S = 60.0
 
+#: Default attempt budget per request (the first try plus retries).
+DEFAULT_RETRIES = 3
+
+#: Base delay of the exponential backoff schedule (doubles per attempt,
+#: jittered to half-to-1.5x so synchronized clients fan out).
+DEFAULT_BACKOFF_S = 0.25
+
+#: HTTP statuses worth retrying: transient server-side conditions.  504
+#: is deliberately absent — the service uses it for "result not ready
+#: within the blocking window", which retrying with the same window
+#: would just repeat, and callers handle it as a timeout.
+RETRYABLE_STATUSES = frozenset({500, 502, 503})
+
 
 class RemoteError(RuntimeError):
     """An HTTP-level or job-level failure reported by the job service."""
@@ -30,18 +56,54 @@ class RemoteError(RuntimeError):
         self.status = status
 
 
+class RemoteServiceError(RemoteError):
+    """The service stayed unreachable or unusable after every retry.
+
+    A :class:`RemoteError` (so existing handlers keep working) that
+    additionally records which URL failed, how many attempts were spent,
+    and the server's ``Retry-After`` hint in seconds, when one was sent.
+    """
+
+    def __init__(self, message: str, *, url: str, attempts: int,
+                 status: Optional[int] = None,
+                 retry_after: Optional[float] = None):
+        super().__init__(message, status=status)
+        self.url = url
+        self.attempts = attempts
+        self.retry_after = retry_after
+
+
+def _retry_after_hint(exc: urllib.error.HTTPError) -> Optional[float]:
+    """The server's Retry-After header in seconds, if parseable."""
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None
+
+
 class RemoteClient:
     """Talks JSON to one job service at ``base_url``.
 
     ``run`` is the one-call path the CLI uses: submit, block on the
     result, return the record dict.  ``submit``/``status``/``result``
-    expose the asynchronous protocol directly.
+    expose the asynchronous protocol directly.  ``retries`` and
+    ``backoff_s`` tune the transport retry schedule (``retries=1``
+    disables retrying entirely).
     """
 
     def __init__(self, base_url: str, *,
-                 timeout: float = DEFAULT_TIMEOUT_S):
+                 timeout: float = DEFAULT_TIMEOUT_S,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_s: float = DEFAULT_BACKOFF_S):
+        if retries < 1:
+            raise ValueError(f"retries must be >= 1, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
 
     # -- transport -------------------------------------------------------------
 
@@ -53,28 +115,75 @@ class RemoteClient:
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers)
         # The socket timeout pads the server's own blocking window so the
         # server's 504 arrives before the socket gives up.
         socket_timeout = (timeout if timeout is not None else self.timeout) + 10
-        try:
-            with urllib.request.urlopen(request,
-                                        timeout=socket_timeout) as response:
-                payload = json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as exc:
-            detail = ""
+        last_reason = ""
+        last_status: Optional[int] = None
+        retry_after: Optional[float] = None
+        for attempt in range(1, self.retries + 1):
+            request = urllib.request.Request(url, data=data, headers=headers)
             try:
-                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
-            except (ValueError, UnicodeDecodeError):
-                pass
-            raise RemoteError(
-                f"{url} -> HTTP {exc.code}" + (f": {detail}" if detail else ""),
-                status=exc.code) from exc
-        except urllib.error.URLError as exc:
-            raise RemoteError(f"cannot reach {url}: {exc.reason}") from exc
-        if not isinstance(payload, dict):
-            raise RemoteError(f"{url} returned non-object JSON")
-        return payload
+                with urllib.request.urlopen(
+                        request, timeout=socket_timeout) as response:
+                    raw = response.read()
+            except urllib.error.HTTPError as exc:
+                detail = ""
+                try:
+                    detail = json.loads(
+                        exc.read().decode("utf-8")).get("error", "")
+                except (ValueError, UnicodeDecodeError):
+                    pass
+                if exc.code in RETRYABLE_STATUSES:
+                    last_reason = f"HTTP {exc.code}" \
+                        + (f": {detail}" if detail else "")
+                    last_status = exc.code
+                    retry_after = _retry_after_hint(exc)
+                    self._backoff(attempt, retry_after)
+                    continue
+                raise RemoteError(
+                    f"{url} -> HTTP {exc.code}"
+                    + (f": {detail}" if detail else ""),
+                    status=exc.code) from exc
+            except urllib.error.URLError as exc:
+                last_reason = f"cannot reach service: {exc.reason}"
+                last_status = None
+                retry_after = None
+                self._backoff(attempt, None)
+                continue
+            try:
+                payload = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                # A successful status with an undecodable body is a
+                # broken server or a mangling middlebox, not a transient
+                # condition — retrying the same request would just fetch
+                # the same garbage.
+                raise RemoteServiceError(
+                    f"{url} returned malformed JSON after {attempt} "
+                    f"attempt(s): {exc}",
+                    url=url, attempts=attempt) from exc
+            if not isinstance(payload, dict):
+                raise RemoteServiceError(
+                    f"{url} returned non-object JSON after {attempt} "
+                    f"attempt(s)",
+                    url=url, attempts=attempt)
+            return payload
+        raise RemoteServiceError(
+            f"{url} failed after {self.retries} attempt(s): {last_reason}",
+            url=url, attempts=self.retries, status=last_status,
+            retry_after=retry_after)
+
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> None:
+        """Sleep before the next attempt (no-op after the last one)."""
+        if attempt >= self.retries:
+            return
+        delay = self.backoff_s * (2 ** (attempt - 1))
+        delay *= 0.5 + random.random()  # jitter: 0.5x .. 1.5x
+        if retry_after is not None:
+            # Honor the server's hint when it asks for more patience
+            # than the schedule would grant.
+            delay = max(delay, retry_after)
+        time.sleep(delay)
 
     # -- protocol --------------------------------------------------------------
 

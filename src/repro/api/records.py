@@ -160,6 +160,13 @@ class SimRecord:
             telemetry like ``workers``/``shards``: not part of the
             simulation's identity.  Empty for records predating the
             field.
+        recovery: Fault-tolerance telemetry from the sharded kernel
+            (``Network.recovery_stats``): worker respawns, replayed
+            window rounds, checkpoints shipped and their total bytes,
+            chaos kills consumed, recovery wall time.  All zeros for an
+            undisturbed run; empty for in-process runs and records
+            predating the field.  Execution telemetry — the simulation
+            results are bit-identical whether or not recovery ran.
     """
 
     app: str
@@ -184,6 +191,7 @@ class SimRecord:
     workers: int = 1
     shards: tuple = field(default=(), hash=False)
     code_cache: dict = field(default_factory=dict, hash=False)
+    recovery: dict = field(default_factory=dict, hash=False)
 
     @property
     def duty_cycle(self) -> float:
@@ -217,6 +225,7 @@ class SimRecord:
             "workers": self.workers,
             "shards": [dict(shard) for shard in self.shards],
             "code_cache": dict(self.code_cache),
+            "recovery": dict(self.recovery),
         }
 
     @classmethod
@@ -242,6 +251,7 @@ class SimRecord:
             workers=data.get("workers", 1),
             shards=tuple(dict(shard) for shard in data.get("shards", ())),
             code_cache=dict(data.get("code_cache", {})),
+            recovery=dict(data.get("recovery", {})),
         )
 
 

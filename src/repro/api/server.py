@@ -33,14 +33,31 @@ Protocol (all bodies JSON)::
     GET  /healthz         -> {"ok": true}
 
 Errors: 400 for an undecodable or unknown-kind spec, 404 for an unknown
-key, 504 when a result times out, 500 (with the exception text) when the
-job itself failed.
+key, 504 when a result times out, 500 (with the exception text and a
+failure-taxonomy ``error_kind``) when the job itself failed, 503 with a
+``Retry-After`` hint while the service drains.
+
+**Robustness.**  Jobs can carry a server-side wall-clock limit
+(``job_timeout_s``): a job that outlives it is marked failed with
+``error_kind: "timeout"`` instead of silently occupying a worker slot
+forever (the stuck thread is abandoned — Python threads cannot be
+killed — but the job table moves on and the client gets an answer).
+Failed jobs record a taxonomy — ``timeout`` / ``rejected`` (the spec
+itself was unusable) / ``crashed`` (an unexpected exception) — in their
+descriptions and ``/result`` errors.  ``serve`` installs a SIGTERM
+handler for graceful shutdown: the listener stops accepting, in-flight
+jobs drain to completion (their records land in the artifact store), and
+only then does the process exit.  ``REPRO_CHAOS_HTTP=N`` makes the next
+N non-health requests fail with an injected HTTP 500 — the hook the
+client's retry tests and CI chaos leg use.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
+import signal
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -63,15 +80,43 @@ logger = logging.getLogger(__name__)
 RESULT_TIMEOUT_S = 60.0
 
 
+class ServiceDraining(RuntimeError):
+    """Submission rejected: the service is shutting down gracefully."""
+
+
+class JobTimeout(RuntimeError):
+    """A job exceeded the service's per-job wall-clock limit."""
+
+
+def _classify_failure(exc: BaseException) -> str:
+    """The failure taxonomy: why did this job fail?
+
+    ``rejected`` means the spec itself was unusable (validation-style
+    errors surfacing at execution time); ``crashed`` is everything
+    unexpected.  ``timeout`` is assigned at the timeout site, not here.
+    """
+    if isinstance(exc, (KeyError, TypeError, ValueError)):
+        return "rejected"
+    return "crashed"
+
+
 class _Job:
-    """One submitted spec: its future plus displayable metadata."""
+    """One submitted spec: its future plus displayable metadata.
 
-    __slots__ = ("key", "kind", "future")
+    ``future`` is assigned immediately after construction (the job must
+    exist before the executor callback can classify its failure).
+    ``error_kind`` is None until the job fails, then one of the
+    taxonomy strings.
+    """
 
-    def __init__(self, key: str, kind: str, future: "Future[dict]"):
+    __slots__ = ("key", "kind", "future", "error_kind")
+
+    def __init__(self, key: str, kind: str,
+                 future: "Optional[Future[dict]]" = None):
         self.key = key
         self.kind = kind
         self.future = future
+        self.error_kind: Optional[str] = None
 
     def state(self) -> str:
         if not self.future.done():
@@ -79,7 +124,11 @@ class _Job:
         return "failed" if self.future.exception() is not None else "done"
 
     def describe(self) -> dict:
-        return {"key": self.key, "kind": self.kind, "state": self.state()}
+        description = {"key": self.key, "kind": self.kind,
+                       "state": self.state()}
+        if self.error_kind is not None:
+            description["error_kind"] = self.error_kind
+        return description
 
 
 class JobService:
@@ -91,16 +140,32 @@ class JobService:
     """
 
     def __init__(self, store_dir: Optional[str] = None, *,
-                 workbench: Optional[Workbench] = None, workers: int = 2):
+                 workbench: Optional[Workbench] = None, workers: int = 2,
+                 job_timeout_s: Optional[float] = None):
+        if job_timeout_s is not None and not job_timeout_s > 0:
+            raise ValueError(
+                f"job_timeout_s must be positive or None, "
+                f"got {job_timeout_s}")
         self.workbench = workbench if workbench is not None \
             else Workbench(store=store_dir)
+        self.job_timeout_s = job_timeout_s
         self._jobs: dict[str, _Job] = {}
         self._lock = threading.Lock()
+        self._draining = False
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-job")
+        # The timeout wrapper needs a second pool: the job thread waits
+        # with a deadline on an inner future doing the real work.  Built
+        # lazily only when a limit is configured.
+        self._timeout_executor = None if job_timeout_s is None else \
+            ThreadPoolExecutor(max_workers=workers,
+                               thread_name_prefix="repro-job-inner")
         self.submitted = 0
         self.dedup_inflight = 0
         self.dedup_done = 0
+        #: Remaining injected HTTP failures (``REPRO_CHAOS_HTTP``): each
+        #: non-health request consumes one and fails with a 500.
+        self.chaos_http = 0
 
     # -- job execution ---------------------------------------------------------
 
@@ -118,15 +183,39 @@ class JobService:
             return self.workbench.run_scenario(spec).to_dict()
         raise TypeError(f"unsupported spec type {type(spec).__name__}")
 
+    def _execute(self, spec, job: _Job) -> dict:
+        """Run one job, enforcing the per-job limit and the taxonomy."""
+        if self._timeout_executor is None:
+            try:
+                return self._run(spec)
+            except Exception as exc:
+                job.error_kind = _classify_failure(exc)
+                raise
+        inner = self._timeout_executor.submit(self._run, spec)
+        try:
+            return inner.result(timeout=self.job_timeout_s)
+        except FutureTimeout:
+            job.error_kind = "timeout"
+            raise JobTimeout(
+                f"job {job.key!r} exceeded the per-job limit of "
+                f"{self.job_timeout_s}s") from None
+        except Exception as exc:
+            job.error_kind = _classify_failure(exc)
+            raise
+
     def submit(self, data: dict) -> dict:
         """Queue one spec dict; identical in-flight specs share a job.
 
         Returns the job description.  Raises ``ValueError``/``TypeError``
-        (mapped to HTTP 400 by the handler) for malformed specs.
+        (mapped to HTTP 400 by the handler) for malformed specs and
+        :class:`ServiceDraining` (mapped to 503) during shutdown.
         """
         spec = spec_from_dict(data)
         key = spec.content_key()
         with self._lock:
+            if self._draining:
+                raise ServiceDraining(
+                    "service is draining; resubmit to the next instance")
             self.submitted += 1
             job = self._jobs.get(key)
             if job is not None:
@@ -138,10 +227,25 @@ class JobService:
                     # A failed job is retryable: resubmit replaces it.
                     job = None
             if job is None:
-                job = _Job(key, data.get("kind", "?"),
-                           self._executor.submit(self._run, spec))
+                job = _Job(key, data.get("kind", "?"))
+                job.future = self._executor.submit(self._execute, spec, job)
                 self._jobs[key] = job
         return job.describe()
+
+    def consume_chaos_failure(self, path: str) -> bool:
+        """Whether this request should fail with an injected 500.
+
+        Health checks are exempt so orchestration keeps seeing the
+        service as alive — the injection models a flaky service, not a
+        dead one.
+        """
+        if path == "/healthz":
+            return False
+        with self._lock:
+            if self.chaos_http > 0:
+                self.chaos_http -= 1
+                return True
+        return False
 
     # -- job table reads -------------------------------------------------------
 
@@ -173,11 +277,28 @@ class JobService:
             "dedup_inflight": self.dedup_inflight,
             "dedup_done": self.dedup_done,
             "jobs": states,
+            "draining": self._draining,
             "workbench": self.workbench.stats(),
         }
 
-    def shutdown(self) -> None:
+    def drain(self) -> None:
+        """Stop admitting jobs and wait for the in-flight ones to finish.
+
+        Idempotent.  Every job that was running or queued when the drain
+        began completes normally — its record lands in the workbench's
+        artifact store — before this returns; new submissions raise
+        :class:`ServiceDraining` meanwhile.
+        """
+        with self._lock:
+            self._draining = True
+        # Safe to call repeatedly and concurrently: every caller blocks
+        # until the worker threads have joined.
         self._executor.shutdown(wait=True)
+        if self._timeout_executor is not None:
+            self._timeout_executor.shutdown(wait=True)
+
+    def shutdown(self) -> None:
+        self.drain()
         self.workbench.shutdown()
 
 
@@ -195,22 +316,28 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               headers: Optional[dict] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(self, status: int, message: str,
+               headers: Optional[dict] = None, **extra) -> None:
+        self._reply(status, {"error": message, **extra}, headers=headers)
 
     # -- routes ----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
         if urlparse(self.path).path != "/submit":
             return self._error(404, f"no such endpoint: {self.path}")
+        if self.service.consume_chaos_failure("/submit"):
+            return self._error(500, "injected failure (chaos)")
         try:
             length = int(self.headers.get("Content-Length", 0))
             data = json.loads(self.rfile.read(length).decode("utf-8"))
@@ -222,6 +349,8 @@ class _Handler(BaseHTTPRequestHandler):
             return self._error(400, "expected a spec object")
         try:
             job = self.service.submit(data)
+        except ServiceDraining as exc:
+            return self._error(503, str(exc), headers={"Retry-After": "1"})
         except (KeyError, TypeError, ValueError) as exc:
             return self._error(400, f"invalid spec: {exc}")
         self._reply(200, job)
@@ -231,6 +360,8 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [part for part in url.path.split("/") if part]
         if url.path == "/healthz":
             return self._reply(200, {"ok": True})
+        if self.service.consume_chaos_failure(url.path):
+            return self._error(500, "injected failure (chaos)")
         if url.path == "/stats":
             return self._reply(200, self.service.stats())
         if len(parts) == 2 and parts[0] == "status":
@@ -250,7 +381,10 @@ class _Handler(BaseHTTPRequestHandler):
                 return self._error(
                     504, f"job {parts[1]!r} still running after {timeout}s")
             except Exception as exc:  # job raised: surface it to the client
-                return self._error(500, f"job failed: {exc}")
+                job = self.service.job(parts[1])
+                kind = job.error_kind if job is not None else None
+                return self._error(500, f"job failed: {exc}",
+                                   error_kind=kind)
             if record is None:
                 return self._error(404, f"unknown job key {parts[1]!r}")
             return self._reply(200, record)
@@ -266,17 +400,47 @@ def build_httpd(service: JobService, host: str = "127.0.0.1",
 
 
 def serve(store_dir: Optional[str], host: str = "127.0.0.1",
-          port: int = 8400, workers: int = 2) -> None:
-    """Run the job service until interrupted (the ``repro serve`` command)."""
-    service = JobService(store_dir, workers=workers)
+          port: int = 8400, workers: int = 2,
+          job_timeout_s: Optional[float] = None) -> None:
+    """Run the job service until interrupted (the ``repro serve`` command).
+
+    SIGTERM (the orchestrator's stop signal) and Ctrl-C both shut down
+    gracefully: the listener stops, in-flight jobs drain to completion —
+    their records land in the artifact store — and only then does the
+    call return.
+    """
+    service = JobService(store_dir, workers=workers,
+                         job_timeout_s=job_timeout_s)
+    chaos_http = int(os.environ.get("REPRO_CHAOS_HTTP", "0") or 0)
+    if chaos_http > 0:
+        service.chaos_http = chaos_http
+        print(f"chaos: the next {chaos_http} non-health request(s) "
+              f"will fail with HTTP 500", flush=True)
     httpd = build_httpd(service, host, port)
     bound = httpd.server_address
     print(f"repro job service on http://{bound[0]}:{bound[1]} "
-          f"(store: {store_dir or 'none — in-memory session only'})")
+          f"(store: {store_dir or 'none — in-memory session only'})",
+          flush=True)
+
+    def _on_sigterm(signum, frame):
+        # serve_forever() must be stopped from *another* thread:
+        # httpd.shutdown() blocks until the serve loop exits, and the
+        # signal handler runs on the main thread inside that very loop.
+        threading.Thread(target=httpd.shutdown, daemon=True,
+                         name="repro-sigterm-shutdown").start()
+
+    # Signal handlers are a main-thread privilege; when serve() runs on a
+    # worker thread (tests), SIGTERM keeps its default disposition.
+    in_main = threading.current_thread() is threading.main_thread()
+    previous = signal.signal(signal.SIGTERM, _on_sigterm) if in_main \
+        else None
     try:
         httpd.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        if in_main:
+            signal.signal(signal.SIGTERM, previous)
         httpd.server_close()
         service.shutdown()
+        print("repro job service drained and stopped", flush=True)

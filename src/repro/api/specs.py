@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional
 
+from repro.avrora.chaos import ChaosPolicy
 from repro.avrora.network import TOPOLOGIES
 from repro.scenarios.faults import FaultPlan
 from repro.tinyos import suite
@@ -180,6 +181,12 @@ class SimSpec:
             changes *how* the simulation executes (warm starts skip the
             lowering front end); results are bit-identical either way, so
             it is excluded from :meth:`content_key`.
+        chaos: Optional :class:`~repro.avrora.chaos.ChaosPolicy` killing
+            shard workers at chosen window rounds; the kernel's
+            checkpointed recovery replays the lost windows, so results
+            are bit-identical to a fault-free run.  A third execution
+            knob, excluded from :meth:`content_key` like ``workers`` —
+            only meaningful for ``workers > 1``.
     """
 
     app: str
@@ -192,11 +199,21 @@ class SimSpec:
     seed: int = 0
     workers: int = 1
     plan_cache: Optional[str] = None
+    chaos: Optional[ChaosPolicy] = None
 
     def __post_init__(self):
         if self.plan_cache is not None:
             # PathLike in, plain string out: specs stay JSON-serializable.
             object.__setattr__(self, "plan_cache", os.fspath(self.plan_cache))
+        if isinstance(self.chaos, dict):
+            # The natural JSON shape coerces, like SweepSpec's lists.
+            object.__setattr__(self, "chaos",
+                               ChaosPolicy.from_dict(self.chaos))
+        if self.chaos is not None \
+                and not isinstance(self.chaos, ChaosPolicy):
+            raise TypeError(
+                f"{self.describe()}: chaos must be a ChaosPolicy or None, "
+                f"got {type(self.chaos).__name__}")
         _check_app(self.app)
         variant_by_name(self.variant)
         if self.node_count < 1:
@@ -241,10 +258,11 @@ class SimSpec:
         return BuildSpec(app=self.app, variant=self.variant)
 
     def content_key(self) -> str:
-        # ``workers`` and ``plan_cache`` are intentionally absent: the
-        # sharded kernel and the persistent plan store are bit-identical
-        # to their in-process counterparts, so neither is part of what
-        # the simulation *is* — only of how it is executed.
+        # ``workers``, ``plan_cache`` and ``chaos`` are intentionally
+        # absent: the sharded kernel, the persistent plan store and the
+        # chaos-recovery layer are bit-identical to their undisturbed
+        # counterparts, so none is part of what the simulation *is* —
+        # only of how it is executed.
         return _digest({
             "schema": SCHEMA_VERSION,
             "kind": "sim",
@@ -263,10 +281,13 @@ class SimSpec:
                 "node_count": self.node_count, "seconds": self.seconds,
                 "traffic": self.traffic, "topology": self.topology,
                 "loss": self.loss, "seed": self.seed,
-                "workers": self.workers, "plan_cache": self.plan_cache}
+                "workers": self.workers, "plan_cache": self.plan_cache,
+                "chaos": None if self.chaos is None
+                else self.chaos.to_dict()}
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimSpec":
+        chaos = data.get("chaos")
         return cls(app=data["app"], variant=data["variant"],
                    node_count=data["node_count"], seconds=data["seconds"],
                    traffic=data.get("traffic", TRAFFIC_DEFAULT),
@@ -274,7 +295,9 @@ class SimSpec:
                    loss=data.get("loss", 0.0),
                    seed=data.get("seed", 0),
                    workers=data.get("workers", 1),
-                   plan_cache=data.get("plan_cache"))
+                   plan_cache=data.get("plan_cache"),
+                   chaos=None if chaos is None
+                   else ChaosPolicy.from_dict(chaos))
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,7 @@ from repro.api.specs import (
     SimSpec,
     SweepSpec,
 )
+from repro.avrora.chaos import ChaosPolicy
 from repro.avrora.network import Channel, Network, TrafficGenerator
 from repro.avrora.node import Node
 from repro.nesc.application import Application
@@ -63,6 +64,7 @@ def run_network(program, *, seconds: float, node_count: int = 1,
                 channel: Optional[Channel] = None,
                 traffic_first_node_only: bool = False,
                 workers: int = 1,
+                chaos=None,
                 prepare: Optional[Callable[[Network], None]] = None,
                 ) -> Network:
     """Boot ``node_count`` motes running ``program`` and co-simulate them.
@@ -74,10 +76,13 @@ def run_network(program, *, seconds: float, node_count: int = 1,
     — what ``MultiHopRouterM`` treats as the collection root).
     ``traffic_first_node_only`` installs the synthetic traffic generator
     on the first node only.  ``workers > 1`` shards the topology across
-    that many worker processes with bit-identical results.  ``prepare``
-    runs against the fully assembled network after the nodes boot and
-    before the clock starts — the scenario layer's hook for arming
-    fault injections.
+    that many worker processes with bit-identical results.  ``chaos``
+    (a :class:`~repro.avrora.chaos.ChaosPolicy`) kills shard workers at
+    chosen window rounds; checkpointed recovery keeps the results
+    bit-identical, with the fallout in ``network.recovery_stats``.
+    ``prepare`` runs against the fully assembled network after the nodes
+    boot and before the clock starts — the scenario layer's hook for
+    arming fault injections.
     """
     if node_count < 1:
         raise ValueError(f"node_count must be >= 1, got {node_count}")
@@ -89,6 +94,7 @@ def run_network(program, *, seconds: float, node_count: int = 1,
         node.boot()
         network.add_node(
             node, traffic=(index == 0 or not traffic_first_node_only))
+    network.chaos = chaos
     if prepare is not None:
         prepare(network)
     network.run(seconds, workers=workers)
@@ -376,6 +382,12 @@ class Workbench:
         the sharded kernel's pre-fork warm) and persisted after it.  With
         a session :attr:`store`, a previously recorded identical spec is
         served straight from disk — no build, no simulation.
+
+        Chaos: ``spec.chaos`` (or, when that is None, the ``REPRO_CHAOS``
+        environment variable) arms the sharded kernel's fault injection.
+        An execution knob like ``spec.workers`` — recovery keeps the
+        results bit-identical, so the memoization key is unchanged and a
+        cached fault-free record legitimately satisfies a chaos request.
         """
         key = spec.content_key()
         with self._lock:
@@ -395,11 +407,13 @@ class Workbench:
                 if spec.traffic in (TRAFFIC_DEFAULT, TRAFFIC_BASE) else None
             channel = Channel(topology=spec.topology, loss=spec.loss,
                               seed=spec.seed)
+            chaos = spec.chaos if spec.chaos is not None \
+                else ChaosPolicy.from_env()
             network = run_network(
                 result.program, seconds=spec.seconds,
                 node_count=spec.node_count, traffic=traffic, channel=channel,
                 traffic_first_node_only=(spec.traffic == TRAFFIC_BASE),
-                workers=spec.workers)
+                workers=spec.workers, chaos=chaos)
             code_cache = plan_store_persist(attach, result.program)
         stats = network.node_stats()
         record = SimRecord(
@@ -423,6 +437,7 @@ class Workbench:
             workers=spec.workers,
             shards=tuple(network.shard_stats),
             code_cache=code_cache,
+            recovery=dict(network.recovery_stats),
         )
         with self._lock:
             self._simulations_executed += 1

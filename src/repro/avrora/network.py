@@ -326,6 +326,16 @@ class Network:
         self._air_min = 1
         #: Per-shard statistics of the last ``workers > 1`` run.
         self.shard_stats: list[dict] = []
+        #: Optional :class:`~repro.avrora.chaos.ChaosPolicy` the sharded
+        #: kernel applies (worker kills at chosen window rounds).  An
+        #: execution knob: recovery makes results bit-identical either
+        #: way.  Ignored by single-process runs, which have no worker
+        #: processes to kill.
+        self.chaos = None
+        #: Recovery telemetry of the last ``workers > 1`` run: respawns,
+        #: replayed rounds, checkpoints shipped/bytes, chaos kills
+        #: consumed, recovery wall time.
+        self.recovery_stats: dict = {}
 
     # -- membership -------------------------------------------------------------
 
@@ -451,11 +461,12 @@ class Network:
                 f"parallel config: workers ({workers}) must not exceed the "
                 f"node count ({len(self.nodes)})")
         self.shard_stats = []
+        self.recovery_stats = {}
         self._pair_seq.clear()
         if workers > 1:
             from repro.avrora.shard import run_sharded
 
-            run_sharded(self, seconds, workers)
+            run_sharded(self, seconds, workers, chaos=self.chaos)
             self.deliveries.sort(key=self.canonical_delivery_order)
             return
         self._sequential = False

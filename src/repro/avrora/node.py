@@ -497,6 +497,22 @@ class Node:
                 f"{desc!r}")
         return callback
 
+    def snapshot_phase(self) -> Optional[str]:
+        """The phase a :meth:`snapshot` taken now would record, or None.
+
+        None means the node is paused mid-computation (live Python frames)
+        and cannot be serialized until a later grant parks it in its sleep
+        loop — the probe the sharded kernel's opportunistic checkpointing
+        uses to decide whether a window round is checkpointable.
+        """
+        if self._status in ("finished", "returned"):
+            return self._status
+        if self._status == "paused" and self._paused_in_sleep:
+            return "sleeping"
+        if self._status == "idle" and self._exec_thread is None:
+            return "idle"
+        return None
+
     def snapshot(self) -> dict:
         """Serialize the node's complete simulation state as plain data.
 
@@ -512,13 +528,8 @@ class Node:
         simulation reports.  Restoring it — in this process or another —
         reproduces bit-identical behaviour; see :meth:`restore`.
         """
-        if self._status in ("finished", "returned"):
-            phase = self._status
-        elif self._status == "paused" and self._paused_in_sleep:
-            phase = "sleeping"
-        elif self._status == "idle" and self._exec_thread is None:
-            phase = "idle"
-        else:
+        phase = self.snapshot_phase()
+        if phase is None:
             raise ValueError(
                 f"node {self.node_id}: snapshot requires an idle, "
                 f"sleeping, or finished node (status {self._status!r}"

@@ -1,4 +1,4 @@
-"""The sharded multi-process network kernel.
+"""The sharded multi-process network kernel, with supervised recovery.
 
 :func:`run_sharded` partitions a :class:`~repro.avrora.network.Network`'s
 nodes into contiguous shards, forks one worker process per shard, and has
@@ -31,23 +31,92 @@ compiled code cache, so every worker inherits the lowered program for
 free and compiles nothing.  Shard state crosses the process boundary only
 through ``Node.snapshot()``/``restore()`` (spawn-side) and plain tuples
 (the window protocol).
+
+**Fault tolerance.**  The coordinator never blocks unsupervised: every
+pipe wait carries a timeout, worker death (EOF, broken pipe, dead
+process) is detected and a worker that is alive but silent past the stall
+timeout raises a labelled :class:`ShardWorkerError`.  Workers ship a
+checkpoint — pickled :meth:`Node.snapshot` images plus the shard's
+counters, per-link sequence numbers and delivery-log delta — with their
+report every :data:`DEFAULT_CHECKPOINT_EVERY` window rounds (the first
+round at or past the cadence where every local node is parked in a
+snapshotable phase).  The coordinator keeps the latest checkpoint per
+shard plus a log of every grant sent since; when a worker dies it is
+respawned from that checkpoint (or from the initial pre-fork snapshots)
+and the logged grants are replayed in order.  Because a worker is a
+deterministic function of its restored state and its grant sequence, the
+replayed reports are bit-identical to the recorded ones — the coordinator
+verifies this — and the run's results are bit-identical to a fault-free
+run.  A :class:`~repro.avrora.chaos.ChaosPolicy` on ``network.chaos``
+drives deterministic worker kills to exercise exactly this path.
 """
 
 from __future__ import annotations
 
 import math
 import multiprocessing
+import os
+import pickle
 import time
 import traceback
 from collections import deque
 from multiprocessing.connection import wait as _connection_wait
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
+from repro.avrora.chaos import CHAOS_EXIT_CODE, ChaosPolicy
 from repro.avrora.devices import Radio
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.avrora.network import Network
     from repro.avrora.node import Node
+
+#: Checkpoint cadence in window rounds (``REPRO_SHARD_CHECKPOINT_EVERY``
+#: overrides; 0 disables checkpointing *and* recovery — a worker death
+#: then raises :class:`ShardWorkerError` instead of respawning).
+DEFAULT_CHECKPOINT_EVERY = 25
+
+#: Seconds a granted worker may stay silent before the coordinator calls
+#: it stalled (``REPRO_SHARD_STALL_TIMEOUT_S`` overrides).  Generous: a
+#: window is milliseconds of work, so minutes of silence means a hang,
+#: not load.
+DEFAULT_STALL_TIMEOUT_S = 600.0
+
+#: Consecutive respawns of one shard without a single new report before
+#: the coordinator gives up — the backstop against a deterministically
+#: crashing worker replaying itself to death forever.
+MAX_RESPAWNS_WITHOUT_PROGRESS = 3
+
+#: Supervision quantum: how long one pipe wait blocks before liveness
+#: and stall checks run.  Ready pipes return immediately, so this bounds
+#: failure-detection latency, not throughput.
+_POLL_INTERVAL_S = 0.05
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker died or stalled beyond what recovery can absorb.
+
+    Raised instead of blocking forever on a dead or hung worker.  Carries
+    the worker index, the last window round the coordinator granted it,
+    and the age of its last heartbeat (seconds since the coordinator last
+    heard from it).
+    """
+
+    def __init__(self, worker_index: int, round_number: int,
+                 heartbeat_age_s: float, reason: str):
+        super().__init__(
+            f"shard worker {worker_index} {reason} at round {round_number} "
+            f"(last heartbeat {heartbeat_age_s:.1f}s ago)")
+        self.worker_index = worker_index
+        self.round_number = round_number
+        self.heartbeat_age_s = heartbeat_age_s
+
+
+class _WorkerDied(Exception):
+    """Internal supervision signal: a shard's process is gone."""
+
+    def __init__(self, worker_index: int):
+        super().__init__(worker_index)
+        self.worker_index = worker_index
 
 
 def _partition(count: int, workers: int) -> list[tuple[int, int]]:
@@ -89,7 +158,10 @@ class _ShardWorker:
 
     def __init__(self, worker_index: int, conn, network: "Network",
                  bounds: list[tuple[int, int]], snapshots: list[dict],
-                 seconds: float, lat_min: int, air_min: int):
+                 seconds: float, lat_min: int, air_min: int,
+                 checkpoint_every: int = 0,
+                 kill_rounds: frozenset = frozenset(),
+                 resume_state: Optional[bytes] = None):
         self.worker_index = worker_index
         self.conn = conn
         self.network = network
@@ -99,6 +171,9 @@ class _ShardWorker:
         self.lat_min = lat_min
         self.air_min = air_min
         self.margin = lat_min + air_min
+        self.checkpoint_every = checkpoint_every
+        self.kill_rounds = kill_rounds
+        self.resume_state = resume_state
         lo, hi = bounds[worker_index]
         self.local = list(range(lo, hi))
         self.local_set = frozenset(self.local)
@@ -110,20 +185,49 @@ class _ShardWorker:
     def run(self) -> None:
         network = self.network
         nodes = network.nodes
+        # Baselines are captured *before* a checkpoint's deltas are folded
+        # back in, so the final message always covers everything since the
+        # shard's original start, whichever incarnation sends it.
         base_delivered = network.delivered_packets
         base_lost = network.lost_packets
         base_deliveries = len(network.deliveries)
+        rounds = 0
+        packets_in = 0
+        checkpoints = 0
+        last_checkpoint_round = 0
+        if self.resume_state is None:
+            for index in self.local:
+                node = nodes[index]
+                node.restore(self.snapshots[index],
+                             resolve_event=network.delivery_resolver(node))
+                node.begin_run(self.seconds)
+        else:
+            # A respawned incarnation: restore the checkpoint — sleeping
+            # nodes resume mid-run (their end_cycles come with the
+            # snapshot, so begin_run must not re-arm them) — and fold the
+            # checkpointed counters and delivery-log delta back in.
+            state = pickle.loads(self.resume_state)
+            for index, snap in state["nodes"]:
+                node = nodes[index]
+                node.restore(snap,
+                             resolve_event=network.delivery_resolver(node),
+                             resume=(snap["phase"] == "sleeping"))
+            self.done.update(state["done"])
+            network._pair_seq.update(state["pair_seq"])
+            network.deliveries.extend(state["deliveries"])
+            network.delivered_packets += state["delivered"]
+            network.lost_packets += state["lost"]
+            rounds = state["rounds"]
+            packets_in = state["packets_in"]
+            self.packets_out = state["packets_out"]
+            last_checkpoint_round = rounds
         for index in self.local:
             node = nodes[index]
             node.radio.on_transmit = \
                 lambda payload, sender=node, src=index: \
                 self._transmit(sender, src, payload)
-            node.restore(self.snapshots[index],
-                         resolve_event=network.delivery_resolver(node))
-            node.begin_run(self.seconds)
-        rounds = 0
-        packets_in = 0
         wait_s = 0.0
+        checkpoint_wall_s = 0.0
         started = time.perf_counter()
         try:
             while True:
@@ -135,14 +239,35 @@ class _ShardWorker:
                     break
                 _tag, window, packets = message
                 rounds += 1
+                if rounds in self.kill_rounds:
+                    # Chaos: die mid-protocol with this grant in flight —
+                    # the worst case the supervision layer must recover.
+                    os._exit(CHAOS_EXIT_CODE)
                 packets_in += len(packets)
                 self._insert(packets)
                 self._cap = window
                 self._outgoing = []
                 self._run_window()
                 self.packets_out += len(self._outgoing)
+                checkpoint = None
+                if (self.checkpoint_every > 0
+                        and rounds - last_checkpoint_round
+                        >= self.checkpoint_every
+                        and all(nodes[index].snapshot_phase() is not None
+                                for index in self.local)):
+                    # Opportunistic: an overdue checkpoint ships at the
+                    # first round where every local node is parked in a
+                    # snapshotable phase (motes sleep most of the time,
+                    # so this rarely slips far past the cadence).
+                    before = time.perf_counter()
+                    checkpoint = self._checkpoint(
+                        rounds, packets_in, base_deliveries,
+                        base_delivered, base_lost)
+                    checkpoint_wall_s += time.perf_counter() - before
+                    last_checkpoint_round = rounds
+                    checkpoints += 1
                 self.conn.send(("report", self.worker_index,
-                                self._states(), self._outgoing))
+                                self._states(), self._outgoing, checkpoint))
         finally:
             for index in self.local:
                 nodes[index].abort_run()
@@ -152,6 +277,8 @@ class _ShardWorker:
             "rounds": rounds,
             "packets_in": packets_in,
             "packets_out": self.packets_out,
+            "checkpoints": checkpoints,
+            "checkpoint_wall_s": round(checkpoint_wall_s, 6),
             "sync_wait_s": round(wait_s, 6),
             "wall_s": round(time.perf_counter() - started, 6),
         }
@@ -162,6 +289,29 @@ class _ShardWorker:
             network.delivered_packets - base_delivered,
             network.lost_packets - base_lost,
             stats))
+
+    def _checkpoint(self, rounds: int, packets_in: int, base_deliveries: int,
+                    base_delivered: int, base_lost: int) -> bytes:
+        """Pickle the shard's complete resumable state.
+
+        Pre-pickled so the pipe ships one bytes object and the coordinator
+        only pays the unpickle on an actual recovery; ``len()`` of the
+        blob doubles as the checkpoint-size telemetry.
+        """
+        network = self.network
+        nodes = network.nodes
+        return pickle.dumps({
+            "rounds": rounds,
+            "packets_in": packets_in,
+            "packets_out": self.packets_out,
+            "done": dict(self.done),
+            "nodes": [(index, nodes[index].snapshot())
+                      for index in self.local],
+            "pair_seq": dict(network._pair_seq),
+            "deliveries": list(network.deliveries[base_deliveries:]),
+            "delivered": network.delivered_packets - base_delivered,
+            "lost": network.lost_packets - base_lost,
+        }, protocol=pickle.HIGHEST_PROTOCOL)
 
     # -- packet routing -------------------------------------------------------
 
@@ -286,9 +436,12 @@ class _ShardWorker:
 
 def _worker_main(worker_index: int, conn, network: "Network",
                  bounds: list[tuple[int, int]], snapshots: list[dict],
-                 seconds: float, lat_min: int, air_min: int) -> None:
+                 seconds: float, lat_min: int, air_min: int,
+                 checkpoint_every: int, kill_rounds: frozenset,
+                 resume_state: Optional[bytes]) -> None:
     worker = _ShardWorker(worker_index, conn, network, bounds, snapshots,
-                          seconds, lat_min, air_min)
+                          seconds, lat_min, air_min, checkpoint_every,
+                          kill_rounds, resume_state)
     try:
         worker.run()
     except BaseException:
@@ -305,163 +458,446 @@ def _worker_main(worker_index: int, conn, network: "Network",
 # ---------------------------------------------------------------------------
 
 
-def run_sharded(network: "Network", seconds: float, workers: int) -> None:
-    """Run ``network`` partitioned across ``workers`` forked processes.
+class _Coordinator:
+    """Drives one sharded run: window grants plus supervised recovery.
 
-    Called by :meth:`Network.run` for ``workers > 1`` (which validates the
-    worker count first).  On return the coordinator's own nodes hold the
-    final simulation state — restored from the workers' snapshots — and
-    ``network.deliveries``/packet counters/``shard_stats`` are merged, so
-    callers cannot tell the run apart from a single-process one.
+    The window-protocol state (``states``/``queued``/``in_flight``/
+    ``running``) is exactly the PR 6 algebra; the supervision state —
+    latest checkpoint blob, grant and report logs since that checkpoint,
+    absolute granted-round counters, heartbeat times and pending chaos
+    kills, all per shard — is what :meth:`_recover` and :meth:`_replay`
+    run on.
     """
-    if "fork" not in multiprocessing.get_all_start_methods():
-        raise ValueError(
-            "parallel config: workers > 1 requires the 'fork' start method "
-            "(POSIX); this platform does not support it")
-    context = multiprocessing.get_context("fork")
-    nodes = network.nodes
-    count = len(nodes)
-    channel = network.channel
-    lat_min = max(1, min(node.cycles_for_us(channel.latency_us)
-                         for node in nodes))
-    air_min = max(1, min(node.cycles_for_us(Radio.US_PER_BYTE)
-                         for node in nodes))
-    margin = lat_min + air_min
-    bounds = _partition(count, workers)
-    shard_of = [s for s, (lo, hi) in enumerate(bounds)
-                for _ in range(lo, hi)]
-    hops = _hop_distances(channel, count)
-    # Distance from each node to each shard: the fewest hops to any member.
-    shard_dist: list[list] = []
-    for j in range(count):
-        row = []
-        for lo, hi in bounds:
-            best = None
-            for i in range(lo, hi):
-                if i == j:
-                    continue
-                d = hops[j][i]
-                if d is not None and (best is None or d < best):
-                    best = d
-            row.append(best)
-        shard_dist.append(row)
-    end_of = [node.time_cycles + int(seconds * node.clock_hz)
-              for node in nodes]
-    max_end = max(end_of)
 
-    # Warm the shared per-program code cache before forking: every worker
-    # inherits the lowered functions and compiles nothing.
-    warmed: set = set()
-    for node in nodes:
-        if id(node.program) not in warmed:
-            node.interpreter.warm()
-            warmed.add(id(node.program))
-    snapshots = [node.snapshot() for node in nodes]
+    def __init__(self, network: "Network", seconds: float, workers: int, *,
+                 chaos: Optional[ChaosPolicy] = None,
+                 checkpoint_every: Optional[int] = None,
+                 stall_timeout_s: Optional[float] = None):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "parallel config: workers > 1 requires the 'fork' start "
+                "method (POSIX); this platform does not support it")
+        self.context = multiprocessing.get_context("fork")
+        self.network = network
+        self.seconds = seconds
+        self.workers = workers
+        nodes = network.nodes
+        self.count = len(nodes)
+        channel = network.channel
+        self.lat_min = max(1, min(node.cycles_for_us(channel.latency_us)
+                                  for node in nodes))
+        self.air_min = max(1, min(node.cycles_for_us(Radio.US_PER_BYTE)
+                                  for node in nodes))
+        self.margin = self.lat_min + self.air_min
+        self.bounds = _partition(self.count, workers)
+        self.shard_of = [s for s, (lo, hi) in enumerate(self.bounds)
+                         for _ in range(lo, hi)]
+        hops = _hop_distances(channel, self.count)
+        # Distance from each node to each shard: fewest hops to any member.
+        self.shard_dist: list[list] = []
+        for j in range(self.count):
+            row = []
+            for lo, hi in self.bounds:
+                best = None
+                for i in range(lo, hi):
+                    if i == j:
+                        continue
+                    d = hops[j][i]
+                    if d is not None and (best is None or d < best):
+                        best = d
+                row.append(best)
+            self.shard_dist.append(row)
+        self.end_of = [node.time_cycles + int(seconds * node.clock_hz)
+                       for node in nodes]
+        self.max_end = max(self.end_of)
+        if checkpoint_every is None:
+            checkpoint_every = int(os.environ.get(
+                "REPRO_SHARD_CHECKPOINT_EVERY", DEFAULT_CHECKPOINT_EVERY))
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"parallel config: checkpoint cadence must be >= 0, "
+                f"got {checkpoint_every}")
+        self.checkpoint_every = checkpoint_every
+        if stall_timeout_s is None:
+            stall_timeout_s = float(os.environ.get(
+                "REPRO_SHARD_STALL_TIMEOUT_S", DEFAULT_STALL_TIMEOUT_S))
+        self.stall_timeout_s = stall_timeout_s
+        self.pending_kills = [sorted(chaos.kill_rounds(s))
+                              if chaos is not None else []
+                              for s in range(workers)]
+        # Last-reported lookahead state per node: (time, action,
+        # transmitting, tx_done_at, done).  Fresh nodes can act immediately.
+        self.states: list[tuple] = [
+            (node.time_cycles, node.time_cycles, False, 0, False)
+            for node in nodes]
+        self.done = [False] * self.count
+        self.queued: list[list] = [[] for _ in range(workers)]
+        self.in_flight: list[list] = [[] for _ in range(workers)]
+        self.running = [False] * workers
+        # Supervision state, all per shard.
+        self.connections: list = [None] * workers
+        self.processes: list = [None] * workers
+        self.checkpoints: list = [None] * workers
+        self.grant_log: list[list] = [[] for _ in range(workers)]
+        self.report_log: list[list] = [[] for _ in range(workers)]
+        self.finish_message: list = [None] * workers
+        self.rounds_granted = [0] * workers
+        self.last_heard = [0.0] * workers
+        self.respawns_since_report = [0] * workers
+        self.shard_stats: list = [None] * workers
+        self.recovery = {"respawns": 0, "replayed_rounds": 0,
+                         "checkpoints": 0, "checkpoint_bytes": 0,
+                         "chaos_kills": 0, "recovery_wall_s": 0.0}
 
-    connections = []
-    processes = []
-    for w in range(workers):
-        parent_conn, child_conn = context.Pipe()
-        process = context.Process(
-            target=_worker_main,
-            args=(w, child_conn, network, bounds, snapshots, seconds,
-                  lat_min, air_min),
-            daemon=True, name=f"avrora-shard-{w}")
-        process.start()
-        child_conn.close()
-        connections.append(parent_conn)
-        processes.append(process)
+    # -- window algebra (unchanged from the unsupervised kernel) --------------
 
-    # Last-reported lookahead state per node: (time, action, transmitting,
-    # tx_done_at, done).  Fresh nodes can act immediately.
-    states: list[tuple] = [(node.time_cycles, node.time_cycles, False, 0,
-                            False) for node in nodes]
-    done = [False] * count
-    queued: list[list] = [[] for _ in range(workers)]
-    in_flight: list[list] = [[] for _ in range(workers)]
-    running = [False] * workers
-
-    def effect(j: int) -> float:
+    def _effect(self, j: int) -> float:
         """Earliest instant node ``j`` could land a packet on a neighbour."""
-        _time, action, transmitting, tx_done, node_done = states[j]
+        _time, action, transmitting, tx_done, node_done = self.states[j]
         if node_done:
             return math.inf
         bound = math.inf
         if transmitting:
-            bound = tx_done + lat_min
+            bound = tx_done + self.lat_min
         if action is not None:
-            bound = min(bound, action + margin)
+            bound = min(bound, action + self.margin)
         # Undelivered arrivals can wake the node: its reaction lands one
         # margin after the arrival.  Pending until the shard's next report
         # proves the packet reached the node's queue.
-        for packets in (queued[shard_of[j]], in_flight[shard_of[j]]):
+        for packets in (self.queued[self.shard_of[j]],
+                        self.in_flight[self.shard_of[j]]):
             for dst, when, _sender, _sent, _payload in packets:
                 if dst == j:
-                    bound = min(bound, when + margin)
+                    bound = min(bound, when + self.margin)
         return bound
 
-    def window(s: int) -> float:
-        lo, hi = bounds[s]
+    def _window(self, s: int) -> float:
+        lo, hi = self.bounds[s]
         bound = math.inf
-        for j in range(count):
+        for j in range(self.count):
             if lo <= j < hi:
                 continue
-            e = effect(j)
+            e = self._effect(j)
             if e is math.inf:
                 continue
-            d = shard_dist[j][s]
+            d = self.shard_dist[j][s]
             if d is None:
                 continue
-            bound = min(bound, e + (d - 1) * margin)
+            bound = min(bound, e + (d - 1) * self.margin)
         return bound
 
-    try:
+    # -- process lifecycle ----------------------------------------------------
+
+    def _spawn(self, s: int) -> None:
+        parent_conn, child_conn = self.context.Pipe()
+        process = self.context.Process(
+            target=_worker_main,
+            args=(s, child_conn, self.network, self.bounds, self.snapshots,
+                  self.seconds, self.lat_min, self.air_min,
+                  self.checkpoint_every, frozenset(self.pending_kills[s]),
+                  self.checkpoints[s]),
+            daemon=True, name=f"avrora-shard-{s}")
+        process.start()
+        child_conn.close()
+        self.connections[s] = parent_conn
+        self.processes[s] = process
+        self.last_heard[s] = time.monotonic()
+
+    def _teardown(self, s: int) -> None:
+        conn = self.connections[s]
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        process = self.processes[s]
+        if process is not None:
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - defensive teardown
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def _heartbeat_age(self, s: int) -> float:
+        return time.monotonic() - self.last_heard[s]
+
+    # -- supervised transport -------------------------------------------------
+
+    def _recv(self, s: int) -> tuple:
+        """One message from shard ``s``, under supervision.
+
+        Raises :class:`_WorkerDied` when the worker's process or pipe is
+        gone, :class:`ShardWorkerError` when it is alive but silent past
+        the stall timeout, and re-raises a worker-reported ``error``
+        (a program failure inside the shard — never recovered).
+        """
+        conn = self.connections[s]
+        while True:
+            try:
+                if conn.poll(_POLL_INTERVAL_S):
+                    message = conn.recv()
+                    self.last_heard[s] = time.monotonic()
+                    if message[0] == "error":
+                        raise RuntimeError(
+                            f"shard worker {message[1]} failed:"
+                            f"\n{message[2]}")
+                    return message
+            except (EOFError, OSError) as exc:
+                raise _WorkerDied(s) from exc
+            if not self.processes[s].is_alive() and not conn.poll():
+                raise _WorkerDied(s)
+            if self._heartbeat_age(s) > self.stall_timeout_s:
+                raise ShardWorkerError(
+                    s, self.rounds_granted[s], self._heartbeat_age(s),
+                    "stalled — no report within the stall timeout")
+
+    def _grant(self, s: int, cap: int) -> None:
+        """Send one window grant (the shard's queued packets ride along)."""
+        message = ("run", cap, self.queued[s])
+        if self.checkpoint_every > 0:
+            self.grant_log[s].append(message)
+        self.rounds_granted[s] += 1
+        self.in_flight[s].extend(self.queued[s])
+        self.queued[s] = []
+        self.last_heard[s] = time.monotonic()
+        try:
+            self.connections[s].send(message)
+        except OSError:
+            # Dead before the grant left: recovery's replay re-sends it
+            # as the trailing in-flight grant.
+            self._recover(s)
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover(self, s: int) -> None:
+        """Respawn shard ``s`` from its last checkpoint and replay it.
+
+        Loops because the replacement can die too (a second chaos kill at
+        a later logged round, or a real repeated crash); the
+        no-progress counter bounds the loop.
+        """
+        started = time.monotonic()
+        try:
+            while True:
+                age = self._heartbeat_age(s)
+                if self.checkpoint_every <= 0:
+                    raise ShardWorkerError(
+                        s, self.rounds_granted[s], age,
+                        "died (recovery disabled: checkpoint cadence 0)")
+                self.respawns_since_report[s] += 1
+                if self.respawns_since_report[s] \
+                        > MAX_RESPAWNS_WITHOUT_PROGRESS:
+                    raise ShardWorkerError(
+                        s, self.rounds_granted[s], age,
+                        f"died {self.respawns_since_report[s]} times "
+                        f"without progress")
+                # Chaos kills at or before the granted round fired in the
+                # dead incarnation; the replacement must not re-fire them
+                # while replaying those same rounds.
+                consumed = [r for r in self.pending_kills[s]
+                            if r <= self.rounds_granted[s]]
+                if consumed:
+                    self.recovery["chaos_kills"] += len(consumed)
+                    self.pending_kills[s] = [
+                        r for r in self.pending_kills[s]
+                        if r > self.rounds_granted[s]]
+                self.recovery["respawns"] += 1
+                self._teardown(s)
+                self._spawn(s)
+                try:
+                    self._replay(s)
+                    return
+                except _WorkerDied:
+                    continue
+        finally:
+            self.recovery["recovery_wall_s"] = round(
+                self.recovery["recovery_wall_s"]
+                + time.monotonic() - started, 6)
+
+    def _replay(self, s: int) -> None:
+        """Re-drive a fresh incarnation of shard ``s`` to its pre-death state.
+
+        Replays every logged grant since the shard's last checkpoint, in
+        order, verifying each replayed report against the recorded one —
+        a worker is a deterministic function of its restored state and
+        grant sequence, so any divergence is a real bug, not noise.  A
+        checkpoint shipped during replay advances the baseline and trims
+        the logs.  The trailing unreported grant, if one was in flight
+        when the worker died, is re-sent and left outstanding for the
+        main loop.
+        """
+        index = 0
+        while index < len(self.report_log[s]):
+            base_round = self.rounds_granted[s] - len(self.grant_log[s])
+            self._replay_send(s, self.grant_log[s][index])
+            message = self._recv(s)
+            self.recovery["replayed_rounds"] += 1
+            _tag, _w, node_states, outgoing, checkpoint = message
+            expected_states, expected_outgoing = self.report_log[s][index]
+            if node_states != expected_states \
+                    or outgoing != expected_outgoing:
+                raise RuntimeError(
+                    f"shard {s}: replayed report for round "
+                    f"{base_round + index + 1} diverged from the recorded "
+                    f"one — the deterministic-recovery invariant is "
+                    f"violated")
+            if checkpoint is not None:
+                self._accept_checkpoint(s, checkpoint, upto=index + 1)
+                index = 0
+            else:
+                index += 1
+        for message in self.grant_log[s][len(self.report_log[s]):]:
+            self._replay_send(s, message)
+            self.recovery["replayed_rounds"] += 1
+
+    def _replay_send(self, s: int, message: tuple) -> None:
+        try:
+            self.connections[s].send(message)
+        except OSError as exc:
+            raise _WorkerDied(s) from exc
+
+    def _accept_checkpoint(self, s: int, blob: bytes, upto: int) -> None:
+        """Adopt a shipped checkpoint and trim the logs it supersedes."""
+        self.checkpoints[s] = blob
+        del self.grant_log[s][:upto]
+        del self.report_log[s][:upto]
+        self.recovery["checkpoints"] += 1
+        self.recovery["checkpoint_bytes"] += len(blob)
+
+    # -- the run --------------------------------------------------------------
+
+    def run(self) -> None:
+        network = self.network
+        nodes = network.nodes
+        # Warm the shared per-program code cache before forking: every
+        # worker inherits the lowered functions and compiles nothing.
+        warmed: set = set()
+        for node in nodes:
+            if id(node.program) not in warmed:
+                node.interpreter.warm()
+                warmed.add(id(node.program))
+        # The pre-fork snapshots double as every shard's round-0
+        # checkpoint: a worker that dies before its first checkpoint is
+        # respawned from these and replayed from the beginning.
+        self.snapshots = [node.snapshot() for node in nodes]
+        for s in range(self.workers):
+            self._spawn(s)
+        try:
+            self._drive()
+            self._collect()
+        finally:
+            for conn in self.connections:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            for process in self.processes:
+                process.join(timeout=10.0)
+                if process.is_alive():  # pragma: no cover - defensive
+                    process.terminate()
+                    process.join(timeout=5.0)
+        network.shard_stats = self.shard_stats
+        network.recovery_stats = dict(self.recovery)
+
+    def _drive(self) -> None:
+        """The grant loop, with supervised waits instead of blocking reads."""
+        done = self.done
+        states = self.states
         while not all(done):
             granted = False
-            for s in range(workers):
-                lo, hi = bounds[s]
-                if running[s] or all(done[i] for i in range(lo, hi)):
+            for s in range(self.workers):
+                lo, hi = self.bounds[s]
+                if self.running[s] or all(done[i] for i in range(lo, hi)):
                     continue
-                cap = int(min(window(s), max_end + 1))
+                cap = int(min(self._window(s), self.max_end + 1))
                 if not any(not done[i]
-                           and states[i][0] < min(cap, end_of[i])
+                           and states[i][0] < min(cap, self.end_of[i])
                            for i in range(lo, hi)):
                     continue
-                connections[s].send(("run", cap, queued[s]))
-                in_flight[s].extend(queued[s])
-                queued[s] = []
-                running[s] = True
+                self.running[s] = True
+                self._grant(s, cap)
                 granted = True
-            active = [connections[s] for s in range(workers) if running[s]]
+            active = [s for s in range(self.workers) if self.running[s]]
             if not active:
                 if granted:  # pragma: no cover - granted implies running
                     continue
                 raise RuntimeError(
                     "sharded kernel stalled: no shard is running or "
                     "grantable — conservative-window invariant violated")
-            for conn in _connection_wait(active):
-                message = conn.recv()
+            by_conn = {self.connections[s]: s for s in active}
+            ready = _connection_wait(list(by_conn),
+                                     timeout=_POLL_INTERVAL_S)
+            if not ready:
+                for s in active:
+                    if not self.processes[s].is_alive() \
+                            and not self.connections[s].poll():
+                        self._recover(s)
+                    elif self._heartbeat_age(s) > self.stall_timeout_s:
+                        raise ShardWorkerError(
+                            s, self.rounds_granted[s],
+                            self._heartbeat_age(s),
+                            "stalled — no report within the stall timeout")
+                continue
+            for conn in ready:
+                s = by_conn[conn]
+                if self.connections[s] is not conn:
+                    # Replaced by a recovery earlier in this batch; the
+                    # replacement's traffic arrives on the new pipe.
+                    continue
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._recover(s)
+                    continue
+                self.last_heard[s] = time.monotonic()
                 if message[0] == "error":
                     raise RuntimeError(
                         f"shard worker {message[1]} failed:\n{message[2]}")
-                _tag, w, node_states, outgoing = message
-                running[w] = False
-                in_flight[w] = []
-                for index, *state in node_states:
-                    states[index] = tuple(state)
-                    done[index] = state[-1]
-                for packet in outgoing:
-                    queued[shard_of[packet[0]]].append(packet)
+                self._absorb_report(message)
 
-        shard_stats: list = [None] * workers
-        for s in range(workers):
-            connections[s].send(("finish", queued[s]))
-            queued[s] = []
-        for s in range(workers):
-            message = connections[s].recv()
-            if message[0] == "error":
-                raise RuntimeError(
-                    f"shard worker {message[1]} failed:\n{message[2]}")
+    def _absorb_report(self, message: tuple) -> None:
+        _tag, w, node_states, outgoing, checkpoint = message
+        self.running[w] = False
+        self.in_flight[w] = []
+        self.respawns_since_report[w] = 0
+        if self.checkpoint_every > 0:
+            self.report_log[w].append((node_states, outgoing))
+            if checkpoint is not None:
+                self._accept_checkpoint(w, checkpoint,
+                                        upto=len(self.report_log[w]))
+        for index, *state in node_states:
+            self.states[index] = tuple(state)
+            self.done[index] = state[-1]
+        for packet in outgoing:
+            self.queued[self.shard_of[packet[0]]].append(packet)
+
+    def _finish(self, s: int) -> None:
+        """Send (or after a recovery, re-send) the shard's finish message."""
+        if self.finish_message[s] is None:
+            self.finish_message[s] = ("finish", self.queued[s])
+            self.queued[s] = []
+        try:
+            self.connections[s].send(self.finish_message[s])
+        except OSError as exc:
+            raise _WorkerDied(s) from exc
+
+    def _collect(self) -> None:
+        """Finish every shard and merge the finals, under supervision."""
+        network = self.network
+        nodes = network.nodes
+        for s in range(self.workers):
+            try:
+                self._finish(s)
+            except _WorkerDied:
+                self._recover(s)
+                self._finish(s)
+        for s in range(self.workers):
+            while True:
+                try:
+                    message = self._recv(s)
+                    break
+                except _WorkerDied:
+                    self._recover(s)
+                    self._finish(s)
             _tag, w, finals, deliveries, delivered, lost, stats = message
             for index, snap in finals:
                 node = nodes[index]
@@ -470,16 +906,28 @@ def run_sharded(network: "Network", seconds: float, workers: int) -> None:
             network.deliveries.extend(deliveries)
             network.delivered_packets += delivered
             network.lost_packets += lost
-            shard_stats[w] = stats
-        network.shard_stats = shard_stats
-    finally:
-        for conn in connections:
-            try:
-                conn.close()
-            except OSError:  # pragma: no cover
-                pass
-        for process in processes:
-            process.join(timeout=10.0)
-            if process.is_alive():  # pragma: no cover - defensive teardown
-                process.terminate()
-                process.join(timeout=5.0)
+            self.shard_stats[w] = stats
+
+
+def run_sharded(network: "Network", seconds: float, workers: int, *,
+                chaos: Optional[ChaosPolicy] = None,
+                checkpoint_every: Optional[int] = None,
+                stall_timeout_s: Optional[float] = None) -> None:
+    """Run ``network`` partitioned across ``workers`` forked processes.
+
+    Called by :meth:`Network.run` for ``workers > 1`` (which validates the
+    worker count first).  On return the coordinator's own nodes hold the
+    final simulation state — restored from the workers' snapshots — and
+    ``network.deliveries``/packet counters/``shard_stats``/
+    ``recovery_stats`` are merged, so callers cannot tell the run apart
+    from a single-process one — even when ``chaos`` killed workers along
+    the way, thanks to checkpointed respawn and deterministic replay.
+
+    ``checkpoint_every`` and ``stall_timeout_s`` default to the
+    ``REPRO_SHARD_CHECKPOINT_EVERY`` / ``REPRO_SHARD_STALL_TIMEOUT_S``
+    environment variables, then to :data:`DEFAULT_CHECKPOINT_EVERY` /
+    :data:`DEFAULT_STALL_TIMEOUT_S`.
+    """
+    _Coordinator(network, seconds, workers, chaos=chaos,
+                 checkpoint_every=checkpoint_every,
+                 stall_timeout_s=stall_timeout_s).run()

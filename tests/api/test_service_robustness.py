@@ -1,0 +1,238 @@
+"""The hardened job service: retries, failure taxonomy, graceful drain.
+
+Client side: transport retries with backoff survive an injected HTTP 500
+and connection failures, exhausted retries surface as a typed
+:class:`RemoteServiceError` (URL, attempt count, retry-after hint), and a
+malformed response is never retried.  Server side: per-job timeouts land
+in the failure taxonomy, ``drain()`` finishes in-flight jobs into the
+store while rejecting new ones with a 503, and a real SIGTERM against a
+``python -m repro serve`` subprocess drains the in-flight job's record
+into the artifact store before the process exits.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api.client import RemoteClient, RemoteServiceError
+from repro.api.server import (
+    JobService,
+    JobTimeout,
+    ServiceDraining,
+    build_httpd,
+)
+from repro.api.specs import SCHEMA_VERSION, BuildSpec
+from repro.store import ArtifactStore
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+BUILD = BuildSpec(app="BlinkTask_Mica2", variant="safe-flid")
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = JobService(str(tmp_path / "artifacts"), workers=2)
+    yield service
+    service.shutdown()
+
+
+@pytest.fixture
+def httpd(service):
+    httpd = build_httpd(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd
+    httpd.shutdown()
+    httpd.server_close()
+
+
+def _client(httpd, **kwargs) -> RemoteClient:
+    kwargs.setdefault("backoff_s", 0.01)
+    return RemoteClient(f"http://127.0.0.1:{httpd.server_address[1]}",
+                        **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Client retries
+# ---------------------------------------------------------------------------
+
+
+class TestClientRetries:
+    def test_survives_one_injected_500(self, service, httpd):
+        service.chaos_http = 1
+        stats = _client(httpd).stats()
+        assert stats["submitted"] == 0
+        assert service.chaos_http == 0
+
+    def test_exhausted_retries_raise_typed_error(self, service, httpd):
+        service.chaos_http = 99
+        client = _client(httpd, retries=2)
+        with pytest.raises(RemoteServiceError) as info:
+            client.stats()
+        assert info.value.attempts == 2
+        assert info.value.status == 500
+        assert info.value.url.endswith("/stats")
+        # Two failures consumed, the rest of the budget untouched.
+        assert service.chaos_http == 97
+
+    def test_healthz_is_exempt_from_chaos(self, service, httpd):
+        service.chaos_http = 99
+        assert _client(httpd, retries=1).healthz()
+
+    def test_unreachable_service_raises_typed_error(self):
+        # Bind-then-close guarantees a port nothing is listening on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = RemoteClient(f"http://127.0.0.1:{port}", retries=2,
+                              backoff_s=0.01)
+        with pytest.raises(RemoteServiceError) as info:
+            client.healthz()
+        assert info.value.attempts == 2
+        assert info.value.status is None
+        assert "cannot reach" in str(info.value)
+
+    def test_malformed_json_is_not_retried(self, monkeypatch):
+        calls = []
+
+        class _FakeResponse:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def read(self):
+                return b"<html>not json</html>"
+
+        def fake_urlopen(request, timeout=None):
+            calls.append(request.full_url)
+            return _FakeResponse()
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        client = RemoteClient("http://example.invalid", retries=3,
+                              backoff_s=0.01)
+        with pytest.raises(RemoteServiceError) as info:
+            client.stats()
+        assert info.value.attempts == 1
+        assert len(calls) == 1
+        assert "malformed JSON" in str(info.value)
+
+    def test_retries_must_be_positive(self):
+        with pytest.raises(ValueError, match="retries"):
+            RemoteClient("http://example.invalid", retries=0)
+
+
+# ---------------------------------------------------------------------------
+# Failure taxonomy + per-job timeouts
+# ---------------------------------------------------------------------------
+
+
+class TestFailureTaxonomy:
+    def test_job_timeout_is_classified(self, tmp_path, monkeypatch):
+        service = JobService(str(tmp_path / "artifacts"), workers=1,
+                             job_timeout_s=0.05)
+        monkeypatch.setattr(JobService, "_run",
+                            lambda self, spec: time.sleep(1.0))
+        try:
+            job = service.submit(BUILD.to_dict())
+            with pytest.raises(JobTimeout, match="exceeded the per-job"):
+                service.result(job["key"], timeout=10.0)
+            described = service.job(job["key"]).describe()
+            assert described["state"] == "failed"
+            assert described["error_kind"] == "timeout"
+        finally:
+            service.shutdown()
+
+    @pytest.mark.parametrize("exc,kind", [
+        (ValueError("bad spec semantics"), "rejected"),
+        (RuntimeError("boom"), "crashed"),
+    ])
+    def test_failures_are_classified(self, service, monkeypatch, exc, kind):
+        def explode(self, spec):
+            raise exc
+
+        monkeypatch.setattr(JobService, "_run", explode)
+        job = service.submit(BUILD.to_dict())
+        with pytest.raises(type(exc)):
+            service.result(job["key"], timeout=10.0)
+        assert service.job(job["key"]).describe()["error_kind"] == kind
+
+    def test_rejects_non_positive_timeout(self, tmp_path):
+        with pytest.raises(ValueError, match="job_timeout_s"):
+            JobService(str(tmp_path / "artifacts"), job_timeout_s=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Graceful drain
+# ---------------------------------------------------------------------------
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_job_into_store(self, tmp_path):
+        store_dir = str(tmp_path / "artifacts")
+        service = JobService(store_dir, workers=2)
+        try:
+            service.submit(BUILD.to_dict())
+            service.drain()
+            # The in-flight build completed and its record hit the disk
+            # store, where the next service instance will find it.
+            stored = ArtifactStore(store_dir, schema=SCHEMA_VERSION).load_record(
+                BUILD.content_key())
+            assert stored is not None
+            assert stored["app"] == "BlinkTask_Mica2"
+            with pytest.raises(ServiceDraining):
+                service.submit(BUILD.to_dict())
+        finally:
+            service.shutdown()
+
+    def test_drain_is_503_with_retry_after_over_http(self, service, httpd):
+        service.drain()
+        client = _client(httpd, retries=1)
+        with pytest.raises(RemoteServiceError) as info:
+            client.submit(BUILD)
+        assert info.value.status == 503
+        assert info.value.retry_after == 1.0
+
+    def test_sigterm_drains_serve_subprocess(self, tmp_path):
+        """The real thing: SIGTERM a ``repro serve`` process mid-job."""
+        store_dir = str(tmp_path / "artifacts")
+        env = {**os.environ, "PYTHONPATH": str(SRC)}
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--store", store_dir,
+             "--port", "0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True)
+        try:
+            for line in proc.stdout:
+                if "repro job service on http://" in line:
+                    base_url = line.split("on ", 1)[1].split(" ", 1)[0]
+                    break
+            else:  # pragma: no cover - server died before binding
+                pytest.fail("serve never announced its address")
+            client = RemoteClient(base_url, retries=2, backoff_s=0.05)
+            job = client.submit(BUILD)
+            assert job["key"] == BUILD.content_key()
+            # The job is in flight (or at best just finished); SIGTERM
+            # must let it drain into the store either way.
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=180)
+            assert proc.returncode == 0
+            stored = ArtifactStore(store_dir, schema=SCHEMA_VERSION).load_record(
+                BUILD.content_key())
+            assert stored is not None
+            assert stored["app"] == "BlinkTask_Mica2"
+        finally:
+            if proc.poll() is None:  # pragma: no cover - cleanup only
+                proc.kill()
+                proc.wait(timeout=30)
